@@ -1,0 +1,55 @@
+"""Figure 11 — ROC of the joint end-to-end model.
+
+The paper's joint model (band-wise CNNs + classifier fine-tuned together)
+reaches AUC 0.897 on single-epoch *images* — below the ground-truth
+feature classifier (0.958) because flux estimation errors propagate, but
+far above chance and competitive with photometric baselines.
+"""
+
+import numpy as np
+
+from repro.core import TrainConfig
+from repro.eval import roc_curve
+from repro.utils import format_table
+
+
+def test_fig11_joint_model(benchmark, trained_pipeline, image_splits):
+    pipe, _, _ = trained_pipeline
+
+    def run():
+        history = pipe.fine_tune(
+            image_splits.train,
+            image_splits.val,
+            TrainConfig(epochs=2, batch_size=32, learning_rate=3e-4, seed=31),
+        )
+        # The paper's single-epoch protocol: every epoch window of every
+        # test sample is scored as an independent sub-sample.
+        pairs, dates, labels = pipe._joint_inputs(image_splits.test, windowed=True)
+        scores = pipe.joint.predict_proba(pairs, dates)
+        return history, scores, labels
+
+    history, scores, labels = benchmark.pedantic(run, rounds=1, iterations=1)
+    curve = roc_curve(labels, scores)
+
+    rows = [
+        [f"{fpr:.2f}", f"{curve.tpr_at_fpr(fpr):.3f}"]
+        for fpr in (0.05, 0.1, 0.2, 0.4)
+    ]
+    print()
+    print(
+        format_table(
+            ["FPR", "TPR"],
+            rows,
+            title="Fig. 11: joint-model ROC points (single-epoch images)",
+        )
+    )
+    two_stage = pipe.evaluate_auc(image_splits.test, use_joint=False, windowed=True)
+    print(
+        f"joint AUC {curve.auc:.3f} (paper: 0.897); "
+        f"two-stage CNN-features + classifier AUC {two_stage:.3f}"
+    )
+
+    # The joint model must be clearly informative.
+    assert curve.auc > 0.7
+    # Fine-tuning kept a usable validation loss trajectory.
+    assert all(np.isfinite(v) for v in history.train_loss)

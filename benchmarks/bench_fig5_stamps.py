@@ -1,0 +1,84 @@
+"""Figure 5 — example reference / observation / difference stamps.
+
+The paper's Fig. 5 shows stamp triplets for a low-z and a high-z sample.
+This benchmark renders both cases and verifies the difference image
+isolates the supernova: the central aperture of the difference recovers
+the injected flux while the host light cancels.
+"""
+
+import numpy as np
+
+from repro.catalog import CosmosCatalog, HostSelector
+from repro.lightcurves import LightCurve, SALT2LikeModel, SALT2Parameters
+from repro.photometry import band_by_name
+from repro.survey import StampSimulator, difference_images
+from repro.utils import format_table
+
+
+def _render_case(redshift: float, seed: int):
+    rng = np.random.default_rng(seed)
+    catalog = CosmosCatalog(500, seed=seed)
+    # Pick a host near the requested redshift for the illustration.
+    host = min(catalog.galaxies, key=lambda g: abs(g.photo_z - redshift))
+    selector = HostSelector(catalog)
+    placement = selector.place_supernova(host, rng)
+
+    curve = LightCurve(SALT2LikeModel(SALT2Parameters()), host.photo_z, peak_mjd=57000.0)
+    band = band_by_name("i")
+    flux = float(curve.flux(band, 57000.0))
+
+    sim = StampSimulator()
+    night = sim.conditions.sample(57000.0, rng)
+    obs = sim.observe(placement, band, flux, night, rng)
+    ref = sim.reference(placement, band, rng)
+    diff = difference_images(
+        ref.pixels.astype(float),
+        obs.pixels.astype(float),
+        ref.conditions.seeing_fwhm,
+        night.seeing_fwhm,
+    ).difference
+
+    size = diff.shape[0]
+    c = size // 2
+    rows, cols = np.mgrid[:size, :size]
+    aperture = (rows - c) ** 2 + (cols - c) ** 2 <= 9**2
+    return {
+        "z": host.photo_z,
+        "true_flux": flux,
+        "recovered_flux": float(diff[aperture].sum()),
+        "host_peak_obs": float(np.max(obs.pixels)),
+        "diff_background_rms": float(diff[~aperture].std()),
+    }
+
+
+def test_fig5_stamp_triplets(benchmark):
+    def run():
+        return _render_case(0.4, seed=11), _render_case(1.3, seed=23)
+
+    low_z, high_z = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, case in (("low photo-z", low_z), ("high photo-z", high_z)):
+        rows.append(
+            [
+                name,
+                f"{case['z']:.2f}",
+                f"{case['true_flux']:.1f}",
+                f"{case['recovered_flux']:.1f}",
+                f"{case['diff_background_rms']:.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["case", "z", "true SN flux", "flux in diff aperture", "diff bkg rms"],
+            rows,
+            title="Fig. 5: reference/observation/difference stamp summary",
+        )
+    )
+
+    # The difference isolates the SN: recovered flux ~ true flux for the
+    # low-z (bright) case, and the high-z SN is much fainter.
+    assert low_z["recovered_flux"] > 0.5 * low_z["true_flux"]
+    assert low_z["recovered_flux"] < 1.6 * low_z["true_flux"] + 5.0
+    assert high_z["true_flux"] < low_z["true_flux"] / 3.0

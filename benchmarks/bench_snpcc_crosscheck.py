@@ -1,0 +1,96 @@
+"""Extension benchmark — cross-check on SNPCC-style data.
+
+The baselines the paper quotes in Table 2 (Lochner 2016, Charnock 2016)
+were measured on the Supernova Photometric Classification Challenge
+dataset, not the paper's own.  This benchmark generates an SNPCC-style
+dataset (irregular 4-40-observation light curves, ~25% SNIa) from the
+same light-curve substrate and runs our implementations of those
+methods, checking they reach the strong-multi-epoch regime reported in
+the literature (AUC ~0.94-0.98 at challenge scale).
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    RandomForestClassifier,
+    TemplateFitClassifier,
+    TemplateFluxGrid,
+    karpenka_features,
+    snpcc_features,
+)
+from repro.core import LightCurveClassifier, TrainConfig, fit_classifier
+from repro.eval import auc_score
+from repro.datasets import SNPCCConfig, generate_snpcc
+from repro.utils import format_table
+
+
+def test_snpcc_crosscheck(benchmark):
+    def run():
+        train_set = generate_snpcc(SNPCCConfig(n_samples=800, seed=51))
+        test_set = generate_snpcc(SNPCCConfig(n_samples=400, seed=52))
+        results = {}
+
+        # Feature-based methods.
+        x_train, y_train = snpcc_features(train_set)
+        x_test, y_test = snpcc_features(test_set)
+        forest = RandomForestClassifier(n_trees=100, seed=1).fit(x_train, y_train)
+        results["random forest (Lochner-style)"] = auc_score(
+            y_test, forest.predict_proba(x_test)
+        )
+        clf = LightCurveClassifier(
+            input_dim=x_train.shape[1], units=100, rng=np.random.default_rng(2)
+        )
+        fit_classifier(
+            clf, x_train, y_train,
+            TrainConfig(epochs=60, batch_size=64, seed=3, early_stopping_patience=12),
+        )
+        results["highway network (proposed arch.)"] = auc_score(
+            y_test, clf.predict_proba(x_test)
+        )
+
+        # Karpenka-style: per-band parametric fits feeding a network.
+        k_train = np.stack(
+            [karpenka_features(s.flux, s.flux_err, s.mjd, s.band) for s in train_set.samples]
+        ).astype(np.float32)
+        k_test = np.stack(
+            [karpenka_features(s.flux, s.flux_err, s.mjd, s.band) for s in test_set.samples]
+        ).astype(np.float32)
+        k_clf = LightCurveClassifier(
+            input_dim=k_train.shape[1], units=100, rng=np.random.default_rng(4)
+        )
+        fit_classifier(
+            k_clf, k_train, y_train,
+            TrainConfig(epochs=60, batch_size=64, seed=5, early_stopping_patience=12),
+        )
+        results["parametric fit + NN (Karpenka-style)"] = auc_score(
+            y_test, k_clf.predict_proba(k_test)
+        )
+
+        # Template fitting works on the irregular series natively.
+        grid = TemplateFluxGrid()
+        tf = TemplateFitClassifier(grid)
+        scores = np.array(
+            [
+                tf.score_sample(s.flux, s.flux_err, s.mjd, s.band)
+                for s in test_set.samples
+            ]
+        )
+        results["template fit (Sullivan-style)"] = auc_score(y_test, scores)
+        return results, y_test
+
+    results, y_test = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[name, f"{auc:.3f}"] for name, auc in results.items()]
+    print()
+    print(
+        format_table(
+            ["Method", "AUC"],
+            rows,
+            title="SNPCC-style cross-check (4-40 obs, ~25% SNIa)",
+        )
+    )
+    print("literature on real SNPCC: Lochner RF 0.976, Charnock RNN 0.981")
+
+    # Multi-epoch methods must be in the strong regime on SNPCC-like data.
+    for name, auc in results.items():
+        assert auc > 0.8, f"{name} below the multi-epoch regime"

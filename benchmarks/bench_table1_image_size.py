@@ -1,0 +1,105 @@
+"""Table 1 — flux-CNN loss versus input image size (36..65).
+
+Trains the band-wise CNN at each of the paper's five crop sizes and
+reports train/validation/test MSE (in the paper's normalised units the
+losses are ~1e-2; here raw magnitude-squared).  The paper's observation
+is that larger crops do better because background context helps — the
+ordering, not the absolute loss, is the reproduction target.
+
+Also runs the two design ablations DESIGN.md calls out on the smallest
+size: linear instead of signed-log input, and average instead of max
+pooling.
+"""
+
+import os
+
+import numpy as np
+
+from repro.core import BandwiseCNN, TrainConfig, fit_regressor, make_pair_augmenter
+from repro.utils import format_table
+
+SIZES = (36, 44, 52, 60, 65)
+EPOCHS = int(os.environ.get("REPRO_BENCH_T1_EPOCHS", 8))
+
+
+def _train_once(splits, size, input_transform="signed_log", pool="max", seed=7):
+    x_train, y_train, m_train = splits.train.flux_pairs(min_flux=2.0)
+    x_val, y_val, m_val = splits.val.flux_pairs(min_flux=2.0)
+    x_test, y_test, m_test = splits.test.flux_pairs(min_flux=2.0)
+
+    cnn = BandwiseCNN(
+        input_size=size,
+        input_transform=input_transform,
+        pool=pool,
+        rng=np.random.default_rng(seed),
+    )
+    history = fit_regressor(
+        cnn,
+        x_train[m_train],
+        y_train[m_train],
+        TrainConfig(
+            epochs=EPOCHS, batch_size=64, learning_rate=5e-4, seed=seed,
+            early_stopping_patience=4,
+        ),
+        x_val[m_val],
+        y_val[m_val],
+        augment_fn=make_pair_augmenter(size),
+    )
+    pred = cnn.predict(x_test[m_test])
+    test_mse = float(np.mean((pred - y_test[m_test]) ** 2))
+    return {
+        "train": history.train_loss[-1],
+        "val": history.best_val_loss,
+        "test": test_mse,
+    }
+
+
+def test_table1_image_size_sweep(benchmark, image_splits):
+    def run():
+        return {size: _train_once(image_splits, size) for size in SIZES}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [f"{s}x{s}", f"{r['train']:.4f}", f"{r['val']:.4f}", f"{r['test']:.4f}"]
+        for s, r in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Size", "Train loss", "Val loss", "Test loss"],
+            rows,
+            title="Table 1: mean squared magnitude loss vs input size",
+        )
+    )
+
+    # Paper trend: the largest crops are never the worst and the 60/65
+    # sizes beat the smallest.  (Exact per-size ordering is noisy at CPU
+    # scale, so assert the envelope.)
+    tests = {s: results[s]["test"] for s in SIZES}
+    assert min(tests[60], tests[65]) <= tests[36] * 1.25
+    assert all(np.isfinite(v) for v in tests.values())
+
+
+def test_table1_ablations(benchmark, image_splits):
+    def run():
+        return {
+            "paper (signed_log, max)": _train_once(image_splits, 36),
+            "linear input": _train_once(image_splits, 36, input_transform="linear"),
+            "avg pooling": _train_once(image_splits, 36, pool="avg"),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, f"{r['train']:.4f}", f"{r['val']:.4f}", f"{r['test']:.4f}"]
+        for name, r in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Variant", "Train loss", "Val loss", "Test loss"],
+            rows,
+            title="Table 1 ablations (input transform, pooling) at 36x36",
+        )
+    )
+    assert all(np.isfinite(r["test"]) for r in results.values())

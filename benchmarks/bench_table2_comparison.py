@@ -1,0 +1,173 @@
+"""Table 2 — comparison with existing methods.
+
+Regenerates every row group of the paper's Table 2 on the same synthetic
+test set:
+
+* Poznanski-style Bayesian single-epoch classification, with and without
+  a known redshift (paper ref [14]);
+* classical multi-epoch photometric approaches: chi^2 template fitting
+  (Sullivan-style) with and without redshift, a random forest on
+  light-curve features (Lochner-style) and a GRU sequence model
+  (Charnock-style);
+* the proposed highway-network classifier with single-epoch and
+  four-epoch features, no redshift.
+
+The reproduction target is the ordering: the proposed single-epoch
+method beats single-epoch Bayesian classification without redshift and
+approaches the multi-epoch methods; with four epochs it tops the table.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    PoznanskiClassifier,
+    RandomForestClassifier,
+    RecurrentClassifier,
+    TemplateFitClassifier,
+    TemplateFluxGrid,
+    sequence_features,
+)
+from repro.core import LightCurveClassifier, TrainConfig, fit_classifier
+from repro.core.features import dataset_windowed_features, features_from_arrays
+from repro.core.training import fit
+from repro.eval import auc_score, best_accuracy
+from repro.nn import BCEWithLogitsLoss, Tensor
+from repro.utils import format_table
+
+FLUX_ERR = 1.5
+
+
+def _measured_flux(dataset, rng):
+    """Simulated photometric measurements: true flux + Gaussian error."""
+    flux = dataset.true_flux + rng.normal(0.0, FLUX_ERR, dataset.true_flux.shape)
+    return flux, np.full(flux.shape, FLUX_ERR)
+
+
+def _proposed(lc_splits, k_epochs, seed):
+    x_train, y_train = dataset_windowed_features(lc_splits.train, k_epochs)
+    x_val, y_val = dataset_windowed_features(lc_splits.val, k_epochs)
+    x_test, y_test = dataset_windowed_features(lc_splits.test, k_epochs)
+    clf = LightCurveClassifier(
+        input_dim=x_train.shape[1], units=100, rng=np.random.default_rng(seed)
+    )
+    fit_classifier(
+        clf,
+        x_train,
+        y_train,
+        TrainConfig(epochs=40, batch_size=128, seed=seed, early_stopping_patience=8),
+        x_val,
+        y_val,
+        metric=auc_score,
+    )
+    scores = clf.predict_proba(x_test)
+    return auc_score(y_test, scores), best_accuracy(y_test, scores)
+
+
+def test_table2_method_comparison(benchmark, lc_splits):
+    rng = np.random.default_rng(123)
+    test = lc_splits.test
+    labels = test.labels
+
+    def run():
+        results = {}
+        grid = TemplateFluxGrid()
+        flux_test, err_test = _measured_flux(test, rng)
+
+        # --- Poznanski single-epoch (epoch 1: SN usually active) ---
+        idx = np.arange(5, 10)
+        args = (
+            flux_test[:, idx], err_test[:, idx],
+            test.visit_mjd[:, idx], test.visit_band[:, idx],
+        )
+        poz = PoznanskiClassifier(grid).predict_proba(*args)
+        results["Poznanski2007 single-epoch, w/o redshift"] = (
+            auc_score(labels, poz), best_accuracy(labels, poz)
+        )
+        poz_z = PoznanskiClassifier(grid, known_redshift=True).predict_proba(
+            *args, test.redshifts
+        )
+        results["Poznanski2007 single-epoch + redshift"] = (
+            auc_score(labels, poz_z), best_accuracy(labels, poz_z)
+        )
+
+        # --- Template fitting, multi-epoch (Sullivan-style) ---
+        tf = TemplateFitClassifier(grid).predict_proba(
+            flux_test, err_test, test.visit_mjd, test.visit_band
+        )
+        results["Template fit multi-epoch (4), w/o redshift"] = (
+            auc_score(labels, tf), best_accuracy(labels, tf)
+        )
+        tf_z = TemplateFitClassifier(grid, known_redshift=True).predict_proba(
+            flux_test, err_test, test.visit_mjd, test.visit_band, test.redshifts
+        )
+        results["Template fit multi-epoch (4) + redshift"] = (
+            auc_score(labels, tf_z), best_accuracy(labels, tf_z)
+        )
+
+        # --- Random forest on 4-epoch features (Lochner-style) ---
+        flux_train, _ = _measured_flux(lc_splits.train, rng)
+        x_train_rf = features_from_arrays(flux_train, lc_splits.train.visit_mjd, 4)
+        x_test_rf = features_from_arrays(flux_test, test.visit_mjd, 4)
+        forest = RandomForestClassifier(n_trees=100, seed=9).fit(
+            x_train_rf, lc_splits.train.labels
+        )
+        rf_scores = forest.predict_proba(x_test_rf)
+        results["Random forest multi-epoch (4), w/o redshift"] = (
+            auc_score(labels, rf_scores), best_accuracy(labels, rf_scores)
+        )
+
+        # --- GRU sequence model (Charnock-style) ---
+        seq_train = sequence_features(x_train_rf, 4).astype(np.float32)
+        seq_test = sequence_features(x_test_rf, 4).astype(np.float32)
+        gru = RecurrentClassifier(input_dim=10, hidden_dim=32, rng=np.random.default_rng(10))
+        bce = BCEWithLogitsLoss()
+
+        def loss_fn(model, inputs, target):
+            return bce(model(Tensor(inputs[0])), target)
+
+        fit(
+            gru,
+            [seq_train],
+            lc_splits.train.labels.astype(np.float32),
+            loss_fn,
+            TrainConfig(epochs=40, batch_size=128, seed=11, learning_rate=3e-3),
+        )
+        gru_scores = gru.predict_proba(seq_test)
+        results["RNN multi-epoch (4), w/o redshift"] = (
+            auc_score(labels, gru_scores), best_accuracy(labels, gru_scores)
+        )
+
+        # --- Proposed method ---
+        results["Proposed single-epoch, w/o redshift"] = _proposed(lc_splits, 1, seed=21)
+        results["Proposed multi-epoch (4), w/o redshift"] = _proposed(lc_splits, 4, seed=22)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{auc:.3f}", f"{acc:.3f}"] for name, (auc, acc) in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Method", "AUC", "best acc"],
+            rows,
+            title="Table 2: comparison with existing methods (same synthetic test set)",
+        )
+    )
+    print(
+        "paper: proposed single-epoch 0.958 / multi-epoch 0.995; "
+        "Poznanski w/o z accuracy 0.60; multi-epoch baselines 0.97-0.98"
+    )
+
+    proposed_1 = results["Proposed single-epoch, w/o redshift"][0]
+    proposed_4 = results["Proposed multi-epoch (4), w/o redshift"][0]
+    poznanski = results["Poznanski2007 single-epoch, w/o redshift"][0]
+
+    # Claim (1): same conditions (single-epoch, no z) -> proposed wins.
+    assert proposed_1 > poznanski
+    # Claim (2)/(3): multi-epoch proposed tops every baseline.
+    for name, (auc, _) in results.items():
+        if name.startswith("Proposed"):
+            continue
+        assert proposed_4 >= auc - 0.005, f"{name} beat the 4-epoch proposed method"

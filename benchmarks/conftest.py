@@ -1,0 +1,103 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Dataset
+sizes and training epochs are scaled down from the paper's GPU-scale run
+(12,000 samples, hundreds of epochs) to CPU-friendly defaults; override
+through environment variables:
+
+``REPRO_BENCH_SAMPLES``
+    Image-dataset samples per class (default 120; paper 6,000).
+``REPRO_BENCH_LC_SAMPLES``
+    Light-curve-only samples per class (default 1500).
+``REPRO_BENCH_CNN_EPOCHS``
+    Flux-CNN training epochs for the shared pipeline (default 24, with
+    early stopping).
+``REPRO_BENCH_T1_EPOCHS``
+    Flux-CNN epochs for the Table-1 size sweep (default 8; the sweep
+    trains five networks).
+
+Both dataset flavours are built once per pytest session and shared.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import BuildConfig, DatasetBuilder, train_val_test_split
+from repro.survey import ImagingConfig
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+N_IMAGE_SAMPLES = _env_int("REPRO_BENCH_SAMPLES", 150)
+N_LC_SAMPLES = _env_int("REPRO_BENCH_LC_SAMPLES", 1500)
+CNN_EPOCHS = _env_int("REPRO_BENCH_CNN_EPOCHS", 24)
+
+
+@pytest.fixture(scope="session")
+def image_splits():
+    """Rendered 65x65 dataset, split 80/10/10 (used by Table 1, Figs 8/11/12)."""
+    config = BuildConfig(
+        n_ia=N_IMAGE_SAMPLES,
+        n_non_ia=N_IMAGE_SAMPLES,
+        seed=1234,
+        catalog_size=4000,
+        imaging=ImagingConfig(stamp_size=65),
+    )
+    dataset = DatasetBuilder(config).build()
+    return train_val_test_split(dataset, seed=99)
+
+
+@pytest.fixture(scope="session")
+def lc_splits():
+    """Light-curve-only dataset (used by Figs 9/10 and Table 2)."""
+    config = BuildConfig(
+        n_ia=N_LC_SAMPLES,
+        n_non_ia=N_LC_SAMPLES,
+        seed=4321,
+        catalog_size=8000,
+        render_images=False,
+    )
+    dataset = DatasetBuilder(config).build()
+    return train_val_test_split(dataset, seed=77)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2024)
+
+
+@pytest.fixture(scope="session")
+def trained_pipeline(image_splits):
+    """A pipeline with stages 1-2 trained (shared by Figs. 8, 11, 12).
+
+    Stage 1 (flux CNN) dominates benchmark runtime, so it is trained once
+    per session at the paper's input size of 60.
+    """
+    from repro.core import SupernovaPipeline, TrainConfig
+
+    pipe = SupernovaPipeline(input_size=60, units=100, epochs_used=1, seed=5)
+    cnn_history = pipe.fit_flux_cnn(
+        image_splits.train,
+        image_splits.val,
+        TrainConfig(
+            epochs=CNN_EPOCHS,
+            batch_size=64,
+            learning_rate=5e-4,
+            seed=11,
+            early_stopping_patience=8,
+        ),
+        min_flux=3.0,
+    )
+    clf_history = pipe.fit_classifier(
+        image_splits.train,
+        image_splits.val,
+        TrainConfig(epochs=60, batch_size=64, seed=12, early_stopping_patience=12),
+        use_ground_truth=False,
+    )
+    return pipe, cnn_history, clf_history

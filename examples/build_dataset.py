@@ -1,0 +1,60 @@
+"""Build and inspect the paper's imaging dataset (Section 3).
+
+Renders a small version of the full dataset — host galaxies from the
+synthetic COSMOS catalogue, supernovae embedded with per-night PSF/noise,
+PSF-matched references — then prints the Fig. 3/4/5-style summary
+statistics and saves the dataset to an ``.npz`` archive that the other
+examples can reuse.
+
+Run:  python examples/build_dataset.py [output.npz]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.datasets import BuildConfig, DatasetBuilder, save_dataset
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "supernova_dataset.npz"
+
+    config = BuildConfig(n_ia=50, n_non_ia=50, seed=7)
+    print(f"building {config.n_ia} SNIa + {config.n_non_ia} non-Ia samples "
+          f"({config.imaging.stamp_size}x{config.imaging.stamp_size} stamps, "
+          f"{config.epochs_per_band} epochs x 5 bands)...")
+    start = time.time()
+    dataset = DatasetBuilder(config).build(verbose=True)
+    print(f"done in {time.time() - start:.1f}s -> {dataset.summary()}")
+
+    # Fig. 3-style: redshift distribution of the dataset hosts.
+    z = dataset.redshifts
+    print(f"\nredshifts: min {z.min():.2f}, median {np.median(z):.2f}, max {z.max():.2f}")
+
+    # Fig. 4-style: SN offsets within hosts.
+    radii = np.hypot(dataset.sn_offset[:, 0], dataset.sn_offset[:, 1])
+    print(f"SN offsets from host centre: median {np.median(radii):.2f}\", "
+          f"95% < {np.percentile(radii, 95):.2f}\"")
+
+    # Fig. 5-style: how well does differencing isolate the supernova?
+    diffs = dataset.difference_images()
+    c = dataset.stamp_size // 2
+    rows, cols = np.mgrid[: dataset.stamp_size, : dataset.stamp_size]
+    aperture = (rows - c) ** 2 + (cols - c) ** 2 <= 9**2
+    bright = dataset.true_flux > 30
+    recovered = diffs[:, :, aperture].sum(axis=-1)[bright]
+    truth = dataset.true_flux[bright]
+    print(f"difference-image photometry on bright visits: "
+          f"median recovered/true = {np.median(recovered / truth):.2f}")
+
+    # Per-type composition.
+    types, counts = np.unique(dataset.sn_types, return_counts=True)
+    print("type composition:", dict(zip(types.tolist(), counts.tolist())))
+
+    save_dataset(dataset, out_path)
+    print(f"\nsaved to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""The full survey pipeline upstream of type classification.
+
+The paper's introduction describes four stages; this example runs the
+first three on simulated data:
+
+1. image a sky region in one band (host galaxy + possible supernova);
+2. PSF-match and subtract the reference, then detect transient
+   candidates with a matched filter;
+3. reject "bogus" candidates (mis-subtraction dipoles, cosmic rays)
+   with a random-forest real/bogus classifier — Section 2's context,
+   where only ~0.1% of raw candidates are real.
+
+Stage 4 (type classification) is what the rest of the library does.
+
+Run:  python examples/detection_pipeline.py
+"""
+
+import numpy as np
+
+from repro.baselines import RealBogusClassifier
+from repro.catalog import CosmosCatalog, HostSelector
+from repro.eval import auc_score, confusion_matrix
+from repro.photometry import band_by_name
+from repro.survey import (
+    GaussianPSF,
+    StampSimulator,
+    detect_transients,
+    difference_images,
+    make_bogus_stamp,
+)
+
+
+def render_difference(sim, placement, flux, rng):
+    """Observation + reference -> PSF-matched difference stamp."""
+    band = band_by_name("i")
+    night = sim.conditions.sample(57000.0, rng)
+    obs = sim.observe(placement, band, flux, night, rng)
+    ref = sim.reference(placement, band, rng)
+    return difference_images(
+        ref.pixels.astype(float), obs.pixels.astype(float),
+        ref.conditions.seeing_fwhm, night.seeing_fwhm,
+    ).difference
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    catalog = CosmosCatalog(500, seed=1)
+    selector = HostSelector(catalog)
+    sim = StampSimulator()
+    noise = sim.noise.pixel_sigma(band_by_name("i"), sim.config.pixel_scale)
+
+    psf_size = 21
+    c = (psf_size - 1) / 2.0
+    kernel = GaussianPSF(0.7).render((psf_size, psf_size), (c, c))
+    kernel /= kernel.sum()
+
+    # --- Stage 2: detection on difference images -----------------------
+    print("stage 2: matched-filter detection on 40 difference stamps...")
+    found, missed = 0, 0
+    for i in range(40):
+        placement = selector.sample(rng)
+        flux = rng.uniform(25, 120)
+        diff = render_difference(sim, placement, flux, rng)
+        detections = detect_transients(diff, kernel, noise, threshold=5.0)
+        hit = any(abs(d.row - 32) <= 2 and abs(d.col - 32) <= 2 for d in detections)
+        found += hit
+        missed += not hit
+    print(f"  recovered {found}/40 injected supernovae at 5-sigma "
+          f"({missed} below threshold)")
+
+    # --- Stage 3: real/bogus rejection ---------------------------------
+    print("stage 3: training the real/bogus random forest...")
+
+    def make_set(n, seed):
+        local = np.random.default_rng(seed)
+        stamps, labels = [], []
+        for _ in range(n):
+            placement = selector.sample(local)
+            flux = local.uniform(20, 120)
+            stamps.append(render_difference(sim, placement, flux, local))
+            labels.append(1.0)
+            stamps.append(make_bogus_stamp((65, 65), noise, local))
+            labels.append(0.0)
+        return np.array(stamps), np.array(labels)
+
+    train_stamps, train_labels = make_set(80, seed=2)
+    test_stamps, test_labels = make_set(40, seed=3)
+    clf = RealBogusClassifier(n_trees=60, seed=4).fit(train_stamps, train_labels)
+    scores = clf.predict_proba(test_stamps)
+    auc = auc_score(test_labels, scores)
+    cm = confusion_matrix(test_labels, scores, threshold=0.5)
+    print(f"  real/bogus AUC {auc:.3f}; at threshold 0.5: "
+          f"TPR {cm.true_positive_rate:.2f}, FPR {cm.false_positive_rate:.2f}")
+    print("  (literature context: random forests reach TPR ~0.92 at FPR 0.01;")
+    print("   Morii et al. 2016 deep nets: FPR 0.0085 at TPR 0.9)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Train the band-wise CNN magnitude estimator (Fig. 7 / Fig. 8).
+
+Builds an imaging dataset, trains the convolutional flux estimator on
+(reference, observation) stamp pairs with dihedral/crop augmentation,
+and prints the Fig. 8-style error breakdown: estimation error versus
+true magnitude, with the paper's characteristic growth toward faint
+objects.
+
+Run:  python examples/flux_estimation.py
+(takes several minutes on a laptop; reduce N_PER_CLASS for a faster run)
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import BandwiseCNN, TrainConfig, fit_regressor, make_pair_augmenter
+from repro.datasets import BuildConfig, DatasetBuilder, train_val_test_split
+
+N_PER_CLASS = 100
+INPUT_SIZE = 60
+
+
+def main() -> None:
+    print(f"building imaging dataset ({2 * N_PER_CLASS} samples)...")
+    config = BuildConfig(n_ia=N_PER_CLASS, n_non_ia=N_PER_CLASS, seed=3)
+    dataset = DatasetBuilder(config).build()
+    splits = train_val_test_split(dataset, seed=4)
+
+    x_train, y_train, m_train = splits.train.flux_pairs(min_flux=2.0)
+    x_val, y_val, m_val = splits.val.flux_pairs(min_flux=2.0)
+    x_test, y_test, m_test = splits.test.flux_pairs(min_flux=2.0)
+    print(f"visible training pairs: {int(m_train.sum())}")
+
+    cnn = BandwiseCNN(input_size=INPUT_SIZE, rng=np.random.default_rng(5))
+    print(f"training the band-wise CNN ({cnn.num_parameters():,} parameters)...")
+    start = time.time()
+    fit_regressor(
+        cnn,
+        x_train[m_train],
+        y_train[m_train],
+        TrainConfig(
+            epochs=12, batch_size=64, learning_rate=5e-4, seed=6,
+            early_stopping_patience=4, verbose=True,
+        ),
+        x_val[m_val],
+        y_val[m_val],
+        augment_fn=make_pair_augmenter(INPUT_SIZE),
+    )
+    print(f"trained in {time.time() - start:.0f}s")
+
+    pred = cnn.predict(x_test[m_test])
+    truth = y_test[m_test]
+    err = pred - truth
+    print(f"\ntest mean |error|: {np.mean(np.abs(err)):.3f} mag "
+          f"(paper: 0.087 at 100x training scale)")
+    print("error vs true magnitude (Fig. 8 structure):")
+    for lo, hi in [(20.0, 23.0), (23.0, 24.0), (24.0, 25.0), (25.0, 26.5)]:
+        mask = (truth >= lo) & (truth < hi)
+        if mask.sum():
+            print(f"  mag {lo:.0f}-{hi:.0f}: mean|err| {np.abs(err[mask]).mean():.3f} "
+                  f"bias {err[mask].mean():+.3f}  (n={int(mask.sum())})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Select spectroscopic follow-up targets with calibrated probabilities.
+
+The paper's motivation: at most ~100 of over 10^7 candidates can get
+spectroscopic follow-up, so the classifier's P(SNIa) is used to spend
+that budget.  This example
+
+1. trains the single-epoch classifier,
+2. calibrates its probabilities with temperature scaling on the
+   validation split (reporting expected calibration error before/after),
+3. simulates a follow-up campaign: pick the top-B candidates by
+   calibrated probability and measure the SNIa purity of the selection.
+
+Run:  python examples/followup_selection.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    LightCurveClassifier,
+    TemperatureScaler,
+    TrainConfig,
+    fit_classifier,
+)
+from repro.core.features import dataset_windowed_features
+from repro.datasets import BuildConfig, DatasetBuilder, train_val_test_split
+from repro.eval import auc_score, expected_calibration_error
+from repro.nn import Tensor, no_grad
+
+FOLLOWUP_BUDGET = 50
+
+
+def main() -> None:
+    print("building dataset and training the single-epoch classifier...")
+    dataset = DatasetBuilder(
+        BuildConfig(n_ia=800, n_non_ia=800, seed=21, render_images=False)
+    ).build()
+    splits = train_val_test_split(dataset, seed=22)
+
+    x_train, y_train = dataset_windowed_features(splits.train, k_epochs=1)
+    x_val, y_val = dataset_windowed_features(splits.val, k_epochs=1)
+    x_test, y_test = dataset_windowed_features(splits.test, k_epochs=1)
+
+    clf = LightCurveClassifier(input_dim=10, units=100, rng=np.random.default_rng(23))
+    fit_classifier(
+        clf, x_train, y_train,
+        TrainConfig(epochs=40, batch_size=128, seed=24, early_stopping_patience=8),
+        x_val, y_val, metric=auc_score,
+    )
+
+    def logits_of(x):
+        with no_grad():
+            return clf(Tensor(x)).numpy()
+
+    print("calibrating with temperature scaling on the validation split...")
+    scaler = TemperatureScaler().fit(logits_of(x_val), y_val)
+    raw_probs = 1 / (1 + np.exp(-logits_of(x_test)))
+    cal_probs = scaler.transform(logits_of(x_test))
+    print(f"  fitted temperature: {scaler.temperature:.2f}")
+    print(f"  test ECE raw {expected_calibration_error(y_test, raw_probs):.3f} "
+          f"-> calibrated {expected_calibration_error(y_test, cal_probs):.3f}")
+    print(f"  test AUC {auc_score(y_test, cal_probs):.3f} "
+          "(ranking unchanged by calibration)")
+
+    print(f"\nsimulated follow-up campaign (budget: {FOLLOWUP_BUDGET} targets):")
+    order = np.argsort(-cal_probs)[:FOLLOWUP_BUDGET]
+    purity = y_test[order].mean()
+    base_rate = y_test.mean()
+    print(f"  SNIa purity of selected targets: {purity:.2f} "
+          f"(random selection would give {base_rate:.2f})")
+    print(f"  expected SNeIa found: {purity * FOLLOWUP_BUDGET:.0f} / {FOLLOWUP_BUDGET}")
+
+
+if __name__ == "__main__":
+    main()

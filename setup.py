@@ -1,0 +1,16 @@
+"""Setuptools entry point (legacy path for environments without wheel)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Single-epoch supernova classification with deep convolutional "
+        "neural networks (Kimura et al., ICDCS 2017) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

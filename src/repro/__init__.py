@@ -1,0 +1,56 @@
+"""Reproduction of "Single-epoch supernova classification with deep
+convolutional neural networks" (Kimura et al., ICDCS 2017).
+
+Subpackages
+-----------
+``repro.nn``
+    NumPy deep-learning framework (autograd, CNN layers, optimisers).
+``repro.photometry`` / ``repro.lightcurves`` / ``repro.cosmology``
+    Astronomy substrate: bands, magnitudes, SALT2-like light curves,
+    flat Lambda-CDM distances.
+``repro.catalog`` / ``repro.survey``
+    COSMOS-like galaxy catalogue and the imaging simulator (PSFs, noise,
+    scheduling, PSF-matched differencing).
+``repro.datasets``
+    The Section-3 synthetic dataset builder.
+``repro.core``
+    The paper's models: band-wise flux CNN, highway-network classifier,
+    joint fine-tuned model, and the :class:`~repro.core.SupernovaPipeline`
+    facade.
+``repro.baselines``
+    Table-2 comparators (template fitting, Bayesian single-epoch, random
+    forest, recurrent network).
+``repro.eval``
+    ROC curves, AUC, point metrics.
+"""
+
+from . import (
+    baselines,
+    catalog,
+    core,
+    cosmology,
+    datasets,
+    eval,
+    lightcurves,
+    nn,
+    photometry,
+    survey,
+    utils,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "cosmology",
+    "photometry",
+    "lightcurves",
+    "catalog",
+    "survey",
+    "datasets",
+    "core",
+    "baselines",
+    "eval",
+    "utils",
+    "__version__",
+]

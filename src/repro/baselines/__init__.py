@@ -1,0 +1,46 @@
+"""Baseline classifiers for the Table-2 comparison.
+
+* :class:`TemplateFitClassifier` — chi^2 light-curve template fitting
+  (Sullivan-style multi-epoch photometric approach).
+* :class:`PoznanskiClassifier` — Bayesian single-epoch classification
+  with and without a known redshift (paper ref [14]).
+* :class:`RandomForestClassifier` — feature-based ML baseline
+  (Lochner-style), with the underlying :class:`DecisionTree`.
+* :class:`RecurrentClassifier` — GRU sequence baseline (Charnock-style).
+"""
+
+from .karpenka import (
+    KARPENKA_FEATURE_DIM,
+    fit_karpenka_band,
+    karpenka_features,
+    karpenka_model,
+)
+from .poznanski import PoznanskiClassifier
+from .random_forest import DecisionTree, RandomForestClassifier
+from .realbogus import FEATURE_NAMES, RealBogusClassifier, stamp_features
+from .rnn import GRUCell, LSTMCell, RecurrentClassifier, sequence_features
+from .snpcc_features import SNPCC_FEATURE_DIM, snpcc_features, snpcc_sample_features
+from .template_fit import TemplateFitClassifier
+from .template_grid import TemplateFluxGrid
+
+__all__ = [
+    "RealBogusClassifier",
+    "stamp_features",
+    "FEATURE_NAMES",
+    "TemplateFluxGrid",
+    "TemplateFitClassifier",
+    "PoznanskiClassifier",
+    "RandomForestClassifier",
+    "DecisionTree",
+    "GRUCell",
+    "LSTMCell",
+    "RecurrentClassifier",
+    "sequence_features",
+    "KARPENKA_FEATURE_DIM",
+    "karpenka_model",
+    "karpenka_features",
+    "fit_karpenka_band",
+    "SNPCC_FEATURE_DIM",
+    "snpcc_features",
+    "snpcc_sample_features",
+]

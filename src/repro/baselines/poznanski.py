@@ -1,0 +1,135 @@
+"""Bayesian single-epoch photometric classification — Poznanski, Maoz &
+Gal-Yam (2007), paper ref [14] and the single-epoch rows of Table 2.
+
+A candidate observed at one epoch in the five bands is compared with
+every type hypothesis by *marginalising* (not profiling) over redshift,
+phase and amplitude:
+
+    P(T | f) ~ p(T) * sum_z sum_phase p(z) p(phase) L(f | T, z, phase)
+
+with the amplitude profiled per grid point (an amplitude prior adds
+little once the redshift prior pins the distance scale — the original
+method's redshift-dependent magnitude prior is emulated by restricting
+the amplitude to a plausible range around 1).
+
+With ``known_redshift=True`` the z sum collapses to the true redshift
+bin, reproducing the method's much stronger "+ redshift" variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lightcurves import SNType
+from .template_grid import TemplateFluxGrid
+
+__all__ = ["PoznanskiClassifier"]
+
+
+class PoznanskiClassifier:
+    """Bayesian single-epoch SNIa classifier.
+
+    Parameters
+    ----------
+    grid:
+        Shared canonical flux grid.
+    known_redshift:
+        Condition on the true redshift instead of marginalising.
+    amplitude_range:
+        Allowed multiplicative range around the canonical template
+        amplitude (emulates the brightness prior).
+    phase_prior_days:
+        Half-width of the flat phase prior around the observation.
+    """
+
+    def __init__(
+        self,
+        grid: TemplateFluxGrid | None = None,
+        known_redshift: bool = False,
+        amplitude_range: tuple[float, float] = (0.25, 4.0),
+        phase_prior_days: float = 60.0,
+    ) -> None:
+        if amplitude_range[0] <= 0 or amplitude_range[0] >= amplitude_range[1]:
+            raise ValueError("amplitude_range must be (low, high) with 0 < low < high")
+        self.grid = grid or TemplateFluxGrid()
+        self.known_redshift = known_redshift
+        self.amplitude_range = amplitude_range
+        self.phase_prior_days = phase_prior_days
+
+    def _log_like(
+        self,
+        sn_type: SNType,
+        flux: np.ndarray,
+        flux_err: np.ndarray,
+        mjd: np.ndarray,
+        band_idx: np.ndarray,
+        z_indices: np.ndarray,
+    ) -> float:
+        """log of the marginal likelihood over (z, phase), profiled amplitude."""
+        weights = 1.0 / flux_err**2
+        t_ref = float(mjd.mean())
+        offsets = np.arange(-self.phase_prior_days, self.phase_prior_days + 1.0, 4.0)
+        log_terms: list[float] = []
+        for zi in z_indices:
+            for offset in offsets:
+                phases = mjd - (t_ref + offset)
+                model = self.grid.flux(sn_type, int(zi), band_idx, phases)
+                denom = float(np.sum(weights * model**2))
+                if denom > 0:
+                    amp = float(np.sum(weights * flux * model)) / denom
+                    amp = float(np.clip(amp, *self.amplitude_range))
+                else:
+                    amp = 0.0
+                chi2 = float(np.sum(weights * (flux - amp * model) ** 2))
+                log_terms.append(-chi2 / 2.0)
+        arr = np.array(log_terms)
+        peak = arr.max()
+        return float(peak + np.log(np.exp(arr - peak).mean()))
+
+    def _z_indices(self, redshift: float | None) -> np.ndarray:
+        if self.known_redshift:
+            if redshift is None:
+                raise ValueError("known_redshift=True requires per-sample redshifts")
+            return np.array([int(np.argmin(np.abs(self.grid.redshifts - redshift)))])
+        return np.arange(len(self.grid.redshifts))
+
+    def score_sample(
+        self,
+        flux: np.ndarray,
+        flux_err: np.ndarray,
+        mjd: np.ndarray,
+        band_idx: np.ndarray,
+        redshift: float | None = None,
+    ) -> float:
+        """P(SNIa) for one single-epoch candidate."""
+        flux = np.asarray(flux, dtype=float)
+        flux_err = np.asarray(flux_err, dtype=float)
+        if np.any(flux_err <= 0):
+            raise ValueError("flux errors must be positive")
+        z_indices = self._z_indices(redshift)
+        log_likes = {
+            t: self._log_like(t, flux, flux_err, mjd, band_idx, z_indices)
+            for t in SNType
+        }
+        peak = max(log_likes.values())
+        likes = {t: np.exp(v - peak) for t, v in log_likes.items()}
+        total = sum(likes.values())
+        return float(likes[SNType.IA] / total)
+
+    def predict_proba(
+        self,
+        flux: np.ndarray,
+        flux_err: np.ndarray,
+        mjd: np.ndarray,
+        band_idx: np.ndarray,
+        redshifts: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """P(SNIa) for a batch of single-epoch candidates; arrays (N, V)."""
+        flux = np.asarray(flux, dtype=float)
+        flux_err = np.asarray(flux_err, dtype=float)
+        n = flux.shape[0]
+        scores = np.empty(n)
+        for i in range(n):
+            z = None if redshifts is None else float(redshifts[i])
+            scores[i] = self.score_sample(flux[i], flux_err[i], mjd[i], band_idx[i], z)
+        return scores

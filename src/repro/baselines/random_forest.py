@@ -1,0 +1,199 @@
+"""Random forest on light-curve features — a Lochner et al. (2016)-style
+machine-learning baseline (multi-epoch rows of Table 2), implemented from
+scratch.
+
+CART decision trees with Gini impurity, bootstrap resampling and random
+feature sub-sampling at every split.  Probability estimates average the
+per-tree leaf class frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecisionTree", "RandomForestClassifier"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry the positive-class fraction."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    probability: float = 0.5
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(pos: float, total: float) -> float:
+    if total <= 0:
+        return 0.0
+    p = pos / total
+    return 2.0 * p * (1.0 - p)
+
+
+def _best_split(
+    x: np.ndarray, y: np.ndarray, feature_ids: np.ndarray, min_leaf: int
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, impurity_decrease) over candidate features.
+
+    Uses the sorted-prefix trick: for each feature, sorting once gives
+    every possible split's class counts via cumulative sums.
+    """
+    n = len(y)
+    parent_impurity = _gini(float(y.sum()), float(n))
+    best: tuple[int, float, float] | None = None
+    best_gain = 1e-12
+    for f in feature_ids:
+        order = np.argsort(x[:, f], kind="stable")
+        xs = x[order, f]
+        ys = y[order]
+        pos_prefix = np.cumsum(ys)
+        total_pos = pos_prefix[-1]
+        # Candidate split after position i (left = first i+1 samples).
+        idx = np.arange(min_leaf - 1, n - min_leaf)
+        if idx.size == 0:
+            continue
+        # Only split between distinct feature values.
+        distinct = xs[idx] < xs[idx + 1]
+        idx = idx[distinct]
+        if idx.size == 0:
+            continue
+        n_left = idx + 1.0
+        n_right = n - n_left
+        pos_left = pos_prefix[idx].astype(float)
+        pos_right = total_pos - pos_left
+        p_left = pos_left / n_left
+        p_right = pos_right / n_right
+        child = (n_left * 2 * p_left * (1 - p_left) + n_right * 2 * p_right * (1 - p_right)) / n
+        gains = parent_impurity - child
+        j = int(np.argmax(gains))
+        if gains[j] > best_gain:
+            best_gain = float(gains[j])
+            threshold = float((xs[idx[j]] + xs[idx[j] + 1]) / 2.0)
+            best = (int(f), threshold, best_gain)
+    return best
+
+
+class DecisionTree:
+    """A single CART tree for binary classification."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if max_depth <= 0 or min_samples_leaf <= 0:
+            raise ValueError("max_depth and min_samples_leaf must be positive")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng()
+        self._root: _Node | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y).astype(float).reshape(-1)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ValueError("x must be (N, F) aligned with y")
+        self._n_features = x.shape[1]
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(probability=float(y.mean()) if len(y) else 0.5)
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or y.min() == y.max()
+        ):
+            return node
+        k = self.max_features or self._n_features
+        feature_ids = self._rng.choice(
+            self._n_features, size=min(k, self._n_features), replace=False
+        )
+        split = _best_split(x, y, feature_ids, self.min_samples_leaf)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(x, dtype=float)
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.probability
+        return out
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of decision trees.
+
+    Parameters
+    ----------
+    n_trees:
+        Ensemble size.
+    max_depth, min_samples_leaf:
+        Per-tree regularisation.
+    max_features:
+        Features considered per split; default sqrt(F).
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 100,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_trees <= 0:
+            raise ValueError("n_trees must be positive")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list[DecisionTree] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y).astype(float).reshape(-1)
+        rng = np.random.default_rng(self.seed)
+        n, n_features = x.shape
+        max_features = self.max_features or max(1, int(np.sqrt(n_features)))
+        self._trees = []
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=np.random.default_rng(rng.integers(2**63)),
+            )
+            tree.fit(x[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        return np.mean([tree.predict_proba(x) for tree in self._trees], axis=0)

@@ -1,0 +1,137 @@
+"""Recurrent light-curve classifier — a Charnock & Moss (2016)-style
+sequence baseline (multi-epoch rows of Table 2), built on :mod:`repro.nn`.
+
+The light curve is consumed epoch by epoch: each step sees the 10
+features of one epoch (5 signed-log fluxes + 5 scaled dates) and updates
+a GRU hidden state; the final state feeds a linear read-out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = ["GRUCell", "LSTMCell", "RecurrentClassifier", "sequence_features"]
+
+
+class GRUCell(nn.Module):
+    """Gated recurrent unit cell."""
+
+    def __init__(
+        self, input_dim: int, hidden_dim: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # One fused input->gates projection and one hidden->gates projection
+        # per gate (update z, reset r, candidate n).
+        self.w_z = nn.Linear(input_dim + hidden_dim, hidden_dim, rng=rng)
+        self.w_r = nn.Linear(input_dim + hidden_dim, hidden_dim, rng=rng)
+        self.w_n_x = nn.Linear(input_dim, hidden_dim, rng=rng)
+        self.w_n_h = nn.Linear(hidden_dim, hidden_dim, rng=rng)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        combined = nn.concat([x, h], axis=1)
+        z = self.w_z(combined).sigmoid()
+        r = self.w_r(combined).sigmoid()
+        candidate = (self.w_n_x(x) + self.w_n_h(r * h)).tanh()
+        return (1.0 - z) * h + z * candidate
+
+
+class LSTMCell(nn.Module):
+    """Long short-term memory cell (Charnock & Moss used LSTMs)."""
+
+    def __init__(
+        self, input_dim: int, hidden_dim: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_i = nn.Linear(input_dim + hidden_dim, hidden_dim, rng=rng)
+        self.w_f = nn.Linear(input_dim + hidden_dim, hidden_dim, rng=rng)
+        self.w_o = nn.Linear(input_dim + hidden_dim, hidden_dim, rng=rng)
+        self.w_g = nn.Linear(input_dim + hidden_dim, hidden_dim, rng=rng)
+        # Forget-gate bias starts positive so early training remembers.
+        self.w_f.bias.data = self.w_f.bias.data + 1.0
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        combined = nn.concat([x, h], axis=1)
+        i = self.w_i(combined).sigmoid()
+        f = self.w_f(combined).sigmoid()
+        o = self.w_o(combined).sigmoid()
+        g = self.w_g(combined).tanh()
+        c_next = f * c + i * g
+        return o * c_next.tanh(), c_next
+
+
+class RecurrentClassifier(nn.Module):
+    """Recurrent network over per-epoch feature vectors -> SNIa logit.
+
+    Parameters
+    ----------
+    input_dim:
+        Features per time step (10 for the standard feature layout).
+    hidden_dim:
+        Recurrent state width.
+    cell:
+        ``'gru'`` (default) or ``'lstm'``.
+    """
+
+    def __init__(
+        self,
+        input_dim: int = 10,
+        hidden_dim: int = 32,
+        cell: str = "gru",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if cell not in ("gru", "lstm"):
+            raise ValueError(f"unknown cell type {cell!r}")
+        rng = rng or np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.cell_kind = cell
+        if cell == "gru":
+            self.cell = GRUCell(input_dim, hidden_dim, rng=rng)
+        else:
+            self.cell = LSTMCell(input_dim, hidden_dim, rng=rng)
+        self.readout = nn.Linear(hidden_dim, 1, rng=rng)
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        """Map (N, T, F) epoch sequences to (N,) logits."""
+        if sequence.ndim != 3 or sequence.shape[2] != self.input_dim:
+            raise ValueError(
+                f"expected (N, T, {self.input_dim}) sequences, got {sequence.shape}"
+            )
+        n, steps = sequence.shape[0], sequence.shape[1]
+        h = Tensor(np.zeros((n, self.hidden_dim), dtype=np.float32))
+        if self.cell_kind == "lstm":
+            c = Tensor(np.zeros((n, self.hidden_dim), dtype=np.float32))
+            for t in range(steps):
+                h, c = self.cell(sequence[:, t, :], h, c)
+        else:
+            for t in range(steps):
+                h = self.cell(sequence[:, t, :], h)
+        return self.readout(h).reshape(-1)
+
+    def predict_proba(self, sequences: np.ndarray, batch_size: int = 1024) -> np.ndarray:
+        """P(SNIa) for NumPy (N, T, F) input."""
+        outputs = []
+        with nn.no_grad():
+            for start in range(0, len(sequences), batch_size):
+                logits = self.forward(Tensor(sequences[start : start + batch_size]))
+                outputs.append(logits.sigmoid().numpy())
+        return np.concatenate(outputs) if outputs else np.empty(0)
+
+
+def sequence_features(features_flat: np.ndarray, n_epochs: int) -> np.ndarray:
+    """Reshape (N, 10*E) stacked epoch features into (N, E, 10) sequences."""
+    features_flat = np.asarray(features_flat)
+    n, dim = features_flat.shape
+    if dim % n_epochs != 0:
+        raise ValueError(f"feature dim {dim} not divisible by {n_epochs} epochs")
+    return features_flat.reshape(n, n_epochs, dim // n_epochs)

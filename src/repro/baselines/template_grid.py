@@ -1,0 +1,112 @@
+"""Precomputed observer-frame template flux grids.
+
+Both photometric baselines (chi^2 template fitting and the Bayesian
+single-epoch classifier) repeatedly evaluate "the flux of a canonical
+type-T supernova at redshift z, in band b, at phase dt from peak".
+Evaluating the light-curve model inside those loops is wasteful, so this
+module tabulates each (type, redshift, band) combination on a phase grid
+once and interpolates.
+
+Grids use the *canonical* template of each type (zero scatter, zero
+stretch/colour), with a free amplitude left to the fitters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cosmology import DEFAULT_COSMOLOGY, FlatLambdaCDM
+from ..lightcurves import LightCurve, SALT2LikeModel, SALT2Parameters, SNType, TEMPLATES
+from ..lightcurves.population import NonIaRealization
+from ..photometry import GRIZY
+
+__all__ = ["TemplateFluxGrid"]
+
+
+def _canonical_model(sn_type: SNType):
+    if sn_type.is_ia:
+        return SALT2LikeModel(SALT2Parameters())
+    return NonIaRealization(TEMPLATES[sn_type], magnitude_offset=0.0, stretch=1.0)
+
+
+@dataclass(frozen=True)
+class _GridAxes:
+    redshifts: np.ndarray
+    phases: np.ndarray
+
+
+class TemplateFluxGrid:
+    """Tabulated canonical fluxes: ``grid[type][z_idx, band, phase_idx]``.
+
+    Parameters
+    ----------
+    redshifts:
+        Redshift grid (defaults to 14 points covering the survey range).
+    phase_min, phase_max, phase_step:
+        Observer-frame phase grid relative to peak, in days.
+    """
+
+    def __init__(
+        self,
+        redshifts: np.ndarray | None = None,
+        phase_min: float = -30.0,
+        phase_max: float = 150.0,
+        phase_step: float = 2.0,
+        cosmology: FlatLambdaCDM = DEFAULT_COSMOLOGY,
+    ) -> None:
+        z_grid = (
+            np.asarray(redshifts, dtype=float)
+            if redshifts is not None
+            else np.linspace(0.1, 2.0, 14)
+        )
+        if z_grid.ndim != 1 or len(z_grid) == 0 or np.any(z_grid <= 0):
+            raise ValueError("redshift grid must be a 1-D array of positive values")
+        phases = np.arange(phase_min, phase_max + phase_step, phase_step)
+        self.axes = _GridAxes(redshifts=z_grid, phases=phases)
+        self._tables: dict[SNType, np.ndarray] = {}
+        for sn_type in SNType:
+            model = _canonical_model(sn_type)
+            table = np.zeros((len(z_grid), len(GRIZY), len(phases)))
+            for zi, z in enumerate(z_grid):
+                curve = LightCurve(model, redshift=float(z), peak_mjd=0.0, cosmology=cosmology)
+                for band in GRIZY:
+                    table[zi, band.index] = curve.flux(band, phases)
+            self._tables[sn_type] = table
+
+    @property
+    def redshifts(self) -> np.ndarray:
+        return self.axes.redshifts
+
+    @property
+    def phases(self) -> np.ndarray:
+        return self.axes.phases
+
+    def flux(
+        self,
+        sn_type: SNType,
+        z_index: int,
+        band_index: np.ndarray,
+        phase: np.ndarray,
+    ) -> np.ndarray:
+        """Interpolated canonical flux for visits of one candidate.
+
+        Parameters
+        ----------
+        z_index:
+            Index into the redshift grid.
+        band_index, phase:
+            Per-visit band indices and phases (observer days from peak);
+            both shaped (V,).
+        """
+        table = self._tables[sn_type][z_index]  # (bands, phases)
+        phase = np.asarray(phase, dtype=float)
+        band_index = np.asarray(band_index)
+        out = np.empty(phase.shape, dtype=float)
+        for b in np.unique(band_index):
+            sel = band_index == b
+            out[sel] = np.interp(
+                phase[sel], self.phases, table[b], left=0.0, right=table[b, -1]
+            )
+        return out

@@ -1,0 +1,12 @@
+"""COSMOS-like galaxy catalogue and host selection."""
+
+from .cosmos import COSMOS_FOOTPRINT, CosmosCatalog, Galaxy
+from .hosts import HostSelector, SupernovaPlacement
+
+__all__ = [
+    "CosmosCatalog",
+    "Galaxy",
+    "COSMOS_FOOTPRINT",
+    "HostSelector",
+    "SupernovaPlacement",
+]

@@ -1,0 +1,181 @@
+"""Command-line interface.
+
+Four subcommands cover the full workflow::
+
+    python -m repro.cli build-dataset --n-ia 100 --n-non-ia 100 --out ds.npz
+    python -m repro.cli train-flux-cnn --dataset ds.npz --out cnn.npz
+    python -m repro.cli train-classifier --dataset ds.npz --out clf.npz
+    python -m repro.cli evaluate --dataset ds.npz --classifier clf.npz
+
+Datasets are ``.npz`` archives written by :mod:`repro.datasets.io`;
+models are ``.npz`` state dicts written by :mod:`repro.nn.serialization`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .core import (
+    BandwiseCNN,
+    LightCurveClassifier,
+    TrainConfig,
+    fit_classifier,
+    fit_regressor,
+    make_pair_augmenter,
+)
+from .core.features import dataset_windowed_features
+from .datasets import BuildConfig, DatasetBuilder, load_dataset, save_dataset, train_val_test_split
+from .eval import auc_score, roc_curve
+from .nn import load_module, save_module
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Single-epoch supernova classification (Kimura et al. 2017) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build-dataset", help="generate a synthetic dataset")
+    build.add_argument("--n-ia", type=int, default=100, help="SNIa samples")
+    build.add_argument("--n-non-ia", type=int, default=100, help="non-Ia samples")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--no-images", action="store_true", help="light curves only")
+    build.add_argument("--out", required=True, help="output .npz path")
+
+    cnn = sub.add_parser("train-flux-cnn", help="train the band-wise CNN (Fig. 7)")
+    cnn.add_argument("--dataset", required=True)
+    cnn.add_argument("--input-size", type=int, default=60)
+    cnn.add_argument("--epochs", type=int, default=10)
+    cnn.add_argument("--batch-size", type=int, default=64)
+    cnn.add_argument("--learning-rate", type=float, default=5e-4)
+    cnn.add_argument("--seed", type=int, default=0)
+    cnn.add_argument("--out", required=True, help="output weights .npz path")
+
+    clf = sub.add_parser("train-classifier", help="train the highway classifier (Fig. 6)")
+    clf.add_argument("--dataset", required=True)
+    clf.add_argument("--epochs-used", type=int, default=1, help="observation epochs per feature")
+    clf.add_argument("--units", type=int, default=100)
+    clf.add_argument("--epochs", type=int, default=40)
+    clf.add_argument("--seed", type=int, default=0)
+    clf.add_argument("--out", required=True, help="output weights .npz path")
+
+    ev = sub.add_parser("evaluate", help="evaluate a trained classifier")
+    ev.add_argument("--dataset", required=True)
+    ev.add_argument("--classifier", required=True)
+    ev.add_argument("--epochs-used", type=int, default=1)
+    ev.add_argument("--units", type=int, default=100)
+    return parser
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    config = BuildConfig(
+        n_ia=args.n_ia,
+        n_non_ia=args.n_non_ia,
+        seed=args.seed,
+        render_images=not args.no_images,
+    )
+    start = time.time()
+    dataset = DatasetBuilder(config).build(verbose=True)
+    save_dataset(dataset, args.out)
+    print(f"{dataset.summary()} written to {args.out} in {time.time() - start:.1f}s")
+    return 0
+
+
+def _cmd_train_cnn(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    if dataset.stamp_size < args.input_size:
+        print(
+            f"error: dataset stamps are {dataset.stamp_size}px, smaller than "
+            f"--input-size {args.input_size}",
+            file=sys.stderr,
+        )
+        return 2
+    splits = train_val_test_split(dataset, seed=args.seed)
+    x_train, y_train, m_train = splits.train.flux_pairs(min_flux=2.0)
+    x_val, y_val, m_val = splits.val.flux_pairs(min_flux=2.0)
+    cnn = BandwiseCNN(input_size=args.input_size, rng=np.random.default_rng(args.seed))
+    history = fit_regressor(
+        cnn,
+        x_train[m_train],
+        y_train[m_train],
+        TrainConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            seed=args.seed,
+            early_stopping_patience=5,
+            verbose=True,
+        ),
+        x_val[m_val],
+        y_val[m_val],
+        augment_fn=make_pair_augmenter(args.input_size),
+    )
+    save_module(cnn, args.out)
+    print(f"best val loss {history.best_val_loss:.4f}; weights written to {args.out}")
+    return 0
+
+
+def _cmd_train_classifier(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    splits = train_val_test_split(dataset, seed=args.seed)
+    x_train, y_train = dataset_windowed_features(splits.train, args.epochs_used)
+    x_val, y_val = dataset_windowed_features(splits.val, args.epochs_used)
+    clf = LightCurveClassifier(
+        input_dim=x_train.shape[1], units=args.units, rng=np.random.default_rng(args.seed)
+    )
+    history = fit_classifier(
+        clf,
+        x_train,
+        y_train,
+        TrainConfig(
+            epochs=args.epochs, batch_size=128, seed=args.seed,
+            early_stopping_patience=8, verbose=True,
+        ),
+        x_val,
+        y_val,
+        metric=auc_score,
+    )
+    save_module(clf, args.out)
+    best = max(history.val_metric) if history.val_metric else float("nan")
+    print(f"best val AUC {best:.3f}; weights written to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    splits = train_val_test_split(dataset, seed=0)
+    x_test, y_test = dataset_windowed_features(splits.test, args.epochs_used)
+    clf = LightCurveClassifier(input_dim=x_test.shape[1], units=args.units)
+    load_module(clf, args.classifier)
+    scores = clf.predict_proba(x_test)
+    curve = roc_curve(y_test, scores)
+    print(f"test AUC: {curve.auc:.3f}")
+    for fpr in (0.05, 0.1, 0.2):
+        print(f"  TPR at FPR={fpr:.2f}: {curve.tpr_at_fpr(fpr):.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "build-dataset": _cmd_build,
+    "train-flux-cnn": _cmd_train_cnn,
+    "train-classifier": _cmd_train_classifier,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

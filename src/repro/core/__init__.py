@@ -1,0 +1,45 @@
+"""The paper's contribution: band-wise flux CNN, light-curve classifier,
+joint model and training pipeline (Section 4)."""
+
+from .augment import dihedral_transform, make_pair_augmenter, random_crop
+from .calibrate import TemperatureScaler
+from .classifier import LightCurveClassifier
+from .features import (
+    DATE_SCALE_DAYS,
+    FLUX_FEATURE_DIM,
+    dataset_windowed_features,
+    features_from_arrays,
+    ground_truth_features,
+    windowed_epoch_features,
+)
+from .flux_cnn import MAG_CENTER, MAG_SCALE, BandwiseCNN, PerBandCNNEnsemble
+from .joint import JointModel
+from .pipeline import SupernovaPipeline, epoch_visit_indices, scaled_dates
+from .training import History, TrainConfig, fit, fit_classifier, fit_regressor
+
+__all__ = [
+    "dihedral_transform",
+    "make_pair_augmenter",
+    "random_crop",
+    "TemperatureScaler",
+    "BandwiseCNN",
+    "PerBandCNNEnsemble",
+    "MAG_CENTER",
+    "MAG_SCALE",
+    "LightCurveClassifier",
+    "JointModel",
+    "SupernovaPipeline",
+    "epoch_visit_indices",
+    "scaled_dates",
+    "features_from_arrays",
+    "ground_truth_features",
+    "windowed_epoch_features",
+    "dataset_windowed_features",
+    "DATE_SCALE_DAYS",
+    "FLUX_FEATURE_DIM",
+    "History",
+    "TrainConfig",
+    "fit",
+    "fit_classifier",
+    "fit_regressor",
+]

@@ -1,0 +1,65 @@
+"""Training-time image augmentation.
+
+Sky stamps have no preferred orientation, so the eight dihedral
+transforms (4 rotations x optional flip) are exact symmetries of the
+learning problem; random sub-crops (instead of the fixed centre crop)
+teach the CNN translation robustness that max-pooling alone provides
+only coarsely.  Both are applied per batch, multiplying the effective
+training-set size — essential because the CPU-scale datasets are ~100x
+smaller than the paper's.
+
+The supernova sits at the stamp centre; random crops keep it inside the
+crop as long as ``crop_size`` is not much smaller than the stamp.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["dihedral_transform", "random_crop", "make_pair_augmenter"]
+
+
+def dihedral_transform(images: np.ndarray, k_rot: int, flip: bool) -> np.ndarray:
+    """Apply one of the 8 dihedral-group elements to (..., H, W) images."""
+    out = np.rot90(images, k=k_rot % 4, axes=(-2, -1))
+    if flip:
+        out = out[..., ::-1]
+    return out
+
+
+def random_crop(
+    images: np.ndarray, crop_size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Crop (..., S, S) images to ``crop_size`` at a random common offset."""
+    size = images.shape[-1]
+    if crop_size > size:
+        raise ValueError(f"crop_size {crop_size} exceeds image size {size}")
+    if crop_size == size:
+        return images
+    max_off = size - crop_size
+    row = int(rng.integers(0, max_off + 1))
+    col = int(rng.integers(0, max_off + 1))
+    return images[..., row : row + crop_size, col : col + crop_size]
+
+
+def make_pair_augmenter(
+    crop_size: int | None = None,
+) -> Callable[[np.ndarray, np.random.Generator], np.ndarray]:
+    """Build an augmenter for (N, C, S, S) stamp batches.
+
+    Each call applies one random dihedral transform to the whole batch
+    and, if ``crop_size`` is given, one random crop.  Returns contiguous
+    float32 output ready for the CNN.
+    """
+
+    def augment(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if batch.ndim < 3:
+            raise ValueError("augmenter expects image batches (..., H, W)")
+        out = dihedral_transform(batch, int(rng.integers(4)), bool(rng.integers(2)))
+        if crop_size is not None:
+            out = random_crop(out, crop_size, rng)
+        return np.ascontiguousarray(out)
+
+    return augment

@@ -1,0 +1,81 @@
+"""Probability calibration for the classifier outputs.
+
+Spectroscopic follow-up targets are selected by thresholding P(SNIa), so
+the probabilities must mean what they say.  Neural classifiers trained
+with early stopping are often over- or under-confident; temperature
+scaling (Guo et al. 2017) fixes this post hoc with a single scalar:
+``p = sigmoid(logit / T)`` with ``T`` fitted on validation data by
+minimising the negative log-likelihood (golden-section search — the NLL
+is unimodal in ``T``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TemperatureScaler"]
+
+
+def _nll(logits: np.ndarray, labels: np.ndarray, temperature: float) -> float:
+    scaled = logits / temperature
+    # Stable log(1 + exp(x)).
+    softplus = np.maximum(scaled, 0.0) + np.log1p(np.exp(-np.abs(scaled)))
+    return float(np.mean(softplus - labels * scaled))
+
+
+class TemperatureScaler:
+    """Fit and apply a temperature to binary classifier logits."""
+
+    def __init__(self) -> None:
+        self.temperature: float | None = None
+
+    def fit(
+        self,
+        logits: np.ndarray,
+        labels: np.ndarray,
+        bounds: tuple[float, float] = (0.05, 20.0),
+        tolerance: float = 1e-4,
+    ) -> "TemperatureScaler":
+        """Find the NLL-minimising temperature on held-out data."""
+        logits = np.asarray(logits, dtype=float).reshape(-1)
+        labels = np.asarray(labels, dtype=float).reshape(-1)
+        if logits.shape != labels.shape:
+            raise ValueError("logits and labels must have the same length")
+        if logits.size == 0:
+            raise ValueError("empty inputs")
+        if not np.all(np.isin(labels, [0.0, 1.0])):
+            raise ValueError("labels must be binary")
+
+        low, high = bounds
+        if not 0 < low < high:
+            raise ValueError("bounds must satisfy 0 < low < high")
+        # Golden-section search on the unimodal NLL.
+        golden = (np.sqrt(5.0) - 1.0) / 2.0
+        a, b = low, high
+        c = b - golden * (b - a)
+        d = a + golden * (b - a)
+        while b - a > tolerance:
+            if _nll(logits, labels, c) < _nll(logits, labels, d):
+                b = d
+            else:
+                a = c
+            c = b - golden * (b - a)
+            d = a + golden * (b - a)
+        self.temperature = float((a + b) / 2.0)
+        return self
+
+    def transform(self, logits: np.ndarray) -> np.ndarray:
+        """Calibrated probabilities for raw logits."""
+        if self.temperature is None:
+            raise RuntimeError("scaler is not fitted")
+        scaled = np.asarray(logits, dtype=float) / self.temperature
+        exp_neg_abs = np.exp(-np.abs(scaled))
+        return np.where(
+            scaled >= 0, 1.0 / (1.0 + exp_neg_abs), exp_neg_abs / (1.0 + exp_neg_abs)
+        )
+
+    @staticmethod
+    def probabilities_to_logits(probs: np.ndarray, eps: float = 1e-7) -> np.ndarray:
+        """Invert a sigmoid (clipped for numerical safety)."""
+        probs = np.clip(np.asarray(probs, dtype=float), eps, 1.0 - eps)
+        return np.log(probs / (1.0 - probs))

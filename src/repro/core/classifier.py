@@ -1,0 +1,80 @@
+"""The light-curve classification network — paper Fig. 6 (right part).
+
+A fully connected network over the 10-dimensional (per epoch) light-curve
+features: input layer -> two highway layers -> output layer, trained with
+binary cross-entropy to separate SNIa from the other types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = ["LightCurveClassifier"]
+
+
+class LightCurveClassifier(nn.Module):
+    """Binary SNIa classifier over light-curve feature vectors.
+
+    Parameters
+    ----------
+    input_dim:
+        Feature dimension — 10 per epoch (flux + date for 5 bands).
+    units:
+        Hidden width; the paper's Fig. 9 sweeps this and finds 100 enough.
+    n_highway:
+        Number of highway layers between the FC layers (paper: 2).
+    use_highway:
+        If False, replaces highway layers with plain FC + PReLU blocks of
+        the same width (architecture ablation).
+    """
+
+    def __init__(
+        self,
+        input_dim: int = 10,
+        units: int = 100,
+        n_highway: int = 2,
+        use_highway: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if input_dim <= 0 or units <= 0:
+            raise ValueError("input_dim and units must be positive")
+        if n_highway < 0:
+            raise ValueError("n_highway must be non-negative")
+        rng = rng or np.random.default_rng()
+        self.input_dim = input_dim
+        self.units = units
+
+        blocks: list[nn.Module] = [nn.Linear(input_dim, units, rng=rng), nn.PReLU()]
+        for _ in range(n_highway):
+            if use_highway:
+                blocks.append(nn.Highway(units, activation="relu", rng=rng))
+            else:
+                blocks.append(nn.Linear(units, units, rng=rng))
+                blocks.append(nn.PReLU())
+        blocks.append(nn.Linear(units, 1, rng=rng))
+        self.network = nn.Sequential(*blocks)
+
+    def forward(self, features: Tensor) -> Tensor:
+        """Map (N, input_dim) features to (N,) logits."""
+        if features.ndim != 2 or features.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected (N, {self.input_dim}) features, got {features.shape}"
+            )
+        return self.network(features).reshape(-1)
+
+    def predict_proba(self, features: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        """P(SNIa) for a NumPy feature matrix."""
+        was_training = self.training
+        self.eval()
+        outputs = []
+        with nn.no_grad():
+            for start in range(0, len(features), batch_size):
+                logits = self.forward(Tensor(features[start : start + batch_size]))
+                outputs.append(logits.sigmoid().numpy())
+        if was_training:
+            self.train()
+        return np.concatenate(outputs) if outputs else np.empty(0)

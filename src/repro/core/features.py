@@ -1,0 +1,145 @@
+"""Light-curve feature construction (Section 4, Fig. 6).
+
+The classification network consumes a feature vector holding, per band,
+the (estimated or true) flux and the observation date.  A single epoch
+therefore yields the 10-dimensional vector of the paper; ``k`` epochs
+yield ``10 k`` dimensions.
+
+Normalisation (identical for true and estimated fluxes so the classifier
+and the joint model see the same feature space):
+
+* fluxes pass through the signed log ``sgn(f) log10(|f| + 1)`` — the same
+  compression the CNN applies to pixels;
+* dates are centred on the mean date of the visits used and scaled by a
+  characteristic light-curve timescale (50 days).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import N_BANDS, SupernovaDataset
+from ..photometry import signed_log10
+
+__all__ = [
+    "DATE_SCALE_DAYS",
+    "features_from_arrays",
+    "ground_truth_features",
+    "windowed_epoch_features",
+    "dataset_windowed_features",
+    "FLUX_FEATURE_DIM",
+]
+
+DATE_SCALE_DAYS = 50.0
+FLUX_FEATURE_DIM = 2  # (flux, date) per band per epoch
+
+
+def features_from_arrays(
+    flux: np.ndarray,
+    mjd: np.ndarray,
+    epochs: int | list[int] = 1,
+    n_epochs_total: int | None = None,
+) -> np.ndarray:
+    """Build classifier features from per-visit flux and date arrays.
+
+    Parameters
+    ----------
+    flux:
+        (N, V) supernova fluxes, epoch-major visit order (V = E * 5).
+    mjd:
+        (N, V) observation dates, same layout.
+    epochs:
+        Which epochs to include — an epoch count ``k`` (uses the first
+        ``k``) or an explicit list of epoch indices.
+    n_epochs_total:
+        Total epochs in the visit axis; inferred from V when omitted.
+
+    Returns
+    -------
+    (N, 10 * len(epochs)) float32 feature matrix: for each requested
+    epoch, 5 signed-log fluxes followed by 5 scaled dates.
+    """
+    flux = np.asarray(flux, dtype=float)
+    mjd = np.asarray(mjd, dtype=float)
+    if flux.shape != mjd.shape or flux.ndim != 2:
+        raise ValueError("flux and mjd must both be (N, V)")
+    n_visits = flux.shape[1]
+    total = n_epochs_total or n_visits // N_BANDS
+    if total * N_BANDS != n_visits:
+        raise ValueError(f"visit axis {n_visits} is not {total} epochs x {N_BANDS} bands")
+
+    epoch_list = list(range(epochs)) if isinstance(epochs, int) else list(epochs)
+    if not epoch_list:
+        raise ValueError("need at least one epoch")
+    for e in epoch_list:
+        if not 0 <= e < total:
+            raise IndexError(f"epoch {e} out of range [0, {total})")
+
+    visit_idx = np.concatenate(
+        [np.arange(e * N_BANDS, (e + 1) * N_BANDS) for e in epoch_list]
+    )
+    f = flux[:, visit_idx]
+    d = mjd[:, visit_idx]
+    d_centered = (d - d.mean(axis=1, keepdims=True)) / DATE_SCALE_DAYS
+
+    blocks = []
+    n_sel = len(epoch_list)
+    f_blocks = f.reshape(-1, n_sel, N_BANDS)
+    d_blocks = d_centered.reshape(-1, n_sel, N_BANDS)
+    for k in range(n_sel):
+        blocks.append(signed_log10(f_blocks[:, k]))
+        blocks.append(d_blocks[:, k])
+    return np.concatenate(blocks, axis=1).astype(np.float32)
+
+
+def ground_truth_features(
+    dataset: SupernovaDataset, epochs: int | list[int] = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Features from the *true* light curve (Figs. 9-10 experiments).
+
+    Returns ``(features, labels)``.
+    """
+    features = features_from_arrays(
+        dataset.true_flux, dataset.visit_mjd, epochs, dataset.n_epochs
+    )
+    return features, dataset.labels.astype(np.float32)
+
+
+def windowed_epoch_features(
+    flux: np.ndarray,
+    mjd: np.ndarray,
+    labels: np.ndarray,
+    k_epochs: int,
+    n_epochs_total: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All contiguous ``k``-epoch windows as independent samples.
+
+    The paper "split each sample into 4 subsets" to simulate single-epoch
+    observations (Section 5): a sample with E epochs yields E single-epoch
+    sub-samples.  Generalised to k-epoch windows, a sample yields
+    ``E - k + 1`` sub-samples of ``10 k`` features each.  Returns the
+    stacked ``(features, labels)``.
+    """
+    flux = np.asarray(flux)
+    total = n_epochs_total or flux.shape[1] // N_BANDS
+    if not 1 <= k_epochs <= total:
+        raise ValueError(f"k_epochs must be in [1, {total}]")
+    features, ys = [], []
+    for start in range(total - k_epochs + 1):
+        window = list(range(start, start + k_epochs))
+        features.append(features_from_arrays(flux, mjd, window, total))
+        ys.append(np.asarray(labels, dtype=np.float32))
+    return np.concatenate(features), np.concatenate(ys)
+
+
+def dataset_windowed_features(
+    dataset: SupernovaDataset, k_epochs: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`windowed_epoch_features` over a dataset's true light curves."""
+    return windowed_epoch_features(
+        dataset.true_flux,
+        dataset.visit_mjd,
+        dataset.labels,
+        k_epochs,
+        dataset.n_epochs,
+    )

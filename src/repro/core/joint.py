@@ -1,0 +1,147 @@
+"""The joint end-to-end model — paper Figs. 11-12.
+
+The band-wise CNN and the light-curve classifier are both neural
+networks, so they can be glued into one network mapping raw stamp pairs
+(plus observation dates) directly to a SNIa probability.  The paper's key
+training insight is that the joint network should be *fine-tuned* from
+the separately pre-trained components rather than trained from scratch
+(Fig. 12 shows fine-tuning converges faster and higher).
+
+The estimated magnitude is converted inside the graph to the same
+signed-log flux feature the classifier was pre-trained on, so the two
+parts remain compatible at the seam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor, concat
+from ..photometry import ZERO_POINT
+from .classifier import LightCurveClassifier
+from .flux_cnn import BandwiseCNN
+
+__all__ = ["JointModel"]
+
+_LN10 = float(np.log(10.0))
+
+
+class JointModel(nn.Module):
+    """End-to-end classifier: stamp pairs + dates -> SNIa logit.
+
+    Parameters
+    ----------
+    cnn:
+        Band-wise magnitude estimator (weights shared across the visits).
+    classifier:
+        Light-curve classifier whose ``input_dim`` must equal
+        ``2 * n_visits`` for the visits this model will consume.
+    """
+
+    def __init__(self, cnn: BandwiseCNN, classifier: LightCurveClassifier) -> None:
+        super().__init__()
+        self.cnn = cnn
+        self.classifier = classifier
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def fresh(
+        cls,
+        n_visits: int = 5,
+        input_size: int = 60,
+        units: int = 100,
+        rng: np.random.Generator | None = None,
+    ) -> "JointModel":
+        """Randomly initialised joint model (the Fig. 12 'scratch' arm)."""
+        rng = rng or np.random.default_rng()
+        return cls(
+            BandwiseCNN(input_size=input_size, rng=rng),
+            LightCurveClassifier(input_dim=2 * n_visits, units=units, rng=rng),
+        )
+
+    @classmethod
+    def from_pretrained(
+        cls, cnn: BandwiseCNN, classifier: LightCurveClassifier
+    ) -> "JointModel":
+        """Joint model seeded with *copies* of pre-trained components.
+
+        Copies keep fine-tuning from mutating the original stage-wise
+        models (needed when comparing strategies on the same parts).
+        """
+        cnn_clone = BandwiseCNN(input_size=cnn.input_size)
+        cnn_clone.load_state_dict(cnn.state_dict())
+        clf_clone = LightCurveClassifier(
+            input_dim=classifier.input_dim, units=classifier.units
+        )
+        clf_clone.load_state_dict(classifier.state_dict())
+        return cls(cnn_clone, clf_clone)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _flux_feature(magnitudes: Tensor) -> Tensor:
+        """Differentiable signed-log flux feature from magnitudes.
+
+        flux = 10^(-0.4 (mag - ZP)) is positive, so the signed log is just
+        log10(flux + 1).
+        """
+        flux = ((ZERO_POINT - magnitudes) * (0.4 * _LN10)).exp()
+        return (flux + 1.0).log() * (1.0 / _LN10)
+
+    def forward(self, pairs: Tensor, date_features: Tensor) -> Tensor:
+        """Compute SNIa logits.
+
+        Parameters
+        ----------
+        pairs:
+            (N, V, 2, S, S) stamp pairs, epoch-major visit order.
+        date_features:
+            (N, V) *already scaled* observation-date features (as produced
+            by :func:`repro.core.features.features_from_arrays`' date
+            half: centred per sample, divided by the 50-day scale).
+        """
+        if pairs.ndim != 5:
+            raise ValueError(f"expected (N, V, 2, S, S), got {pairs.shape}")
+        n, v = pairs.shape[0], pairs.shape[1]
+        if date_features.shape != (n, v):
+            raise ValueError("date_features must be (N, V) aligned with pairs")
+        expected_dim = 2 * v
+        if self.classifier.input_dim != expected_dim:
+            raise ValueError(
+                f"classifier expects {self.classifier.input_dim} features, "
+                f"but {v} visits produce {expected_dim}"
+            )
+        flat = pairs.reshape(n * v, 2, pairs.shape[3], pairs.shape[4])
+        mags = self.cnn(flat).reshape(n, v)
+        flux_feats = self._flux_feature(mags)
+
+        from ..datasets import N_BANDS
+
+        blocks: list[Tensor] = []
+        for start in range(0, v, N_BANDS):
+            stop = min(start + N_BANDS, v)
+            blocks.append(flux_feats[:, start:stop])
+            blocks.append(date_features[:, start:stop])
+        features = concat(blocks, axis=1)
+        return self.classifier(features)
+
+    # ------------------------------------------------------------------
+    def predict_proba(
+        self, pairs: np.ndarray, date_features: np.ndarray, batch_size: int = 64
+    ) -> np.ndarray:
+        """P(SNIa) for NumPy inputs."""
+        was_training = self.training
+        self.eval()
+        outputs = []
+        with nn.no_grad():
+            for start in range(0, len(pairs), batch_size):
+                logits = self.forward(
+                    Tensor(pairs[start : start + batch_size]),
+                    Tensor(date_features[start : start + batch_size]),
+                )
+                outputs.append(logits.sigmoid().numpy())
+        if was_training:
+            self.train()
+        return np.concatenate(outputs) if outputs else np.empty(0)

@@ -1,0 +1,229 @@
+"""Training loops with history tracking and early stopping.
+
+One generic engine drives all three of the paper's training stages
+(flux CNN regression, classifier, joint fine-tuning): mini-batch SGD over
+``(inputs..., target)`` arrays, per-epoch validation, optional early
+stopping on the validation loss, and a :class:`History` record that the
+Fig. 12 benchmark plots directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = ["TrainConfig", "History", "fit", "fit_regressor", "fit_classifier"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 20
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    optimizer: str = "adam"
+    momentum: float = 0.9
+    grad_clip: float | None = 5.0
+    early_stopping_patience: int | None = None
+    seed: int = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+
+    def make_optimizer(self, model: nn.Module) -> nn.Optimizer:
+        if self.optimizer == "adam":
+            return nn.Adam(
+                model.parameters(), lr=self.learning_rate, weight_decay=self.weight_decay
+            )
+        return nn.SGD(
+            model.parameters(),
+            lr=self.learning_rate,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+        )
+
+
+@dataclass
+class History:
+    """Per-epoch training record."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_metric: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def best_val_loss(self) -> float:
+        return min(self.val_loss) if self.val_loss else float("nan")
+
+
+LossFn = Callable[[nn.Module, tuple[np.ndarray, ...], np.ndarray], Tensor]
+
+
+def _default_loss(loss_module: nn.Module) -> LossFn:
+    def compute(model: nn.Module, inputs: tuple[np.ndarray, ...], target: np.ndarray) -> Tensor:
+        prediction = model(*(Tensor(x) for x in inputs))
+        return loss_module(prediction, target)
+
+    return compute
+
+
+def fit(
+    model: nn.Module,
+    inputs: Sequence[np.ndarray],
+    target: np.ndarray,
+    loss_fn: LossFn,
+    config: TrainConfig,
+    val_inputs: Sequence[np.ndarray] | None = None,
+    val_target: np.ndarray | None = None,
+    metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
+    metric_scores: Callable[[nn.Module, tuple[np.ndarray, ...]], np.ndarray] | None = None,
+    augment_fn: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None,
+) -> History:
+    """Generic mini-batch training.
+
+    Parameters
+    ----------
+    inputs:
+        One or more arrays whose first axis indexes samples; each batch is
+        passed to the model positionally (wrapped in Tensors by
+        ``loss_fn``).
+    loss_fn:
+        ``loss_fn(model, batch_inputs, batch_target) -> scalar Tensor``.
+    metric / metric_scores:
+        Optional validation metric: ``metric_scores`` maps the model and
+        validation inputs to score arrays, ``metric(target, scores)``
+        reduces them (e.g. AUC).
+    augment_fn:
+        Optional per-batch augmentation applied to the *first* input
+        array only (the image input) during training.
+    """
+    n = len(target)
+    if any(len(x) != n for x in inputs):
+        raise ValueError("all input arrays must match the target length")
+    rng = np.random.default_rng(config.seed)
+    optimizer = config.make_optimizer(model)
+    history = History()
+    best_state: dict[str, np.ndarray] | None = None
+    patience_left = config.early_stopping_patience
+
+    for epoch in range(config.epochs):
+        model.train()
+        order = rng.permutation(n)
+        epoch_losses: list[float] = []
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            if len(idx) < 2:
+                continue  # batch-norm needs at least two samples
+            batch_inputs = tuple(x[idx] for x in inputs)
+            if augment_fn is not None:
+                batch_inputs = (augment_fn(batch_inputs[0], rng),) + batch_inputs[1:]
+            batch_target = target[idx]
+            model.zero_grad()
+            loss = loss_fn(model, batch_inputs, batch_target)
+            if not np.isfinite(loss.item()):
+                raise RuntimeError(
+                    f"non-finite training loss at epoch {epoch + 1}; "
+                    "check inputs for NaN/inf or lower the learning rate"
+                )
+            loss.backward()
+            if config.grad_clip is not None:
+                nn.clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        history.train_loss.append(float(np.mean(epoch_losses)))
+
+        if val_inputs is not None and val_target is not None:
+            model.eval()
+            with nn.no_grad():
+                val_loss = loss_fn(model, tuple(val_inputs), val_target).item()
+            history.val_loss.append(val_loss)
+            if metric is not None and metric_scores is not None:
+                scores = metric_scores(model, tuple(val_inputs))
+                history.val_metric.append(float(metric(val_target, scores)))
+            if history.best_epoch < 0 or val_loss < history.val_loss[history.best_epoch]:
+                history.best_epoch = len(history.val_loss) - 1
+                best_state = model.state_dict()
+                patience_left = config.early_stopping_patience
+            elif config.early_stopping_patience is not None:
+                patience_left -= 1
+                if patience_left < 0:
+                    if config.verbose:
+                        print(f"  early stop at epoch {epoch + 1}")
+                    break
+        if config.verbose:
+            msg = f"  epoch {epoch + 1}/{config.epochs} train={history.train_loss[-1]:.4f}"
+            if history.val_loss:
+                msg += f" val={history.val_loss[-1]:.4f}"
+            if history.val_metric:
+                msg += f" metric={history.val_metric[-1]:.4f}"
+            print(msg)
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    return history
+
+
+def fit_regressor(
+    model: nn.Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig,
+    x_val: np.ndarray | None = None,
+    y_val: np.ndarray | None = None,
+    augment_fn: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None,
+) -> History:
+    """Train with mean-squared error (flux CNN stage)."""
+    return fit(
+        model,
+        [x],
+        y.astype(np.float32),
+        _default_loss(nn.MSELoss()),
+        config,
+        val_inputs=[x_val] if x_val is not None else None,
+        val_target=y_val.astype(np.float32) if y_val is not None else None,
+        augment_fn=augment_fn,
+    )
+
+
+def fit_classifier(
+    model: nn.Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig,
+    x_val: np.ndarray | None = None,
+    y_val: np.ndarray | None = None,
+    metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
+) -> History:
+    """Train with binary cross-entropy (classifier / joint stages)."""
+
+    def scores(m: nn.Module, val_in: tuple[np.ndarray, ...]) -> np.ndarray:
+        with nn.no_grad():
+            return m(*(Tensor(v) for v in val_in)).sigmoid().numpy()
+
+    return fit(
+        model,
+        [x],
+        y.astype(np.float32),
+        _default_loss(nn.BCEWithLogitsLoss()),
+        config,
+        val_inputs=[x_val] if x_val is not None else None,
+        val_target=y_val.astype(np.float32) if y_val is not None else None,
+        metric=metric,
+        metric_scores=scores if metric is not None else None,
+    )

@@ -1,0 +1,90 @@
+"""Flat Lambda-CDM cosmology: distances and distance moduli.
+
+The synthetic dataset embeds supernovae at catalogue photo-z's between 0.1
+and 2.0; converting an absolute peak magnitude to an observed flux needs
+the luminosity distance.  We implement the standard flat FLRW integrals
+with Planck-like parameters (H0 = 70, Om = 0.3) as the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import integrate
+
+__all__ = ["FlatLambdaCDM", "DEFAULT_COSMOLOGY"]
+
+_C_KM_S = 299_792.458  # speed of light [km/s]
+
+
+@dataclass(frozen=True)
+class FlatLambdaCDM:
+    """A flat Friedmann-Lemaitre-Robertson-Walker cosmology.
+
+    Parameters
+    ----------
+    h0:
+        Hubble constant in km/s/Mpc.
+    omega_m:
+        Matter density parameter; dark energy fills the rest
+        (``omega_lambda = 1 - omega_m``).
+    """
+
+    h0: float = 70.0
+    omega_m: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.h0 <= 0:
+            raise ValueError(f"H0 must be positive, got {self.h0}")
+        if not 0.0 < self.omega_m < 1.0:
+            raise ValueError(f"omega_m must be in (0, 1), got {self.omega_m}")
+
+    @property
+    def omega_lambda(self) -> float:
+        return 1.0 - self.omega_m
+
+    @property
+    def hubble_distance(self) -> float:
+        """c / H0 in Mpc."""
+        return _C_KM_S / self.h0
+
+    def _inv_e(self, z: float) -> float:
+        """1 / E(z) with E(z) = sqrt(Om (1+z)^3 + OL)."""
+        return 1.0 / np.sqrt(self.omega_m * (1.0 + z) ** 3 + self.omega_lambda)
+
+    def comoving_distance(self, z: float | np.ndarray) -> float | np.ndarray:
+        """Line-of-sight comoving distance in Mpc."""
+        z_arr = np.atleast_1d(np.asarray(z, dtype=float))
+        if np.any(z_arr < 0):
+            raise ValueError("redshift must be non-negative")
+        result = np.array(
+            [integrate.quad(self._inv_e, 0.0, zi)[0] for zi in z_arr]
+        )
+        result *= self.hubble_distance
+        return result if np.ndim(z) else float(result[0])
+
+    def luminosity_distance(self, z: float | np.ndarray) -> float | np.ndarray:
+        """Luminosity distance D_L = (1+z) D_C in Mpc (flat universe)."""
+        return (1.0 + np.asarray(z, dtype=float)) * self.comoving_distance(z)
+
+    def distance_modulus(self, z: float | np.ndarray) -> float | np.ndarray:
+        """mu = 5 log10(D_L / 10 pc).
+
+        Raises for z <= 0 where the modulus diverges.
+        """
+        z_arr = np.asarray(z, dtype=float)
+        if np.any(z_arr <= 0):
+            raise ValueError("distance modulus requires z > 0")
+        d_l = np.asarray(self.luminosity_distance(z))
+        mu = 5.0 * np.log10(d_l * 1e6 / 10.0)
+        return mu if np.ndim(z) else float(mu)
+
+    def time_dilation(self, z: float) -> float:
+        """Observer-frame stretch of rest-frame intervals: (1 + z)."""
+        if z < 0:
+            raise ValueError("redshift must be non-negative")
+        return 1.0 + z
+
+
+DEFAULT_COSMOLOGY = FlatLambdaCDM()

@@ -1,0 +1,22 @@
+"""Synthetic dataset construction (paper Section 3)."""
+
+from .builder import BuildConfig, DatasetBuilder
+from .io import load_dataset, save_dataset
+from .sample import N_BANDS, SupernovaDataset
+from .snpcc import SNPCCConfig, SNPCCDataset, SNPCCSample, generate_snpcc
+from .splits import DatasetSplits, train_val_test_split
+
+__all__ = [
+    "BuildConfig",
+    "DatasetBuilder",
+    "SupernovaDataset",
+    "N_BANDS",
+    "DatasetSplits",
+    "train_val_test_split",
+    "save_dataset",
+    "load_dataset",
+    "SNPCCConfig",
+    "SNPCCDataset",
+    "SNPCCSample",
+    "generate_snpcc",
+]

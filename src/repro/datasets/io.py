@@ -1,0 +1,38 @@
+"""Dataset persistence: compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .sample import SupernovaDataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FIELDS = (
+    "pairs",
+    "visit_mjd",
+    "visit_band",
+    "true_flux",
+    "labels",
+    "sn_types",
+    "redshifts",
+    "host_mag",
+    "sn_offset",
+    "peak_mjd",
+)
+
+
+def save_dataset(dataset: SupernovaDataset, path: str | os.PathLike) -> None:
+    """Write a dataset to a compressed npz archive."""
+    np.savez_compressed(path, **{name: getattr(dataset, name) for name in _FIELDS})
+
+
+def load_dataset(path: str | os.PathLike) -> SupernovaDataset:
+    """Load a dataset saved by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=False) as archive:
+        missing = [name for name in _FIELDS if name not in archive.files]
+        if missing:
+            raise KeyError(f"archive {path} is missing fields {missing}")
+        return SupernovaDataset(**{name: archive[name] for name in _FIELDS})

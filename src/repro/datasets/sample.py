@@ -1,0 +1,155 @@
+"""Dataset containers.
+
+A dataset sample (paper Section 3) is a tuple of
+
+* 20 observation images — 5 bands x 4 epochs, supernova embedded,
+* 5 reference images — no supernova, PSF-matched per visit,
+* the true light curve (flux of the supernova at every visit), and
+* bookkeeping: type label, redshift, host properties, visit dates.
+
+The arrays use a struct-of-arrays layout.  Visits are ordered *epoch
+major*: visit index ``k * n_bands + b`` is band ``b`` of epoch ``k``,
+which makes the paper's single-epoch splits a simple reshape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..photometry import GRIZY
+
+__all__ = ["SupernovaDataset", "N_BANDS"]
+
+N_BANDS = len(GRIZY)
+
+
+@dataclass
+class SupernovaDataset:
+    """Struct-of-arrays container for simulated supernova samples.
+
+    Attributes
+    ----------
+    pairs:
+        ``(N, V, 2, S, S)`` float32 — per visit, channel 0 is the
+        PSF-matched reference and channel 1 the observation stamp.
+    visit_mjd:
+        ``(N, V)`` observation dates.
+    visit_band:
+        ``(N, V)`` integer band indices (0=g ... 4=y).
+    true_flux:
+        ``(N, V)`` noiseless supernova flux at each visit (ZP-27 counts).
+    labels:
+        ``(N,)`` — 1 for SNIa, 0 otherwise.
+    sn_types:
+        ``(N,)`` type codes as fixed-width strings ('Ia', 'IIP', ...).
+    redshifts:
+        ``(N,)`` host/SN redshift.
+    host_mag:
+        ``(N,)`` host apparent i magnitude.
+    sn_offset:
+        ``(N, 2)`` supernova offset from host centre in arcsec.
+    peak_mjd:
+        ``(N,)`` date of B maximum.
+    """
+
+    pairs: np.ndarray
+    visit_mjd: np.ndarray
+    visit_band: np.ndarray
+    true_flux: np.ndarray
+    labels: np.ndarray
+    sn_types: np.ndarray
+    redshifts: np.ndarray
+    host_mag: np.ndarray
+    sn_offset: np.ndarray
+    peak_mjd: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.pairs.shape[0]
+        if self.pairs.ndim != 5 or self.pairs.shape[2] != 2:
+            raise ValueError(f"pairs must be (N, V, 2, S, S), got {self.pairs.shape}")
+        for name in ("visit_mjd", "visit_band", "true_flux"):
+            arr = getattr(self, name)
+            if arr.shape != self.pairs.shape[:2]:
+                raise ValueError(f"{name} shape {arr.shape} != (N, V) {self.pairs.shape[:2]}")
+        for name in ("labels", "sn_types", "redshifts", "host_mag", "peak_mjd"):
+            arr = getattr(self, name)
+            if arr.shape[0] != n:
+                raise ValueError(f"{name} has {arr.shape[0]} rows, expected {n}")
+        if self.n_visits % N_BANDS != 0:
+            raise ValueError("visit count must be a multiple of the number of bands")
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.pairs.shape[0])
+
+    @property
+    def n_visits(self) -> int:
+        return int(self.pairs.shape[1])
+
+    @property
+    def n_epochs(self) -> int:
+        return self.n_visits // N_BANDS
+
+    @property
+    def stamp_size(self) -> int:
+        return int(self.pairs.shape[-1])
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def select(self, indices: np.ndarray) -> "SupernovaDataset":
+        """Subset of samples (new container, shared memory where possible)."""
+        idx = np.asarray(indices)
+        return SupernovaDataset(
+            pairs=self.pairs[idx],
+            visit_mjd=self.visit_mjd[idx],
+            visit_band=self.visit_band[idx],
+            true_flux=self.true_flux[idx],
+            labels=self.labels[idx],
+            sn_types=self.sn_types[idx],
+            redshifts=self.redshifts[idx],
+            host_mag=self.host_mag[idx],
+            sn_offset=self.sn_offset[idx],
+            peak_mjd=self.peak_mjd[idx],
+        )
+
+    def epoch_slice(self, epoch: int) -> np.ndarray:
+        """Visit indices of one epoch (one visit per band)."""
+        if not 0 <= epoch < self.n_epochs:
+            raise IndexError(f"epoch {epoch} out of range [0, {self.n_epochs})")
+        return np.arange(epoch * N_BANDS, (epoch + 1) * N_BANDS)
+
+    def flux_pairs(
+        self, min_flux: float = 1.0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten to per-visit CNN training pairs.
+
+        Returns ``(pairs, magnitudes, mask)`` where ``pairs`` is
+        ``(N*V, 2, S, S)``, ``magnitudes`` the true supernova magnitude of
+        each pair, and ``mask`` marks visits whose flux exceeds
+        ``min_flux`` (fainter visits have no meaningful magnitude and are
+        excluded from regression training, as in the paper's visible
+        samples).
+        """
+        flat_pairs = self.pairs.reshape(-1, 2, self.stamp_size, self.stamp_size)
+        flux = self.true_flux.reshape(-1)
+        mask = flux > min_flux
+        mags = np.full(flux.shape, np.nan)
+        mags[mask] = -2.5 * np.log10(flux[mask]) + 27.0
+        return flat_pairs, mags, mask
+
+    def difference_images(self) -> np.ndarray:
+        """Observation minus matched reference for every visit: (N, V, S, S)."""
+        return self.pairs[:, :, 1] - self.pairs[:, :, 0]
+
+    def summary(self) -> str:
+        """Human-readable one-line description."""
+        n_ia = int(self.labels.sum())
+        return (
+            f"SupernovaDataset(n={len(self)}, Ia={n_ia}, nonIa={len(self) - n_ia}, "
+            f"epochs={self.n_epochs}, bands={N_BANDS}, stamp={self.stamp_size})"
+        )

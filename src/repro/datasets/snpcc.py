@@ -1,0 +1,161 @@
+"""SNPCC-style photometric classification dataset.
+
+The Supernova Photometric Classification Challenge (Kessler et al. 2010,
+paper ref [7]) is the de-facto standard benchmark the paper's Table-2
+comparators were evaluated on.  Unlike the paper's own dataset it has
+
+* **no images** — only flux measurements with realistic errors,
+* an **irregular** number of observations per band (4-40 in the
+  challenge), set by cadence and the transient's visibility window,
+* an **unbalanced** class mix (~25% SNIa among all supernovae),
+* flux uncertainties from a survey-like noise floor.
+
+This generator produces that structure from the same light-curve
+substrate, so methods can be compared across both dataset styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..catalog import CosmosCatalog
+from ..lightcurves import LightCurve, PopulationModel
+from ..photometry import GRIZY
+
+__all__ = ["SNPCCConfig", "SNPCCSample", "SNPCCDataset", "generate_snpcc"]
+
+
+@dataclass
+class SNPCCConfig:
+    """Knobs of the SNPCC-style generator."""
+
+    n_samples: int = 1000
+    ia_fraction: float = 0.25
+    cadence_days: float = 5.0
+    season_days: float = 120.0
+    flux_error_floor: float = 1.0
+    flux_error_scale: float = 0.02
+    detection_snr: float = 3.0
+    min_observations: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if not 0 < self.ia_fraction < 1:
+            raise ValueError("ia_fraction must be in (0, 1)")
+        if self.cadence_days <= 0 or self.season_days <= self.cadence_days:
+            raise ValueError("need 0 < cadence_days < season_days")
+
+
+@dataclass
+class SNPCCSample:
+    """One photometric supernova: irregular multi-band flux series.
+
+    Attributes
+    ----------
+    mjd, band, flux, flux_err:
+        Aligned per-observation arrays (only epochs where the object was
+        detectable in at least one band are kept).
+    is_ia:
+        Class label.
+    redshift:
+        True redshift (available to "+ redshift" methods).
+    sn_type:
+        Type code string.
+    """
+
+    mjd: np.ndarray
+    band: np.ndarray
+    flux: np.ndarray
+    flux_err: np.ndarray
+    is_ia: bool
+    redshift: float
+    sn_type: str
+
+    @property
+    def n_observations(self) -> int:
+        return len(self.mjd)
+
+
+@dataclass
+class SNPCCDataset:
+    """A collection of SNPCC-style samples."""
+
+    samples: list[SNPCCSample]
+    config: SNPCCConfig = field(repr=False, default_factory=SNPCCConfig)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __getitem__(self, index: int) -> SNPCCSample:
+        return self.samples[index]
+
+    def labels(self) -> np.ndarray:
+        return np.array([int(s.is_ia) for s in self.samples])
+
+    def observation_counts(self) -> np.ndarray:
+        return np.array([s.n_observations for s in self.samples])
+
+
+def generate_snpcc(config: SNPCCConfig | None = None) -> SNPCCDataset:
+    """Generate an SNPCC-style dataset.
+
+    Each object gets a survey season of cadenced visits (one band per
+    visit, rotating through g,r,i,z,y), fluxes from its light curve, and
+    heteroscedastic errors; visits before detection or after fading are
+    dropped, giving the challenge's 4-40 observation spread.
+    """
+    config = config or SNPCCConfig()
+    rng = np.random.default_rng(config.seed)
+    population = PopulationModel()
+    catalog = CosmosCatalog(max(200, config.n_samples // 2), seed=config.seed + 1)
+
+    samples: list[SNPCCSample] = []
+    attempts = 0
+    while len(samples) < config.n_samples:
+        attempts += 1
+        if attempts > config.n_samples * 20:
+            raise RuntimeError(
+                "too many rejected objects; lower detection_snr or min_observations"
+            )
+        is_ia = bool(rng.random() < config.ia_fraction)
+        model = population.sample(is_ia, rng)
+        host = catalog[int(rng.integers(len(catalog)))]
+        peak_mjd = float(rng.uniform(20.0, config.season_days - 20.0))
+        curve = LightCurve(model, redshift=host.photo_z, peak_mjd=peak_mjd)
+
+        mjds, bands, fluxes, errors = [], [], [], []
+        t = float(rng.uniform(0.0, config.cadence_days))
+        visit = 0
+        while t < config.season_days:
+            band = GRIZY[visit % len(GRIZY)]
+            true_flux = float(curve.flux(band, t))
+            err = float(
+                np.hypot(config.flux_error_floor, config.flux_error_scale * true_flux)
+            )
+            measured = true_flux + rng.normal(0.0, err)
+            if measured / err >= config.detection_snr:
+                mjds.append(t)
+                bands.append(band.index)
+                fluxes.append(measured)
+                errors.append(err)
+            t += config.cadence_days * rng.uniform(0.8, 1.2)
+            visit += 1
+
+        if len(mjds) < config.min_observations:
+            continue  # challenge cut: too few detections to classify
+        samples.append(
+            SNPCCSample(
+                mjd=np.array(mjds),
+                band=np.array(bands),
+                flux=np.array(fluxes),
+                flux_err=np.array(errors),
+                is_ia=is_ia,
+                redshift=host.photo_z,
+                sn_type=curve.sn_type.value,
+            )
+        )
+    return SNPCCDataset(samples=samples, config=config)

@@ -1,0 +1,82 @@
+"""Dataset splitting.
+
+The paper uses 80% / 10% / 10% train / validation / test splits, and
+derives *single-epoch* sub-samples from each full sample: epoch ``k``
+keeps one visit per band (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .sample import SupernovaDataset
+
+__all__ = ["DatasetSplits", "train_val_test_split"]
+
+
+@dataclass(frozen=True)
+class DatasetSplits:
+    """The three standard partitions of a dataset."""
+
+    train: SupernovaDataset
+    val: SupernovaDataset
+    test: SupernovaDataset
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetSplits(train={len(self.train)}, val={len(self.val)}, "
+            f"test={len(self.test)})"
+        )
+
+
+def train_val_test_split(
+    dataset: SupernovaDataset,
+    train_fraction: float = 0.8,
+    val_fraction: float = 0.1,
+    seed: int = 0,
+    stratify: bool = True,
+) -> DatasetSplits:
+    """Split samples into train/val/test (paper: 80/10/10).
+
+    With ``stratify=True`` the Ia / non-Ia ratio is preserved in each
+    split, which keeps small validation sets usable.
+    """
+    if not 0 < train_fraction < 1 or not 0 < val_fraction < 1:
+        raise ValueError("fractions must be in (0, 1)")
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError("train + val fractions must leave room for test")
+
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+
+    def partition(indices: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        shuffled = rng.permutation(indices)
+        n_train = int(round(train_fraction * len(shuffled)))
+        n_val = int(round(val_fraction * len(shuffled)))
+        return (
+            shuffled[:n_train],
+            shuffled[n_train : n_train + n_val],
+            shuffled[n_train + n_val :],
+        )
+
+    if stratify:
+        ia_idx = np.flatnonzero(dataset.labels == 1)
+        non_idx = np.flatnonzero(dataset.labels == 0)
+        tr_a, va_a, te_a = partition(ia_idx)
+        tr_b, va_b, te_b = partition(non_idx)
+        train_idx = rng.permutation(np.concatenate([tr_a, tr_b]))
+        val_idx = rng.permutation(np.concatenate([va_a, va_b]))
+        test_idx = rng.permutation(np.concatenate([te_a, te_b]))
+    else:
+        train_idx, val_idx, test_idx = partition(np.arange(n))
+
+    if min(len(train_idx), len(val_idx), len(test_idx)) == 0:
+        raise ValueError(f"dataset of {n} samples too small for the requested split")
+
+    return DatasetSplits(
+        train=dataset.select(train_idx),
+        val=dataset.select(val_idx),
+        test=dataset.select(test_idx),
+    )

@@ -1,0 +1,33 @@
+"""Evaluation metrics: ROC/AUC, point metrics and calibration."""
+
+from .bootstrap import BootstrapResult, bootstrap_auc, bootstrap_metric
+from .calibration import (
+    ReliabilityCurve,
+    brier_score,
+    expected_calibration_error,
+    reliability_curve,
+)
+from .metrics import ConfusionMatrix, accuracy, best_accuracy, confusion_matrix
+from .purity import PurityCurve, purity_efficiency_curve, snpcc_figure_of_merit
+from .roc import RocCurve, auc_score, rank_auc, roc_curve
+
+__all__ = [
+    "RocCurve",
+    "roc_curve",
+    "auc_score",
+    "rank_auc",
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "accuracy",
+    "best_accuracy",
+    "BootstrapResult",
+    "bootstrap_metric",
+    "bootstrap_auc",
+    "PurityCurve",
+    "purity_efficiency_curve",
+    "snpcc_figure_of_merit",
+    "ReliabilityCurve",
+    "reliability_curve",
+    "expected_calibration_error",
+    "brier_score",
+]

@@ -1,0 +1,93 @@
+"""Probability calibration diagnostics.
+
+Spectroscopic follow-up time is scarce (the paper: at most ~100 of 10^7
+candidates get follow-up), so the *calibration* of P(SNIa) matters as
+much as its ranking: targets are picked by thresholding the probability.
+This module provides reliability curves, expected calibration error and
+the Brier score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReliabilityCurve", "reliability_curve", "expected_calibration_error", "brier_score"]
+
+
+@dataclass(frozen=True)
+class ReliabilityCurve:
+    """Binned predicted-vs-observed positive rates.
+
+    Attributes
+    ----------
+    bin_centers:
+        Midpoints of the probability bins that contain samples.
+    mean_predicted:
+        Average predicted probability per occupied bin.
+    fraction_positive:
+        Empirical positive rate per occupied bin.
+    counts:
+        Samples per occupied bin.
+    """
+
+    bin_centers: np.ndarray
+    mean_predicted: np.ndarray
+    fraction_positive: np.ndarray
+    counts: np.ndarray
+
+
+def _validate(labels: np.ndarray, probs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels).reshape(-1).astype(float)
+    probs = np.asarray(probs, dtype=float).reshape(-1)
+    if labels.shape != probs.shape:
+        raise ValueError("labels and probabilities must have the same length")
+    if labels.size == 0:
+        raise ValueError("empty inputs")
+    if np.any((probs < 0) | (probs > 1)):
+        raise ValueError("probabilities must be in [0, 1]")
+    if not np.all(np.isin(labels, [0.0, 1.0])):
+        raise ValueError("labels must be binary")
+    return labels, probs
+
+
+def reliability_curve(
+    labels: np.ndarray, probs: np.ndarray, n_bins: int = 10
+) -> ReliabilityCurve:
+    """Bin predictions and compare with observed outcome rates."""
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    labels, probs = _validate(labels, probs)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    indices = np.clip(np.digitize(probs, edges) - 1, 0, n_bins - 1)
+    centers, mean_pred, frac_pos, counts = [], [], [], []
+    for b in range(n_bins):
+        mask = indices == b
+        if not np.any(mask):
+            continue
+        centers.append((edges[b] + edges[b + 1]) / 2.0)
+        mean_pred.append(float(probs[mask].mean()))
+        frac_pos.append(float(labels[mask].mean()))
+        counts.append(int(mask.sum()))
+    return ReliabilityCurve(
+        bin_centers=np.array(centers),
+        mean_predicted=np.array(mean_pred),
+        fraction_positive=np.array(frac_pos),
+        counts=np.array(counts),
+    )
+
+
+def expected_calibration_error(
+    labels: np.ndarray, probs: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE: count-weighted |predicted - observed| over probability bins."""
+    curve = reliability_curve(labels, probs, n_bins)
+    weights = curve.counts / curve.counts.sum()
+    return float(np.sum(weights * np.abs(curve.mean_predicted - curve.fraction_positive)))
+
+
+def brier_score(labels: np.ndarray, probs: np.ndarray) -> float:
+    """Mean squared error of probabilities against outcomes (lower = better)."""
+    labels, probs = _validate(labels, probs)
+    return float(np.mean((probs - labels) ** 2))

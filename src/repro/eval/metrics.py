@@ -1,0 +1,82 @@
+"""Point metrics: accuracy, confusion counts, precision/recall."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConfusionMatrix", "confusion_matrix", "accuracy", "best_accuracy"]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.total
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def true_positive_rate(self) -> float:
+        return self.recall
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+
+def confusion_matrix(
+    labels: np.ndarray, scores: np.ndarray, threshold: float = 0.5
+) -> ConfusionMatrix:
+    """Confusion counts of ``scores >= threshold`` against binary labels."""
+    labels = np.asarray(labels).reshape(-1).astype(bool)
+    predictions = np.asarray(scores).reshape(-1) >= threshold
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and scores must have the same length")
+    return ConfusionMatrix(
+        tp=int(np.sum(predictions & labels)),
+        fp=int(np.sum(predictions & ~labels)),
+        tn=int(np.sum(~predictions & ~labels)),
+        fn=int(np.sum(~predictions & labels)),
+    )
+
+
+def accuracy(labels: np.ndarray, scores: np.ndarray, threshold: float = 0.5) -> float:
+    """Fraction of correct hard decisions at ``threshold``."""
+    return confusion_matrix(labels, scores, threshold).accuracy
+
+
+def best_accuracy(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Accuracy at the optimal threshold (for Table-2 style comparisons
+    against methods reported as accuracies)."""
+    labels = np.asarray(labels).reshape(-1)
+    scores = np.asarray(scores, dtype=float).reshape(-1)
+    thresholds = np.unique(scores)
+    candidates = np.concatenate([[-np.inf], (thresholds[1:] + thresholds[:-1]) / 2, [np.inf]])
+    return max(accuracy(labels, scores, t) for t in candidates)

@@ -1,0 +1,100 @@
+"""Purity / efficiency analysis for follow-up target selection.
+
+Supernova cosmology quantifies classifiers with *purity* (fraction of
+selected candidates that are really SNIa) and *efficiency* (fraction of
+true SNIa selected) as the probability threshold sweeps — plus the
+SNPCC figure of merit, which penalises contamination:
+
+    FoM = efficiency * purity_pseudo,
+    purity_pseudo = TP / (TP + W * FP),  W = 3 in the challenge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PurityCurve", "purity_efficiency_curve", "snpcc_figure_of_merit"]
+
+
+@dataclass(frozen=True)
+class PurityCurve:
+    """Purity and efficiency as functions of the selection threshold.
+
+    Attributes
+    ----------
+    thresholds:
+        Score thresholds, increasing.
+    purity:
+        TP / (TP + FP) among candidates with score >= threshold (1.0
+        where nothing is selected, by convention).
+    efficiency:
+        TP / P — the completeness of the selection.
+    """
+
+    thresholds: np.ndarray
+    purity: np.ndarray
+    efficiency: np.ndarray
+
+    def at_efficiency(self, target: float) -> float:
+        """Purity at the loosest threshold reaching ``target`` efficiency."""
+        if not 0.0 < target <= 1.0:
+            raise ValueError("target efficiency must be in (0, 1]")
+        eligible = self.efficiency >= target
+        if not np.any(eligible):
+            return 0.0
+        return float(self.purity[eligible].max())
+
+
+def _validate(labels: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels).reshape(-1).astype(int)
+    scores = np.asarray(scores, dtype=float).reshape(-1)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same length")
+    if labels.size == 0:
+        raise ValueError("empty inputs")
+    if labels.sum() == 0:
+        raise ValueError("need at least one positive sample")
+    return labels, scores
+
+
+def purity_efficiency_curve(
+    labels: np.ndarray, scores: np.ndarray, n_thresholds: int = 101
+) -> PurityCurve:
+    """Sweep thresholds over the score range."""
+    labels, scores = _validate(labels, scores)
+    if n_thresholds < 2:
+        raise ValueError("need at least two thresholds")
+    thresholds = np.linspace(scores.min(), scores.max(), n_thresholds)
+    n_pos = labels.sum()
+    purity = np.empty(n_thresholds)
+    efficiency = np.empty(n_thresholds)
+    for i, threshold in enumerate(thresholds):
+        selected = scores >= threshold
+        tp = int(np.sum(selected & (labels == 1)))
+        fp = int(np.sum(selected & (labels == 0)))
+        purity[i] = tp / (tp + fp) if (tp + fp) else 1.0
+        efficiency[i] = tp / n_pos
+    return PurityCurve(thresholds=thresholds, purity=purity, efficiency=efficiency)
+
+
+def snpcc_figure_of_merit(
+    labels: np.ndarray,
+    scores: np.ndarray,
+    threshold: float = 0.5,
+    false_positive_weight: float = 3.0,
+) -> float:
+    """The challenge's FoM at a fixed threshold (higher is better)."""
+    labels, scores = _validate(labels, scores)
+    if false_positive_weight <= 0:
+        raise ValueError("false_positive_weight must be positive")
+    selected = scores >= threshold
+    tp = int(np.sum(selected & (labels == 1)))
+    fp = int(np.sum(selected & (labels == 0)))
+    n_pos = int(labels.sum())
+    if tp == 0:
+        return 0.0
+    efficiency = tp / n_pos
+    pseudo_purity = tp / (tp + false_positive_weight * fp)
+    return float(efficiency * pseudo_purity)

@@ -1,0 +1,28 @@
+"""Light-curve substrate: SALT2-like templates, priors and observer-frame sampling."""
+
+from .fitting import Salt2FitResult, fit_salt2
+from .population import DEFAULT_NON_IA_FRACTIONS, NonIaRealization, PopulationModel
+from .salt2 import M0_IA, SALT2LikeModel, SALT2Parameters, TRIPP_ALPHA, TRIPP_BETA
+from .sampler import LightCurve, RestFrameModel
+from .templates import B_WAVELENGTH, TEMPLATES, SNType, Template, blackbody_color, color_law
+
+__all__ = [
+    "Salt2FitResult",
+    "fit_salt2",
+    "SNType",
+    "Template",
+    "TEMPLATES",
+    "B_WAVELENGTH",
+    "blackbody_color",
+    "color_law",
+    "SALT2Parameters",
+    "SALT2LikeModel",
+    "TRIPP_ALPHA",
+    "TRIPP_BETA",
+    "M0_IA",
+    "PopulationModel",
+    "NonIaRealization",
+    "DEFAULT_NON_IA_FRACTIONS",
+    "LightCurve",
+    "RestFrameModel",
+]

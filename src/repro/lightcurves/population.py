@@ -1,0 +1,110 @@
+"""Population priors: which supernovae exist and with which parameters.
+
+The paper draws type, stretch and colour "randomly ... following the
+already known distributions" (Section 3, ref [12] — Mosher et al. 2014).
+We encode the standard choices: x1 ~ N(0, 1), c ~ N(0, 0.1), per-type
+intrinsic magnitude scatter, and volumetric-rate-like fractions for the
+contaminant types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .salt2 import SALT2LikeModel, SALT2Parameters
+from .templates import TEMPLATES, SNType, Template
+
+__all__ = ["PopulationModel", "NonIaRealization", "DEFAULT_NON_IA_FRACTIONS"]
+
+# Relative frequencies of the contaminant classes among non-Ia SNe,
+# roughly following core-collapse volumetric rates.
+DEFAULT_NON_IA_FRACTIONS: dict[SNType, float] = {
+    SNType.IB: 0.15,
+    SNType.IC: 0.15,
+    SNType.IIP: 0.40,
+    SNType.IIL: 0.20,
+    SNType.IIN: 0.10,
+}
+
+
+class NonIaRealization:
+    """A non-Ia template with a realised magnitude offset and mild stretch.
+
+    Exposes ``rest_mag`` / ``sn_type`` / ``peak_abs_mag_b`` so it is
+    interchangeable with :class:`~repro.lightcurves.salt2.SALT2LikeModel`.
+    """
+
+    def __init__(self, template: Template, magnitude_offset: float, stretch: float) -> None:
+        if stretch <= 0:
+            raise ValueError("stretch must be positive")
+        self._template = template
+        self.magnitude_offset = magnitude_offset
+        self.stretch = stretch
+
+    @property
+    def sn_type(self) -> SNType:
+        return self._template.sn_type
+
+    @property
+    def peak_abs_mag_b(self) -> float:
+        return self._template.peak_abs_mag_b + self.magnitude_offset
+
+    def rest_mag(self, phase: float | np.ndarray, wavelength: float) -> float | np.ndarray:
+        stretched = np.asarray(phase, dtype=float) / self.stretch
+        return self._template.rest_mag(stretched, wavelength) + self.magnitude_offset
+
+
+@dataclass
+class PopulationModel:
+    """Sampler over supernova models.
+
+    Parameters
+    ----------
+    non_ia_fractions:
+        Relative frequency of each contaminant type; normalised on use.
+    x1_sigma, c_sigma:
+        Widths of the Ia stretch and colour priors.
+    """
+
+    non_ia_fractions: dict[SNType, float] = field(
+        default_factory=lambda: dict(DEFAULT_NON_IA_FRACTIONS)
+    )
+    x1_sigma: float = 1.0
+    c_sigma: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.non_ia_fractions:
+            raise ValueError("non_ia_fractions must not be empty")
+        bad = [t for t in self.non_ia_fractions if t.is_ia]
+        if bad:
+            raise ValueError("non_ia_fractions must not contain SNType.IA")
+        total = sum(self.non_ia_fractions.values())
+        if total <= 0:
+            raise ValueError("non_ia_fractions must have positive total weight")
+        self._types = list(self.non_ia_fractions)
+        self._weights = np.array([self.non_ia_fractions[t] for t in self._types]) / total
+
+    def sample_ia(self, rng: np.random.Generator) -> SALT2LikeModel:
+        """Draw a Type-Ia model from the stretch/colour priors."""
+        params = SALT2Parameters(
+            x1=float(np.clip(rng.normal(0.0, self.x1_sigma), -4.9, 4.9)),
+            c=float(np.clip(rng.normal(0.0, self.c_sigma), -0.45, 0.45)),
+            magnitude_offset=float(rng.normal(0.0, TEMPLATES[SNType.IA].mag_scatter)),
+        )
+        return SALT2LikeModel(params)
+
+    def sample_non_ia(self, rng: np.random.Generator) -> NonIaRealization:
+        """Draw one of the contaminant types with realistic scatter."""
+        sn_type = self._types[int(rng.choice(len(self._types), p=self._weights))]
+        template = TEMPLATES[sn_type]
+        return NonIaRealization(
+            template,
+            magnitude_offset=float(rng.normal(0.0, template.mag_scatter)),
+            stretch=float(np.clip(rng.normal(1.0, 0.1), 0.7, 1.3)),
+        )
+
+    def sample(self, is_ia: bool, rng: np.random.Generator) -> SALT2LikeModel | NonIaRealization:
+        """Draw a model of the requested class."""
+        return self.sample_ia(rng) if is_ia else self.sample_non_ia(rng)

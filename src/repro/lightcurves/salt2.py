@@ -1,0 +1,94 @@
+"""SALT2-like parametrisation of Type-Ia light curves.
+
+SNeIa are standardisable candles: their absolute peak magnitude follows
+the Tripp relation
+
+    M_B = M0 - alpha * x1 + beta * c
+
+where ``x1`` is the stretch and ``c`` the colour.  Stretch also rescales
+the light-curve time axis.  This module wraps the Ia template of
+:mod:`repro.lightcurves.templates` with those corrections, which is the
+structure SALT-II exposes to downstream classification code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .templates import TEMPLATES, SNType, Template, color_law
+
+__all__ = ["SALT2Parameters", "SALT2LikeModel", "TRIPP_ALPHA", "TRIPP_BETA", "M0_IA"]
+
+TRIPP_ALPHA = 0.14
+TRIPP_BETA = 3.1
+M0_IA = TEMPLATES[SNType.IA].peak_abs_mag_b
+
+
+@dataclass(frozen=True)
+class SALT2Parameters:
+    """Per-object Ia parameters.
+
+    Attributes
+    ----------
+    x1:
+        Stretch; positive values are broader and brighter.
+    c:
+        Colour; positive values are redder and fainter.
+    magnitude_offset:
+        Intrinsic scatter realisation added to the Tripp magnitude.
+    """
+
+    x1: float = 0.0
+    c: float = 0.0
+    magnitude_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -5.0 <= self.x1 <= 5.0:
+            raise ValueError(f"x1={self.x1} outside the physical range [-5, 5]")
+        if not -0.5 <= self.c <= 0.5:
+            raise ValueError(f"c={self.c} outside the physical range [-0.5, 0.5]")
+
+    @property
+    def stretch(self) -> float:
+        """Time-axis stretch factor s = 1 + 0.07 * x1."""
+        return 1.0 + 0.07 * self.x1
+
+
+class SALT2LikeModel:
+    """A stretch/colour-corrected Ia light-curve model.
+
+    Exposes the same ``rest_mag(phase, wavelength)`` interface as a plain
+    :class:`~repro.lightcurves.templates.Template`, so the observer-frame
+    sampler treats Ia and non-Ia uniformly.
+    """
+
+    def __init__(self, params: SALT2Parameters) -> None:
+        self.params = params
+        self._template: Template = TEMPLATES[SNType.IA]
+
+    @property
+    def sn_type(self) -> SNType:
+        return SNType.IA
+
+    @property
+    def peak_abs_mag_b(self) -> float:
+        """Tripp-standardised absolute peak magnitude in B."""
+        return (
+            M0_IA
+            - TRIPP_ALPHA * self.params.x1
+            + TRIPP_BETA * self.params.c
+            + self.params.magnitude_offset
+        )
+
+    def rest_mag(self, phase: float | np.ndarray, wavelength: float) -> float | np.ndarray:
+        """Absolute magnitude at rest-frame phase/wavelength.
+
+        The stretch rescales the phase axis; the colour adds
+        ``c * CL(wavelength)`` on top of the template's blackbody colour.
+        """
+        stretched = np.asarray(phase, dtype=float) / self.params.stretch
+        base = self._template.rest_mag(stretched, wavelength)
+        shift = self.peak_abs_mag_b - self._template.peak_abs_mag_b
+        return base + shift + self.params.c * color_law(wavelength)

@@ -1,0 +1,107 @@
+"""Observer-frame light curves.
+
+A :class:`LightCurve` binds a rest-frame supernova model to a redshift,
+a peak date and a cosmology, and answers the only question the rest of
+the pipeline asks: *what is the flux in band b at observation date t?*
+
+Observer-frame effects handled here:
+
+* distance dimming through the Lambda-CDM distance modulus,
+* (1 + z) time dilation of the phase axis,
+* band redshifting — band ``b`` at redshift ``z`` samples the rest-frame
+  SED at ``lambda_eff / (1 + z)``, which is how the blackbody colour
+  model produces K-correction-like behaviour for free.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..cosmology import DEFAULT_COSMOLOGY, FlatLambdaCDM
+from ..photometry import Band, mag_to_flux
+from .templates import SNType
+
+__all__ = ["RestFrameModel", "LightCurve"]
+
+_MIN_REST_WAVELENGTH = 900.0  # below the UV cutoff the SED model is meaningless
+
+
+class RestFrameModel(Protocol):
+    """Anything with a rest-frame magnitude surface and a type."""
+
+    @property
+    def sn_type(self) -> SNType: ...
+
+    def rest_mag(self, phase: float | np.ndarray, wavelength: float) -> float | np.ndarray: ...
+
+
+class LightCurve:
+    """Observer-frame multi-band light curve of one supernova.
+
+    Parameters
+    ----------
+    model:
+        Rest-frame model (``SALT2LikeModel`` or ``NonIaRealization``).
+    redshift:
+        Cosmological redshift of the host, > 0.
+    peak_mjd:
+        Observer-frame date of B maximum.
+    cosmology:
+        Distance calculator; defaults to the module-wide flat Lambda-CDM.
+    """
+
+    def __init__(
+        self,
+        model: RestFrameModel,
+        redshift: float,
+        peak_mjd: float,
+        cosmology: FlatLambdaCDM = DEFAULT_COSMOLOGY,
+    ) -> None:
+        if redshift <= 0:
+            raise ValueError(f"redshift must be positive, got {redshift}")
+        self.model = model
+        self.redshift = float(redshift)
+        self.peak_mjd = float(peak_mjd)
+        self.cosmology = cosmology
+        self._mu = cosmology.distance_modulus(self.redshift)
+
+    @property
+    def sn_type(self) -> SNType:
+        return self.model.sn_type
+
+    @property
+    def is_ia(self) -> bool:
+        return self.model.sn_type.is_ia
+
+    def rest_phase(self, mjd: float | np.ndarray) -> float | np.ndarray:
+        """Rest-frame days from peak for observer date(s) ``mjd``."""
+        return (np.asarray(mjd, dtype=float) - self.peak_mjd) / (1.0 + self.redshift)
+
+    def magnitude(self, band: Band, mjd: float | np.ndarray) -> float | np.ndarray:
+        """Apparent magnitude in ``band`` at observer date(s) ``mjd``."""
+        rest_wavelength = max(
+            band.effective_wavelength / (1.0 + self.redshift), _MIN_REST_WAVELENGTH
+        )
+        rest = self.model.rest_mag(self.rest_phase(mjd), rest_wavelength)
+        return rest + self._mu
+
+    def flux(self, band: Band, mjd: float | np.ndarray) -> float | np.ndarray:
+        """Flux (zero-point-27 counts) in ``band`` at observer date(s)."""
+        return mag_to_flux(self.magnitude(band, mjd))
+
+    def peak_magnitude(self, band: Band, window: float = 120.0) -> float:
+        """Brightest apparent magnitude in ``band`` near the peak.
+
+        Scans [-window/2, +window] observer days around ``peak_mjd``;
+        band maxima shift slightly against B maximum with colour evolution.
+        """
+        dates = self.peak_mjd + np.linspace(-window / 2.0, window, 200)
+        return float(np.min(self.magnitude(band, dates)))
+
+    def __repr__(self) -> str:
+        return (
+            f"LightCurve(type={self.sn_type.value}, z={self.redshift:.3f}, "
+            f"peak_mjd={self.peak_mjd:.1f})"
+        )

@@ -1,0 +1,84 @@
+"""Minimal dataset / data-loader abstractions for mini-batch training."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "DataLoader"]
+
+
+class Dataset:
+    """Abstract indexed dataset."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, ...]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Zip several equal-length arrays into an indexed dataset."""
+
+    def __init__(self, *arrays: np.ndarray) -> None:
+        if not arrays:
+            raise ValueError("ArrayDataset needs at least one array")
+        lengths = {len(a) for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"arrays have mismatched lengths: {sorted(lengths)}")
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, ...]:
+        return tuple(a[index] for a in self.arrays)
+
+    def select(self, indices: Sequence[int]) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        idx = np.asarray(indices)
+        return ArrayDataset(*(a[idx] for a in self.arrays))
+
+
+class DataLoader:
+    """Iterate over mini-batches of an :class:`ArrayDataset`.
+
+    Batches are stacks of the dataset's arrays; shuffling uses the loader's
+    own :class:`numpy.random.Generator` so epochs are reproducible given a
+    seed.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            batch_idx = order[start : start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                return
+            yield tuple(a[batch_idx] for a in self.dataset.arrays)

@@ -1,0 +1,137 @@
+"""Stateless functional API over :class:`repro.nn.tensor.Tensor`.
+
+Activations and helpers used by the paper's networks: parametric ReLU
+(Fig. 7), sigmoid gates for the highway layers (Fig. 6) and the signed
+logarithm applied to difference images before the CNN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "prelu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "signed_log10",
+    "dropout",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit ``max(x, 0)``."""
+    mask = (x.data > 0).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with a fixed negative slope."""
+    pos = x.data > 0
+    scale = np.where(pos, 1.0, negative_slope).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * scale)
+
+    return Tensor._make(x.data * scale, (x,), backward)
+
+
+def prelu(x: Tensor, alpha: Tensor) -> Tensor:
+    """Parametric ReLU: ``x`` if positive else ``alpha * x``.
+
+    ``alpha`` may be a scalar tensor (shared slope) or have one entry per
+    channel; a per-channel alpha of shape ``(C,)`` is broadcast over the
+    spatial dimensions of a 4-D input.
+    """
+    alpha_data = alpha.data
+    if x.ndim == 4 and alpha_data.ndim == 1 and alpha_data.shape[0] == x.shape[1]:
+        alpha_view = alpha_data.reshape(1, -1, 1, 1)
+    else:
+        alpha_view = alpha_data
+    pos = x.data > 0
+    out_data = np.where(pos, x.data, alpha_view * x.data).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * np.where(pos, 1.0, alpha_view).astype(grad.dtype))
+        if alpha.requires_grad:
+            dalpha = grad * np.where(pos, 0.0, x.data)
+            if alpha_data.ndim == 1 and x.ndim == 4 and alpha_data.shape[0] == x.shape[1]:
+                dalpha = dalpha.sum(axis=(0, 2, 3))
+            elif alpha_data.ndim == 1 and x.ndim == 2 and alpha_data.shape[0] == x.shape[1]:
+                dalpha = dalpha.sum(axis=0)
+            else:
+                dalpha = np.array(dalpha.sum(), dtype=grad.dtype).reshape(alpha_data.shape)
+            alpha._accumulate(dalpha.reshape(alpha_data.shape))
+
+    return Tensor._make(out_data, (x, alpha), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic function (numerically stable)."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (stable via max subtraction)."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (stable log-sum-exp)."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def signed_log10(x: Tensor) -> Tensor:
+    """The paper's input transform ``y = sgn(x) * log10(|x| + 1)``.
+
+    Difference-image pixels span several orders of magnitude and can be
+    negative; the signed logarithm compresses the dynamic range while
+    keeping the sign of the residual (Section 4).
+    """
+    sign = np.sign(x.data)
+    mag = np.abs(x.data)
+    ln10 = np.log(10.0)
+    out_data = (sign * np.log10(mag + 1.0)).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # d/dx sgn(x) log10(|x|+1) = 1 / ((|x|+1) ln 10) for x != 0.
+            x._accumulate(grad / ((mag + 1.0) * ln10))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1 / (1 - p)``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)

@@ -1,0 +1,81 @@
+"""Highway layers (Srivastava, Greff & Schmidhuber, 2015) — paper ref [17].
+
+The classification network of the paper (Fig. 6) uses two highway layers
+between its input and output fully connected layers.  A highway layer
+computes
+
+    y = T(x) * H(x) + (1 - T(x)) * x
+
+where ``H`` is an affine transform with nonlinearity and ``T`` is a
+sigmoid transform gate.  The gate bias is initialised negative so the
+layer starts close to the identity, which is what makes deeper stacks
+trainable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Highway"]
+
+
+class Highway(Module):
+    """A single highway layer over flat feature vectors.
+
+    Parameters
+    ----------
+    features:
+        Input/output width (highway layers preserve dimensionality).
+    gate_bias:
+        Initial transform-gate bias.  Negative values bias the layer
+        toward carrying the input through unchanged at the start of
+        training (the original paper recommends -1 to -3).
+    activation:
+        Nonlinearity for the transform branch ``H``; ``'relu'``,
+        ``'tanh'`` or ``'prelu'``.
+    """
+
+    def __init__(
+        self,
+        features: int,
+        gate_bias: float = -1.0,
+        activation: str = "relu",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.features = features
+        self.weight_h = Parameter(init.he_normal((features, features), rng))
+        self.bias_h = Parameter(np.zeros(features, dtype=np.float32))
+        self.weight_t = Parameter(init.xavier_normal((features, features), rng))
+        self.bias_t = Parameter(np.full(features, gate_bias, dtype=np.float32))
+        if activation not in ("relu", "tanh", "prelu"):
+            raise ValueError(f"unsupported highway activation {activation!r}")
+        self.activation = activation
+        if activation == "prelu":
+            self.alpha = Parameter(np.full(1, 0.25, dtype=np.float32))
+
+    def _transform(self, x: Tensor) -> Tensor:
+        h = x.matmul(self.weight_h.T) + self.bias_h
+        if self.activation == "relu":
+            return F.relu(h)
+        if self.activation == "tanh":
+            return h.tanh()
+        return F.prelu(h, self.alpha)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.features:
+            raise ValueError(
+                f"Highway expects (N, {self.features}) inputs, got {x.shape}"
+            )
+        transform = self._transform(x)
+        gate = (x.matmul(self.weight_t.T) + self.bias_t).sigmoid()
+        return gate * transform + (1.0 - gate) * x
+
+    def __repr__(self) -> str:
+        return f"Highway({self.features}, activation={self.activation!r})"

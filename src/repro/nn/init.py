@@ -1,0 +1,57 @@
+"""Weight initialisers.
+
+He (Kaiming) initialisation is the default for layers followed by
+(P)ReLU — the case for every layer of the paper's networks — while Xavier
+(Glorot) initialisation is provided for sigmoid/tanh-gated layers such as
+the highway transform gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "he_uniform", "xavier_normal", "xavier_uniform", "fan_in_out"]
+
+
+def fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and convolutional weights.
+
+    Dense weights are ``(out_features, in_features)``; convolutional
+    weights are ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        out_features, in_features = shape
+        return in_features, out_features
+    if len(shape) == 4:
+        out_channels, in_channels, kernel_h, kernel_w = shape
+        receptive = kernel_h * kernel_w
+        return in_channels * receptive, out_channels * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Kaiming-normal initialisation: ``std = sqrt(2 / fan_in)``."""
+    fan_in, _ = fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Kaiming-uniform initialisation: bound ``sqrt(6 / fan_in)``."""
+    fan_in, _ = fan_in_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-normal initialisation: ``std = sqrt(2 / (fan_in + fan_out))``."""
+    fan_in, fan_out = fan_in_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialisation: bound ``sqrt(6 / (fan_in + fan_out))``."""
+    fan_in, fan_out = fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)

@@ -1,0 +1,93 @@
+"""Loss functions.
+
+The flux CNN is trained with mean-squared error on magnitudes; the
+classifiers with binary cross-entropy.  Losses are implemented as modules
+so they can be swapped in trainer configs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module
+from .tensor import Tensor, as_tensor
+
+__all__ = ["MSELoss", "L1Loss", "BCEWithLogitsLoss", "CrossEntropyLoss", "HuberLoss"]
+
+
+class MSELoss(Module):
+    """Mean squared error ``mean((pred - target)^2)``."""
+
+    def forward(self, prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+        target_t = as_tensor(target)
+        diff = prediction - target_t.detach()
+        return (diff * diff).mean()
+
+
+class L1Loss(Module):
+    """Mean absolute error."""
+
+    def forward(self, prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+        target_t = as_tensor(target)
+        return (prediction - target_t.detach()).abs().mean()
+
+
+class HuberLoss(Module):
+    """Huber loss: quadratic near zero, linear in the tails.
+
+    Useful for magnitude regression when a few very faint objects would
+    otherwise dominate the MSE.
+    """
+
+    def __init__(self, delta: float = 1.0) -> None:
+        super().__init__()
+        self.delta = delta
+
+    def forward(self, prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+        target_t = as_tensor(target)
+        diff = prediction - target_t.detach()
+        abs_diff = diff.abs()
+        quadratic = abs_diff.clip(None, self.delta)
+        linear = abs_diff - quadratic
+        return (0.5 * quadratic * quadratic + self.delta * linear).mean()
+
+
+class BCEWithLogitsLoss(Module):
+    """Binary cross-entropy on raw logits (numerically stable).
+
+    Uses the identity ``log(1 + exp(x)) = max(x, 0) + log(1 + exp(-|x|))``
+    so large logits do not overflow.
+    """
+
+    def forward(self, logits: Tensor, target: Tensor | np.ndarray) -> Tensor:
+        target_arr = np.asarray(target.data if isinstance(target, Tensor) else target)
+        target_arr = target_arr.reshape(logits.shape).astype(logits.data.dtype)
+
+        x = logits.data
+        exp_neg_abs = np.exp(-np.abs(x))
+        sig = np.where(x >= 0, 1.0 / (1.0 + exp_neg_abs), exp_neg_abs / (1.0 + exp_neg_abs))
+        loss_data = np.maximum(x, 0.0) - x * target_arr + np.log1p(np.exp(-np.abs(x)))
+        mean_loss = np.array(loss_data.mean(), dtype=x.dtype)
+        scale = 1.0 / x.size
+
+        def backward(grad: np.ndarray) -> None:
+            if logits.requires_grad:
+                logits._accumulate(grad * (sig - target_arr) * scale)
+
+        return Tensor._make(mean_loss, (logits,), backward)
+
+
+class CrossEntropyLoss(Module):
+    """Multi-class cross-entropy on logits with integer class targets."""
+
+    def forward(self, logits: Tensor, target: np.ndarray) -> Tensor:
+        target_idx = np.asarray(target).astype(np.int64).reshape(-1)
+        if logits.ndim != 2 or logits.shape[0] != target_idx.shape[0]:
+            raise ValueError(
+                f"logits {logits.shape} incompatible with targets {target_idx.shape}"
+            )
+        log_probs = F.log_softmax(logits, axis=1)
+        batch = np.arange(target_idx.shape[0])
+        picked = log_probs[batch, target_idx]
+        return -picked.mean()

@@ -1,0 +1,206 @@
+"""Module system: parameter containers with PyTorch-like ergonomics.
+
+A :class:`Module` automatically registers :class:`Parameter` and child
+``Module`` attributes, supports recursive iteration over parameters,
+train/eval mode switching, and flat ``state_dict`` export/import used by
+:mod:`repro.nn.serialization`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable weight of a module."""
+
+    def __init__(self, data: object, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for every neural-network component.
+
+    Subclasses assign :class:`Parameter`, :class:`Module` and buffer
+    (plain ``numpy`` array via :meth:`register_buffer`) attributes in
+    ``__init__`` and implement :meth:`forward`.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable persistent array (e.g. BN statistics)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def _update_buffer(self, name: str, value: np.ndarray) -> None:
+        """Overwrite an existing buffer (keeps registry and attr in sync)."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every parameter of this module and its descendants."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` pairs recursively."""
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants depth-first."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Modes & gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects BN, dropout)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # State persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of dotted names to arrays (parameters + buffers)."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state["buffer:" + name] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict matching)."""
+        params = dict(self.named_parameters())
+        expected = set(params)
+        expected_buffers = {name for name, _ in self.named_buffers()}
+        provided_params = {k for k in state if not k.startswith("buffer:")}
+        provided_buffers = {k[len("buffer:"):] for k in state if k.startswith("buffer:")}
+        if provided_params != expected or provided_buffers != expected_buffers:
+            missing = (expected - provided_params) | (expected_buffers - provided_buffers)
+            unexpected = (provided_params - expected) | (provided_buffers - expected_buffers)
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in params.items():
+            value = np.asarray(state[name])
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.shape}, got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype).copy()
+        self._load_buffers(state, prefix="")
+
+    def _load_buffers(self, state: dict[str, np.ndarray], prefix: str) -> None:
+        for name in list(self._buffers):
+            key = "buffer:" + prefix + name
+            self._update_buffer(name, np.asarray(state[key]).copy())
+        for name, module in self._modules.items():
+            module._load_buffers(state, prefix + name + ".")
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args: object, **kwargs: object) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args: object, **kwargs: object) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output to the next."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+        self._layers = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+
+class ModuleList(Module):
+    """A list of sub-modules that registers each element."""
+
+    def __init__(self, modules: list[Module] | None = None) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        setattr(self, f"item{len(self._items)}", module)
+        self._items.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

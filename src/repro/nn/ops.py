@@ -1,0 +1,201 @@
+"""Convolution and pooling primitives with autograd support.
+
+The band-wise CNN of the paper (Fig. 7) is built from 5x5 convolutions and
+2x2 max-pooling.  These are implemented here on top of
+:class:`repro.nn.tensor.Tensor` using an ``im2col`` formulation: the input
+is expanded into a column matrix so that convolution becomes a single
+matrix multiplication, which NumPy executes through BLAS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from .tensor import Tensor
+
+__all__ = ["conv2d", "max_pool2d", "avg_pool2d", "pad2d"]
+
+
+def _im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int
+) -> np.ndarray:
+    """Expand ``x`` (N, C, H, W) into sliding windows.
+
+    Returns a **view** of shape (N, C, kernel_h, kernel_w, out_h, out_w);
+    callers must not write through it.
+    """
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel_h) // stride + 1
+    out_w = (width - kernel_w) // stride + 1
+    s_n, s_c, s_h, s_w = x.strides
+    shape = (batch, channels, kernel_h, kernel_w, out_h, out_w)
+    strides = (s_n, s_c, s_h, s_w, s_h * stride, s_w * stride)
+    return as_strided(x, shape=shape, strides=strides)
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to the (padded) input layout.
+
+    ``cols`` has shape (N, C, kernel_h, kernel_w, out_h, out_w).
+    """
+    batch, channels, height, width = input_shape
+    out_h = cols.shape[4]
+    out_w = cols.shape[5]
+    dx = np.zeros(input_shape, dtype=cols.dtype)
+    for i in range(kernel_h):
+        i_stop = i + stride * out_h
+        for j in range(kernel_w):
+            j_stop = j + stride * out_w
+            dx[:, :, i:i_stop:stride, j:j_stop:stride] += cols[:, :, i, j]
+    return dx
+
+
+def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) axes."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation (the deep-learning "convolution").
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(N, C_in, H, W)``.
+    weight:
+        Filter bank of shape ``(C_out, C_in, KH, KW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    stride, padding:
+        Standard convolution hyper-parameters (symmetric).
+    """
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects a 4-D input, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d expects a 4-D weight, got shape {weight.shape}")
+    out_channels, in_channels, kernel_h, kernel_w = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {in_channels}"
+        )
+
+    x_padded = pad2d(x.data, padding)
+    batch = x_padded.shape[0]
+    cols = _im2col(x_padded, kernel_h, kernel_w, stride)
+    out_h, out_w = cols.shape[4], cols.shape[5]
+    # (N, out_h, out_w, C*KH*KW)
+    col_matrix = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, in_channels * kernel_h * kernel_w
+    )
+    w_matrix = weight.data.reshape(out_channels, -1)
+    out = col_matrix @ w_matrix.T
+    if bias is not None:
+        out = out + bias.data
+    out_data = out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+    out_data = np.ascontiguousarray(out_data)
+
+    padded_shape = x_padded.shape
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (N, C_out, out_h, out_w) -> (N*out_h*out_w, C_out)
+        grad_matrix = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        if weight.requires_grad:
+            dw = grad_matrix.T @ col_matrix
+            weight._accumulate(dw.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_matrix.sum(axis=0))
+        if x.requires_grad:
+            dcols = grad_matrix @ w_matrix  # (N*oh*ow, C*KH*KW)
+            dcols = dcols.reshape(batch, out_h, out_w, in_channels, kernel_h, kernel_w)
+            dcols = dcols.transpose(0, 3, 4, 5, 1, 2)
+            dx_padded = _col2im(dcols, padded_shape, kernel_h, kernel_w, stride)
+            if padding:
+                dx = dx_padded[:, :, padding:-padding, padding:-padding]
+            else:
+                dx = dx_padded
+            x._accumulate(dx)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel_size: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling over square windows.
+
+    The paper notes max-pooling is the most important component of the
+    band-wise CNN since each stamp contains at most one supernova; the
+    pooled response keeps the strongest local detection.
+
+    Inputs whose spatial size is not divisible by the window are cropped at
+    the bottom/right edge (floor behaviour, as in PyTorch's default).
+    """
+    stride = stride or kernel_size
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel_size) // stride + 1
+    out_w = (width - kernel_size) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"pooling window {kernel_size} too large for input {x.shape}")
+
+    cols = _im2col(x.data, kernel_size, kernel_size, stride)
+    # (N, C, K, K, oh, ow) -> (N, C, oh, ow, K*K)
+    windows = cols.transpose(0, 1, 4, 5, 2, 3).reshape(
+        batch, channels, out_h, out_w, kernel_size * kernel_size
+    )
+    arg = windows.argmax(axis=-1)
+    out_data = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+    out_data = np.ascontiguousarray(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        dwindows = np.zeros(
+            (batch, channels, out_h, out_w, kernel_size * kernel_size), dtype=grad.dtype
+        )
+        np.put_along_axis(dwindows, arg[..., None], grad[..., None], axis=-1)
+        dcols = dwindows.reshape(
+            batch, channels, out_h, out_w, kernel_size, kernel_size
+        ).transpose(0, 1, 4, 5, 2, 3)
+        x._accumulate(_col2im(dcols, x.shape, kernel_size, kernel_size, stride))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int = 2, stride: int | None = None) -> Tensor:
+    """Average pooling — provided for the pooling ablation of Table 1."""
+    stride = stride or kernel_size
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel_size) // stride + 1
+    out_w = (width - kernel_size) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"pooling window {kernel_size} too large for input {x.shape}")
+
+    cols = _im2col(x.data, kernel_size, kernel_size, stride)
+    out_data = cols.mean(axis=(2, 3))
+    out_data = np.ascontiguousarray(out_data)
+    scale = 1.0 / (kernel_size * kernel_size)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        dcols = np.broadcast_to(
+            (grad * scale)[:, :, None, None, :, :],
+            (batch, channels, kernel_size, kernel_size, out_h, out_w),
+        ).astype(grad.dtype)
+        x._accumulate(_col2im(dcols, x.shape, kernel_size, kernel_size, stride))
+
+    return Tensor._make(out_data, (x,), backward)

@@ -1,0 +1,29 @@
+"""Persist module weights to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Write a module's :meth:`~repro.nn.module.Module.state_dict` to ``path``.
+
+    Dotted parameter names are preserved as archive keys so the file can be
+    reloaded into a freshly constructed module of the same architecture.
+    """
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Load weights saved by :func:`save_module` into ``module`` (in place)."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

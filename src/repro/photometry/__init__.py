@@ -1,0 +1,32 @@
+"""Photometric algebra: bands, magnitudes, flux conversions and
+classical photometry on difference images."""
+
+from .aperture import PhotometryResult, aperture_photometry, psf_photometry
+from .bands import GRIZY, Band, band_by_name
+from .extinction import apply_extinction_to_flux, band_extinction, ccm_extinction
+from .magnitudes import (
+    ZERO_POINT,
+    flux_to_mag,
+    inverse_signed_log10,
+    mag_error_from_flux,
+    mag_to_flux,
+    signed_log10,
+)
+
+__all__ = [
+    "PhotometryResult",
+    "aperture_photometry",
+    "psf_photometry",
+    "ccm_extinction",
+    "band_extinction",
+    "apply_extinction_to_flux",
+    "Band",
+    "GRIZY",
+    "band_by_name",
+    "ZERO_POINT",
+    "flux_to_mag",
+    "mag_to_flux",
+    "signed_log10",
+    "inverse_signed_log10",
+    "mag_error_from_flux",
+]

@@ -1,0 +1,122 @@
+"""Classical photometry on difference images.
+
+The paper's motivation is to *replace* "precise and complex flux
+measurements" with a CNN.  To make that comparison concrete the library
+also implements the classical measurements themselves:
+
+* **aperture photometry** — sum pixels in a circular aperture, with an
+  annulus-based local background estimate;
+* **PSF photometry** — weighted least-squares fit of the known PSF shape,
+  the statistically optimal estimator for isolated point sources.
+
+Both operate on PSF-matched difference images and serve as the
+non-learning baseline for the Fig. 8 flux-estimation experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PhotometryResult", "aperture_photometry", "psf_photometry"]
+
+
+@dataclass(frozen=True)
+class PhotometryResult:
+    """A flux measurement with its 1-sigma uncertainty."""
+
+    flux: float
+    flux_error: float
+
+    @property
+    def snr(self) -> float:
+        """Detection signal-to-noise ratio."""
+        return self.flux / self.flux_error if self.flux_error > 0 else 0.0
+
+
+def _radial_masks(
+    shape: tuple[int, int], center: tuple[float, float]
+) -> np.ndarray:
+    rows = np.arange(shape[0])[:, None] - center[0]
+    cols = np.arange(shape[1])[None, :] - center[1]
+    return np.sqrt(rows**2 + cols**2)
+
+
+def aperture_photometry(
+    image: np.ndarray,
+    center: tuple[float, float],
+    radius: float,
+    sky_annulus: tuple[float, float] | None = None,
+    pixel_noise: float | None = None,
+) -> PhotometryResult:
+    """Sum the flux inside a circular aperture.
+
+    Parameters
+    ----------
+    image:
+        Sky-subtracted (difference) image.
+    center:
+        (row, col) aperture centre.
+    radius:
+        Aperture radius in pixels.
+    sky_annulus:
+        Optional (inner, outer) radii of a residual-background annulus
+        whose median is subtracted per aperture pixel.
+    pixel_noise:
+        Per-pixel noise sigma; when given, the flux error is
+        ``sigma * sqrt(n_pixels)``, otherwise it is estimated from the
+        annulus scatter (which then must be provided).
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    distance = _radial_masks(image.shape, center)
+    aperture = distance <= radius
+    if not np.any(aperture):
+        raise ValueError("aperture contains no pixels")
+
+    background = 0.0
+    annulus_std = None
+    if sky_annulus is not None:
+        inner, outer = sky_annulus
+        if not 0 < inner < outer:
+            raise ValueError("sky_annulus must be (inner, outer) with 0 < inner < outer")
+        annulus = (distance >= inner) & (distance <= outer)
+        if not np.any(annulus):
+            raise ValueError("sky annulus contains no pixels")
+        background = float(np.median(image[annulus]))
+        annulus_std = float(np.std(image[annulus]))
+
+    n_pixels = int(aperture.sum())
+    flux = float(image[aperture].sum() - background * n_pixels)
+    if pixel_noise is not None:
+        error = float(pixel_noise * np.sqrt(n_pixels))
+    elif annulus_std is not None:
+        error = float(annulus_std * np.sqrt(n_pixels))
+    else:
+        raise ValueError("provide pixel_noise or sky_annulus to estimate the error")
+    return PhotometryResult(flux=flux, flux_error=error)
+
+
+def psf_photometry(
+    image: np.ndarray,
+    psf_model: np.ndarray,
+    pixel_noise: float,
+) -> PhotometryResult:
+    """Optimal (matched-filter) point-source flux fit.
+
+    Solves ``min_A || image - A * psf ||^2 / sigma^2`` in closed form:
+    ``A = sum(image * psf) / sum(psf^2)`` with variance
+    ``sigma^2 / sum(psf^2)``.  ``psf_model`` must be the unit-flux PSF
+    rendered at the source position on the same grid.
+    """
+    if image.shape != psf_model.shape:
+        raise ValueError("image and psf_model must have the same shape")
+    if pixel_noise <= 0:
+        raise ValueError("pixel_noise must be positive")
+    norm = float(np.sum(psf_model**2))
+    if norm <= 0:
+        raise ValueError("psf_model is identically zero")
+    flux = float(np.sum(image * psf_model) / norm)
+    error = float(pixel_noise / np.sqrt(norm))
+    return PhotometryResult(flux=flux, flux_error=error)

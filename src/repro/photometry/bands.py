@@ -1,0 +1,63 @@
+"""Broad-band filter definitions.
+
+The survey of the paper observes in the five Hyper Suprime-Cam broad
+bands g, r, i, z, y.  A :class:`Band` carries the effective wavelength
+(used for the light-curve colour law and redshifting) and nominal sky
+brightness / zero-point information used by the imaging simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Band", "GRIZY", "band_by_name"]
+
+
+@dataclass(frozen=True)
+class Band:
+    """One broad-band filter.
+
+    Attributes
+    ----------
+    name:
+        Single-letter filter name ('g', 'r', 'i', 'z', 'y').
+    effective_wavelength:
+        Pivot wavelength in Angstroms.
+    sky_mag_arcsec2:
+        Typical dark-sky surface brightness in mag / arcsec^2, used by the
+        noise model.
+    index:
+        Stable ordinal used to order features (g=0 ... y=4).
+    """
+
+    name: str
+    effective_wavelength: float
+    sky_mag_arcsec2: float
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.effective_wavelength <= 0:
+            raise ValueError("effective wavelength must be positive")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# HSC-like pivot wavelengths (Angstrom) and Mauna Kea sky brightnesses.
+GRIZY: tuple[Band, ...] = (
+    Band("g", 4754.0, 22.0, 0),
+    Band("r", 6175.0, 21.2, 1),
+    Band("i", 7711.0, 20.5, 2),
+    Band("z", 8898.0, 19.6, 3),
+    Band("y", 9762.0, 18.6, 4),
+)
+
+_BY_NAME = {band.name: band for band in GRIZY}
+
+
+def band_by_name(name: str) -> Band:
+    """Look up one of the five survey bands by letter."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown band {name!r}; expected one of {sorted(_BY_NAME)}") from None

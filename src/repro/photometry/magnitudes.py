@@ -1,0 +1,69 @@
+"""Flux <-> magnitude algebra.
+
+The paper works with stellar magnitudes on the zero-point-27 system used
+by HSC difference imaging:
+
+    mag = -2.5 log10(flux) + 27.0
+
+and preprocesses difference-image pixels with the signed logarithm
+
+    y = sgn(x) log10(|x| + 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ZERO_POINT",
+    "flux_to_mag",
+    "mag_to_flux",
+    "signed_log10",
+    "inverse_signed_log10",
+    "mag_error_from_flux",
+]
+
+ZERO_POINT: float = 27.0
+
+
+def flux_to_mag(flux: float | np.ndarray, zero_point: float = ZERO_POINT) -> float | np.ndarray:
+    """Convert flux (detector counts) to magnitude.
+
+    Non-positive fluxes have no magnitude; they raise, because silent NaNs
+    propagate into training labels.
+    """
+    flux_arr = np.asarray(flux, dtype=float)
+    if np.any(flux_arr <= 0):
+        raise ValueError("flux must be positive to have a magnitude")
+    mag = -2.5 * np.log10(flux_arr) + zero_point
+    return mag if np.ndim(flux) else float(mag)
+
+
+def mag_to_flux(mag: float | np.ndarray, zero_point: float = ZERO_POINT) -> float | np.ndarray:
+    """Convert magnitude to flux (inverse of :func:`flux_to_mag`)."""
+    flux = 10.0 ** (-0.4 * (np.asarray(mag, dtype=float) - zero_point))
+    return flux if np.ndim(mag) else float(flux)
+
+
+def signed_log10(x: np.ndarray) -> np.ndarray:
+    """The paper's dynamic-range compression ``sgn(x) log10(|x| + 1)``."""
+    x = np.asarray(x, dtype=float)
+    return np.sign(x) * np.log10(np.abs(x) + 1.0)
+
+
+def inverse_signed_log10(y: np.ndarray) -> np.ndarray:
+    """Invert :func:`signed_log10`."""
+    y = np.asarray(y, dtype=float)
+    return np.sign(y) * (10.0 ** np.abs(y) - 1.0)
+
+
+def mag_error_from_flux(flux: float, flux_error: float) -> float:
+    """First-order magnitude uncertainty from a flux uncertainty.
+
+    sigma_m = (2.5 / ln 10) * sigma_f / f.
+    """
+    if flux <= 0:
+        raise ValueError("flux must be positive")
+    if flux_error < 0:
+        raise ValueError("flux error must be non-negative")
+    return float(2.5 / np.log(10.0) * flux_error / flux)

@@ -1,0 +1,58 @@
+"""Observation simulation substrate: PSFs, galaxies, noise, scheduling,
+imaging and PSF-matched differencing."""
+
+from .artifacts import (
+    inject_cosmic_ray,
+    inject_dipole,
+    inject_hot_pixel,
+    make_bogus_stamp,
+)
+from .coadd import CoaddResult, coadd_exposures
+from .conditions import ConditionsModel, NightConditions
+from .detection import Detection, detect_transients, snr_map
+from .differencing import (
+    DifferenceResult,
+    difference_images,
+    fit_matching_kernel,
+    gaussian_matching_kernel,
+)
+from .galaxy import render_galaxy, render_sersic, sersic_b
+from .imaging import Exposure, ImagingConfig, StampSimulator
+from .noise import NoiseModel, sky_counts_per_pixel
+from .psf import GaussianPSF, MoffatPSF, fwhm_to_sigma, sigma_to_fwhm
+from .scheduling import ObservationPlan, ScheduledVisit, SurveyScheduler
+from .wcs import TanWCS
+
+__all__ = [
+    "inject_cosmic_ray",
+    "inject_dipole",
+    "inject_hot_pixel",
+    "make_bogus_stamp",
+    "Detection",
+    "detect_transients",
+    "snr_map",
+    "CoaddResult",
+    "coadd_exposures",
+    "ConditionsModel",
+    "NightConditions",
+    "DifferenceResult",
+    "difference_images",
+    "fit_matching_kernel",
+    "gaussian_matching_kernel",
+    "render_galaxy",
+    "render_sersic",
+    "sersic_b",
+    "Exposure",
+    "ImagingConfig",
+    "StampSimulator",
+    "NoiseModel",
+    "sky_counts_per_pixel",
+    "GaussianPSF",
+    "MoffatPSF",
+    "fwhm_to_sigma",
+    "sigma_to_fwhm",
+    "ObservationPlan",
+    "ScheduledVisit",
+    "SurveyScheduler",
+    "TanWCS",
+]

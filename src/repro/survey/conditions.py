@@ -1,0 +1,95 @@
+"""Per-night observing conditions.
+
+The paper simulated "fluctuations in observation conditions such as
+weathers by using the images of the same galaxy taken on different days"
+(Section 3).  We model the same variability generatively: each night
+draws a seeing FWHM (log-normal, as observed at Mauna Kea), an
+atmospheric transparency and a small photometric zero-point jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NightConditions", "ConditionsModel"]
+
+
+@dataclass(frozen=True)
+class NightConditions:
+    """Observing conditions for one night.
+
+    Attributes
+    ----------
+    mjd:
+        Night identifier (modified Julian date).
+    seeing_fwhm:
+        Delivered PSF FWHM in arcseconds.
+    transparency:
+        Fractional sky transparency in (0, 1].
+    zp_jitter_mag:
+        Residual photometric calibration error in magnitudes.
+    """
+
+    mjd: float
+    seeing_fwhm: float
+    transparency: float
+    zp_jitter_mag: float
+
+    def __post_init__(self) -> None:
+        if self.seeing_fwhm <= 0:
+            raise ValueError("seeing must be positive")
+        if not 0 < self.transparency <= 1:
+            raise ValueError("transparency must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ConditionsModel:
+    """Distribution of nightly conditions.
+
+    Parameters
+    ----------
+    median_seeing:
+        Median seeing FWHM in arcseconds (HSC-like: ~0.7").
+    seeing_log_sigma:
+        Log-normal width of the seeing distribution.
+    transparency_alpha, transparency_beta:
+        Beta-distribution parameters for transparency (skewed toward 1).
+    zp_jitter_sigma:
+        Gaussian sigma of the zero-point jitter in magnitudes.
+    """
+
+    median_seeing: float = 0.70
+    seeing_log_sigma: float = 0.18
+    transparency_alpha: float = 9.0
+    transparency_beta: float = 1.2
+    zp_jitter_sigma: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.median_seeing <= 0:
+            raise ValueError("median_seeing must be positive")
+        if self.seeing_log_sigma < 0:
+            raise ValueError("seeing_log_sigma must be non-negative")
+
+    def sample(self, mjd: float, rng: np.random.Generator) -> NightConditions:
+        """Draw the conditions for one night."""
+        seeing = float(rng.lognormal(np.log(self.median_seeing), self.seeing_log_sigma))
+        transparency = float(
+            np.clip(rng.beta(self.transparency_alpha, self.transparency_beta), 0.3, 1.0)
+        )
+        return NightConditions(
+            mjd=mjd,
+            seeing_fwhm=float(np.clip(seeing, 0.4, 2.0)),
+            transparency=transparency,
+            zp_jitter_mag=float(rng.normal(0.0, self.zp_jitter_sigma)),
+        )
+
+    def best_conditions(self, mjd: float) -> NightConditions:
+        """Idealised photometric night (used for reference co-adds)."""
+        return NightConditions(
+            mjd=mjd,
+            seeing_fwhm=self.median_seeing * 0.9,
+            transparency=1.0,
+            zp_jitter_mag=0.0,
+        )

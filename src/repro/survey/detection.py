@@ -1,0 +1,94 @@
+"""Transient detection on difference images.
+
+Step (2) of the paper's survey pipeline: "transient object candidates
+are detected by subtracting the obtained image from a reference image".
+Detection is a matched filter: the difference image is cross-correlated
+with the PSF, normalised to a signal-to-noise map, and local maxima
+above threshold become candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage, signal
+
+__all__ = ["Detection", "snr_map", "detect_transients"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One transient candidate.
+
+    Attributes
+    ----------
+    row, col:
+        Pixel position of the SNR peak.
+    snr:
+        Matched-filter signal-to-noise ratio at the peak.
+    flux:
+        Matched-filter flux estimate at the peak.
+    """
+
+    row: int
+    col: int
+    snr: float
+    flux: float
+
+
+def snr_map(
+    difference: np.ndarray, psf_kernel: np.ndarray, pixel_noise: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matched-filter SNR and flux maps of a difference image.
+
+    For a unit-flux PSF ``p`` and per-pixel noise ``sigma``, the optimal
+    point-source flux estimate centred at each pixel is
+    ``(d * p) / sum(p^2)`` (cross-correlation), with constant standard
+    deviation ``sigma / sqrt(sum(p^2))``.
+
+    Returns ``(snr, flux)`` maps of the input shape.
+    """
+    if pixel_noise <= 0:
+        raise ValueError("pixel_noise must be positive")
+    norm = float(np.sum(psf_kernel**2))
+    if norm <= 0:
+        raise ValueError("psf_kernel is identically zero")
+    # Cross-correlation = convolution with the flipped kernel.
+    correlated = signal.fftconvolve(difference, psf_kernel[::-1, ::-1], mode="same")
+    flux = correlated / norm
+    flux_sigma = pixel_noise / np.sqrt(norm)
+    return flux / flux_sigma, flux
+
+
+def detect_transients(
+    difference: np.ndarray,
+    psf_kernel: np.ndarray,
+    pixel_noise: float,
+    threshold: float = 5.0,
+    min_separation: int = 3,
+) -> list[Detection]:
+    """Find significant point sources in a difference image.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum matched-filter SNR (survey convention: 5 sigma).
+    min_separation:
+        Local-maximum window half-size in pixels; peaks closer than this
+        merge into the brighter one.
+
+    Returns detections sorted by decreasing SNR.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    snr, flux = snr_map(difference, psf_kernel, pixel_noise)
+    # Local maxima via grey dilation.
+    footprint = np.ones((2 * min_separation + 1, 2 * min_separation + 1))
+    local_max = snr == ndimage.grey_dilation(snr, footprint=footprint)
+    candidates = np.argwhere(local_max & (snr >= threshold))
+    detections = [
+        Detection(row=int(r), col=int(c), snr=float(snr[r, c]), flux=float(flux[r, c]))
+        for r, c in candidates
+    ]
+    return sorted(detections, key=lambda d: -d.snr)

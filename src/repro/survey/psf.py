@@ -1,0 +1,100 @@
+"""Point-spread functions.
+
+Every image in the simulated survey is blurred by atmospheric seeing.
+Supernovae are point sources, so the PSF *is* their image; galaxies are
+convolved with it.  Two standard profiles are provided — Gaussian and
+Moffat (the better model for atmospheric wings) — both renderable at
+sub-pixel centres on a stamp grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianPSF", "MoffatPSF", "fwhm_to_sigma", "sigma_to_fwhm"]
+
+_FWHM_FACTOR = 2.0 * np.sqrt(2.0 * np.log(2.0))
+
+
+def fwhm_to_sigma(fwhm: float) -> float:
+    """Convert a Gaussian FWHM to its standard deviation."""
+    if fwhm <= 0:
+        raise ValueError("FWHM must be positive")
+    return fwhm / _FWHM_FACTOR
+
+
+def sigma_to_fwhm(sigma: float) -> float:
+    """Convert a Gaussian standard deviation to its FWHM."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    return sigma * _FWHM_FACTOR
+
+
+class GaussianPSF:
+    """Circular Gaussian PSF.
+
+    Parameters
+    ----------
+    fwhm:
+        Full width at half maximum in arcseconds.
+    pixel_scale:
+        Arcseconds per pixel of the detector.
+    """
+
+    def __init__(self, fwhm: float, pixel_scale: float = 0.17) -> None:
+        if fwhm <= 0 or pixel_scale <= 0:
+            raise ValueError("fwhm and pixel_scale must be positive")
+        self.fwhm = fwhm
+        self.pixel_scale = pixel_scale
+        self.sigma_pixels = fwhm_to_sigma(fwhm) / pixel_scale
+
+    def render(self, shape: tuple[int, int], center: tuple[float, float]) -> np.ndarray:
+        """Render the PSF normalised to unit total flux on an infinite plane.
+
+        Parameters
+        ----------
+        shape:
+            (height, width) of the stamp in pixels.
+        center:
+            (row, col) sub-pixel centre of the source.
+        """
+        height, width = shape
+        rows = np.arange(height)[:, None] - center[0]
+        cols = np.arange(width)[None, :] - center[1]
+        r2 = rows**2 + cols**2
+        norm = 1.0 / (2.0 * np.pi * self.sigma_pixels**2)
+        return norm * np.exp(-r2 / (2.0 * self.sigma_pixels**2))
+
+    def __repr__(self) -> str:
+        return f"GaussianPSF(fwhm={self.fwhm:.3f}\")"
+
+
+class MoffatPSF:
+    """Moffat PSF: ``I(r) ~ (1 + (r/alpha)^2)^-beta``.
+
+    Heavier wings than a Gaussian; ``beta ~ 3`` is typical of ground-based
+    seeing.  ``alpha`` is derived from the requested FWHM.
+    """
+
+    def __init__(self, fwhm: float, beta: float = 3.0, pixel_scale: float = 0.17) -> None:
+        if fwhm <= 0 or pixel_scale <= 0:
+            raise ValueError("fwhm and pixel_scale must be positive")
+        if beta <= 1.0:
+            raise ValueError("beta must exceed 1 for a normalisable profile")
+        self.fwhm = fwhm
+        self.beta = beta
+        self.pixel_scale = pixel_scale
+        fwhm_pixels = fwhm / pixel_scale
+        self.alpha_pixels = fwhm_pixels / (2.0 * np.sqrt(2.0 ** (1.0 / beta) - 1.0))
+
+    def render(self, shape: tuple[int, int], center: tuple[float, float]) -> np.ndarray:
+        """Render the PSF normalised to unit total flux on an infinite plane."""
+        height, width = shape
+        rows = np.arange(height)[:, None] - center[0]
+        cols = np.arange(width)[None, :] - center[1]
+        r2 = (rows**2 + cols**2) / self.alpha_pixels**2
+        norm = (self.beta - 1.0) / (np.pi * self.alpha_pixels**2)
+        return norm * (1.0 + r2) ** (-self.beta)
+
+    def __repr__(self) -> str:
+        return f"MoffatPSF(fwhm={self.fwhm:.3f}\", beta={self.beta})"

@@ -1,0 +1,106 @@
+"""World-coordinate-system geometry: gnomonic (TAN) projection.
+
+Large-format survey images map sky coordinates to pixels through a WCS;
+stamps are cut out of those frames ("A 65x65 region is cropped from
+large format imaging data", Section 3).  This module implements the
+standard gnomonic projection used by survey pipelines so catalogue
+positions (RA/Dec) can be placed on a virtual full frame and cutout
+geometry can be computed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TanWCS"]
+
+
+@dataclass(frozen=True)
+class TanWCS:
+    """A gnomonic (tangent-plane) projection with square pixels.
+
+    Parameters
+    ----------
+    ra_center, dec_center:
+        Projection tangent point in degrees.
+    pixel_scale:
+        Arcseconds per pixel.
+    crpix:
+        (x, y) pixel coordinates of the tangent point.
+    """
+
+    ra_center: float
+    dec_center: float
+    pixel_scale: float = 0.17
+    crpix: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.pixel_scale <= 0:
+            raise ValueError("pixel_scale must be positive")
+        if not -90.0 < self.dec_center < 90.0:
+            raise ValueError("dec_center must be inside (-90, 90)")
+
+    # ------------------------------------------------------------------
+    def sky_to_pixel(
+        self, ra: float | np.ndarray, dec: float | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project sky coordinates (degrees) to pixel (x, y).
+
+        x grows toward decreasing RA (astronomical convention: East left)
+        and y toward increasing Dec.
+        """
+        ra_r = np.radians(np.asarray(ra, dtype=float))
+        dec_r = np.radians(np.asarray(dec, dtype=float))
+        ra0 = np.radians(self.ra_center)
+        dec0 = np.radians(self.dec_center)
+
+        cos_c = np.sin(dec0) * np.sin(dec_r) + np.cos(dec0) * np.cos(dec_r) * np.cos(
+            ra_r - ra0
+        )
+        if np.any(cos_c <= 0):
+            raise ValueError("position is more than 90 degrees from the tangent point")
+        xi = np.cos(dec_r) * np.sin(ra_r - ra0) / cos_c
+        eta = (
+            np.cos(dec0) * np.sin(dec_r)
+            - np.sin(dec0) * np.cos(dec_r) * np.cos(ra_r - ra0)
+        ) / cos_c
+
+        scale = np.degrees(1.0) * 3600.0 / self.pixel_scale  # radians -> pixels
+        x = self.crpix[0] - xi * scale
+        y = self.crpix[1] + eta * scale
+        return x, y
+
+    def pixel_to_sky(
+        self, x: float | np.ndarray, y: float | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Invert :meth:`sky_to_pixel`; returns (ra, dec) in degrees."""
+        scale = np.degrees(1.0) * 3600.0 / self.pixel_scale
+        xi = (self.crpix[0] - np.asarray(x, dtype=float)) / scale
+        eta = (np.asarray(y, dtype=float) - self.crpix[1]) / scale
+        ra0 = np.radians(self.ra_center)
+        dec0 = np.radians(self.dec_center)
+
+        denom = np.cos(dec0) - eta * np.sin(dec0)
+        ra = ra0 + np.arctan2(xi, denom)
+        dec = np.arctan(
+            np.cos(ra - ra0) * (np.sin(dec0) + eta * np.cos(dec0)) / denom
+        )
+        return np.degrees(ra), np.degrees(dec)
+
+    def separation_pixels(
+        self, ra1: float, dec1: float, ra2: float, dec2: float
+    ) -> float:
+        """Pixel-plane distance between two sky positions."""
+        x1, y1 = self.sky_to_pixel(ra1, dec1)
+        x2, y2 = self.sky_to_pixel(ra2, dec2)
+        return float(np.hypot(x2 - x1, y2 - y1))
+
+    def cutout_origin(
+        self, ra: float, dec: float, stamp_size: int
+    ) -> tuple[int, int]:
+        """Integer (x0, y0) of a ``stamp_size`` cutout centred on a target."""
+        x, y = self.sky_to_pixel(ra, dec)
+        half = stamp_size // 2
+        return int(np.round(float(x))) - half, int(np.round(float(y))) - half

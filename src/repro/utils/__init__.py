@@ -1,0 +1,6 @@
+"""Small shared utilities: seeding and result tables."""
+
+from .seeding import spawn_rngs
+from .tables import format_table
+
+__all__ = ["spawn_rngs", "format_table"]

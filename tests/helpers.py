@@ -1,0 +1,54 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numerical_grad(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-4
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        f_plus = fn(x)
+        flat[i] = original - eps
+        f_minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(
+    build: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    rtol: float = 1e-3,
+    atol: float = 1e-4,
+) -> None:
+    """Assert autograd gradient of ``build(x).sum()`` matches finite differences.
+
+    ``build`` must map a Tensor to a Tensor using only repro.nn operations.
+    The input is evaluated in float64 for a tight numerical comparison.
+    """
+    x = np.asarray(x, dtype=np.float64)
+
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = build(tensor)
+    out.sum().backward()
+    analytic = tensor.grad
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        t = Tensor(arr.copy())
+        return float(build(t).numpy().sum())
+
+    numeric = numerical_grad(scalar_fn, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

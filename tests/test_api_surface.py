@@ -1,0 +1,72 @@
+"""API-surface checks: every public symbol is exported, importable and
+documented; subpackage __all__ lists are accurate."""
+
+import importlib
+import inspect
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.nn",
+    "repro.photometry",
+    "repro.lightcurves",
+    "repro.catalog",
+    "repro.survey",
+    "repro.datasets",
+    "repro.core",
+    "repro.baselines",
+    "repro.eval",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_all_symbols_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_module_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(f"{module_name}.{name}")
+    assert not undocumented, f"undocumented public API: {undocumented}"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_cli_module_importable():
+    from repro import cli
+
+    assert callable(cli.main)
+
+
+def test_public_classes_have_documented_methods():
+    """Spot-check core classes: public methods carry docstrings."""
+    from repro.core import BandwiseCNN, JointModel, LightCurveClassifier, SupernovaPipeline
+    from repro.datasets import DatasetBuilder, SupernovaDataset
+
+    for cls in (BandwiseCNN, LightCurveClassifier, JointModel, SupernovaPipeline,
+                DatasetBuilder, SupernovaDataset):
+        for name, member in inspect.getmembers(cls, inspect.isfunction):
+            if name.startswith("_"):
+                continue
+            assert inspect.getdoc(member), f"{cls.__name__}.{name} undocumented"

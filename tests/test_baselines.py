@@ -1,0 +1,248 @@
+"""Tests for the Table-2 baseline classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecisionTree,
+    GRUCell,
+    PoznanskiClassifier,
+    RandomForestClassifier,
+    RecurrentClassifier,
+    TemplateFitClassifier,
+    TemplateFluxGrid,
+    sequence_features,
+)
+from repro.datasets import BuildConfig, DatasetBuilder, train_val_test_split
+from repro.eval import auc_score
+from repro.lightcurves import SNType
+from repro.nn import Tensor
+
+RNG = np.random.default_rng(17)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return TemplateFluxGrid(redshifts=np.linspace(0.1, 2.0, 8))
+
+
+@pytest.fixture(scope="module")
+def lc_data():
+    ds = DatasetBuilder(
+        BuildConfig(n_ia=120, n_non_ia=120, seed=13, render_images=False, catalog_size=400)
+    ).build()
+    return train_val_test_split(ds, train_fraction=0.6, val_fraction=0.2, seed=1)
+
+
+def _measured(dataset, rng, err=1.5):
+    flux = dataset.true_flux + rng.normal(0, err, dataset.true_flux.shape)
+    return flux, np.full(flux.shape, err)
+
+
+class TestTemplateGrid:
+    def test_tables_for_all_types(self, grid):
+        for sn_type in SNType:
+            flux = grid.flux(sn_type, 0, np.array([2]), np.array([0.0]))
+            assert flux[0] > 0
+
+    def test_flux_fades_with_redshift(self, grid):
+        near = grid.flux(SNType.IA, 0, np.array([2]), np.array([0.0]))[0]
+        far = grid.flux(SNType.IA, len(grid.redshifts) - 1, np.array([2]), np.array([0.0]))[0]
+        assert far < near / 10
+
+    def test_pre_explosion_is_zero(self, grid):
+        flux = grid.flux(SNType.IA, 0, np.array([2]), np.array([-200.0]))
+        assert flux[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemplateFluxGrid(redshifts=np.array([-0.5]))
+
+
+class TestTemplateFit:
+    def test_ia_fit_prefers_ia(self, grid):
+        # Noiseless canonical Ia observations must be classified Ia.
+        z_idx = 2
+        mjd = np.array([0.0, 5.0, 10.0, 20.0, 30.0])
+        bands = np.array([0, 1, 2, 3, 4])
+        flux = grid.flux(SNType.IA, z_idx, bands, mjd)
+        clf = TemplateFitClassifier(grid)
+        score = clf.score_sample(flux, np.full(5, 0.5), mjd, bands)
+        assert score > 0.5
+
+    def test_iip_fit_prefers_non_ia(self, grid):
+        z_idx = 1
+        mjd = np.linspace(0.0, 80.0, 10)
+        bands = np.tile(np.arange(5), 2)
+        flux = grid.flux(SNType.IIP, z_idx, bands, mjd)
+        clf = TemplateFitClassifier(grid)
+        score = clf.score_sample(flux, np.full(10, 0.5), mjd, bands)
+        assert score < 0.5
+
+    def test_known_redshift_requires_z(self, grid):
+        clf = TemplateFitClassifier(grid, known_redshift=True)
+        with pytest.raises(ValueError):
+            clf.score_sample(np.ones(5), np.ones(5), np.zeros(5), np.arange(5))
+
+    def test_flux_error_validation(self, grid):
+        clf = TemplateFitClassifier(grid)
+        with pytest.raises(ValueError):
+            clf.score_sample(np.ones(5), np.zeros(5), np.zeros(5), np.arange(5))
+
+    def test_amplitude_range_validation(self, grid):
+        with pytest.raises(ValueError):
+            TemplateFitClassifier(grid, amplitude_range=(2.0, 1.0))
+
+    def test_batch_auc_beats_chance(self, grid, lc_data):
+        test = lc_data.test
+        flux, err = _measured(test, np.random.default_rng(0))
+        clf = TemplateFitClassifier(grid)
+        scores = clf.predict_proba(flux, err, test.visit_mjd, test.visit_band)
+        assert auc_score(test.labels, scores) > 0.75
+
+    def test_known_z_does_not_hurt(self, grid, lc_data):
+        test = lc_data.test
+        flux, err = _measured(test, np.random.default_rng(0))
+        no_z = TemplateFitClassifier(grid).predict_proba(
+            flux, err, test.visit_mjd, test.visit_band
+        )
+        with_z = TemplateFitClassifier(grid, known_redshift=True).predict_proba(
+            flux, err, test.visit_mjd, test.visit_band, test.redshifts
+        )
+        assert auc_score(test.labels, with_z) >= auc_score(test.labels, no_z) - 0.03
+
+
+class TestPoznanski:
+    def test_single_epoch_beats_chance(self, grid, lc_data):
+        test = lc_data.test
+        flux, err = _measured(test, np.random.default_rng(1))
+        idx = np.arange(5, 10)  # epoch 1
+        clf = PoznanskiClassifier(grid)
+        scores = clf.predict_proba(
+            flux[:, idx], err[:, idx], test.visit_mjd[:, idx], test.visit_band[:, idx]
+        )
+        assert auc_score(test.labels, scores) > 0.6
+
+    def test_redshift_helps(self, grid, lc_data):
+        test = lc_data.test
+        flux, err = _measured(test, np.random.default_rng(1))
+        idx = np.arange(5, 10)
+        args = (flux[:, idx], err[:, idx], test.visit_mjd[:, idx], test.visit_band[:, idx])
+        no_z = PoznanskiClassifier(grid).predict_proba(*args)
+        with_z = PoznanskiClassifier(grid, known_redshift=True).predict_proba(
+            *args, test.redshifts
+        )
+        assert auc_score(test.labels, with_z) >= auc_score(test.labels, no_z) - 0.02
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            PoznanskiClassifier(grid, amplitude_range=(0.0, 1.0))
+        clf = PoznanskiClassifier(grid, known_redshift=True)
+        with pytest.raises(ValueError):
+            clf.score_sample(np.ones(5), np.ones(5), np.zeros(5), np.arange(5))
+        with pytest.raises(ValueError):
+            PoznanskiClassifier(grid).score_sample(
+                np.ones(5), np.zeros(5), np.zeros(5), np.arange(5)
+            )
+
+
+class TestDecisionTree:
+    def test_fits_xor_like_rule(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(400, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(float)
+        tree = DecisionTree(max_depth=6, rng=rng).fit(x, y)
+        pred = tree.predict_proba(x)
+        assert auc_score(y, pred) > 0.9
+
+    def test_pure_node_is_leaf(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([1.0, 1.0])
+        tree = DecisionTree().fit(x, y)
+        assert tree._root.is_leaf
+        assert tree._root.probability == 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict_proba(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestRandomForest:
+    def test_better_than_single_tree_on_noisy_data(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(300, 10))
+        y = (x[:, 0] + 0.5 * x[:, 1] + rng.normal(0, 0.5, 300) > 0).astype(float)
+        x_test = rng.normal(size=(300, 10))
+        y_test = (x_test[:, 0] + 0.5 * x_test[:, 1] > 0).astype(float)
+        forest = RandomForestClassifier(n_trees=30, seed=0).fit(x, y)
+        assert auc_score(y_test, forest.predict_proba(x_test)) > 0.85
+
+    def test_reproducible(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 4))
+        y = (x[:, 0] > 0).astype(float)
+        a = RandomForestClassifier(n_trees=5, seed=3).fit(x, y).predict_proba(x)
+        b = RandomForestClassifier(n_trees=5, seed=3).fit(x, y).predict_proba(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_trees=0)
+
+
+class TestRecurrent:
+    def test_gru_cell_shapes(self):
+        cell = GRUCell(10, 16, rng=RNG)
+        h = cell(Tensor(np.zeros((4, 10), dtype=np.float32)), Tensor(np.zeros((4, 16), dtype=np.float32)))
+        assert h.shape == (4, 16)
+
+    def test_classifier_forward(self):
+        model = RecurrentClassifier(input_dim=10, hidden_dim=8, rng=RNG)
+        out = model(Tensor(RNG.normal(size=(3, 4, 10)).astype(np.float32)))
+        assert out.shape == (3,)
+
+    def test_wrong_feature_dim(self):
+        model = RecurrentClassifier(input_dim=10, rng=RNG)
+        with pytest.raises(ValueError):
+            model(Tensor(np.zeros((2, 4, 8), dtype=np.float32)))
+
+    def test_sequence_features_reshape(self):
+        flat = np.arange(80.0).reshape(2, 40)
+        seq = sequence_features(flat, n_epochs=4)
+        assert seq.shape == (2, 4, 10)
+        np.testing.assert_allclose(seq[0, 0], flat[0, :10])
+
+    def test_sequence_features_validation(self):
+        with pytest.raises(ValueError):
+            sequence_features(np.zeros((2, 41)), 4)
+
+    def test_learns_order_sensitive_rule(self):
+        # Label depends on the *last* step: requires memory.
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(300, 4, 10)).astype(np.float32)
+        y = (x[:, -1, 0] > 0).astype(np.float32)
+        model = RecurrentClassifier(input_dim=10, hidden_dim=12, rng=rng)
+        from repro.core import TrainConfig
+        from repro.core.training import fit
+        from repro.nn import BCEWithLogitsLoss
+
+        bce = BCEWithLogitsLoss()
+
+        def loss_fn(m, inputs, target):
+            return bce(m(Tensor(inputs[0])), target)
+
+        fit(
+            model, [x], y, loss_fn,
+            TrainConfig(epochs=60, batch_size=64, seed=5, learning_rate=3e-3),
+        )
+        assert auc_score(y, model.predict_proba(x)) > 0.9

@@ -1,0 +1,83 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.eval import accuracy, bootstrap_auc, bootstrap_metric
+
+
+class TestBootstrapAUC:
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 300)
+        scores = labels + rng.normal(0, 0.8, 300)
+        result = bootstrap_auc(labels, scores, n_resamples=300)
+        assert result.low <= result.estimate <= result.high
+
+    def test_interval_narrows_with_more_data(self):
+        rng = np.random.default_rng(1)
+
+        def width(n):
+            labels = rng.integers(0, 2, n)
+            while labels.min() == labels.max():
+                labels = rng.integers(0, 2, n)
+            scores = labels + rng.normal(0, 1.0, n)
+            return bootstrap_auc(labels, scores, n_resamples=300, seed=2).half_width
+
+        assert width(2000) < width(60)
+
+    def test_perfect_separation_tight_interval(self):
+        labels = np.array([0] * 50 + [1] * 50)
+        scores = labels.astype(float)
+        result = bootstrap_auc(labels, scores, n_resamples=200)
+        assert result.estimate == 1.0
+        assert result.low == pytest.approx(1.0)
+
+    def test_reproducible(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, 100)
+        scores = rng.random(100)
+        a = bootstrap_auc(labels, scores, n_resamples=100, seed=7)
+        b = bootstrap_auc(labels, scores, n_resamples=100, seed=7)
+        assert a == b
+
+    def test_validation(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.1, 0.9, 0.2, 0.8])
+        with pytest.raises(ValueError):
+            bootstrap_auc(labels, scores[:3])
+        with pytest.raises(ValueError):
+            bootstrap_auc(labels, scores, n_resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_auc(labels, scores, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_auc(np.ones(4), scores)
+
+    def test_str_format(self):
+        labels = np.array([0, 1] * 20)
+        scores = labels + np.random.default_rng(4).normal(0, 0.5, 40)
+        text = str(bootstrap_auc(labels, scores, n_resamples=50))
+        assert "[" in text and "]" in text
+
+
+class TestGenericMetric:
+    def test_accuracy_metric(self):
+        labels = np.array([0, 0, 1, 1] * 25)
+        scores = np.array([0.1, 0.4, 0.6, 0.9] * 25)
+        result = bootstrap_metric(labels, scores, accuracy, n_resamples=200)
+        assert result.estimate == 1.0
+
+    def test_coverage_of_true_auc(self):
+        # The 95% interval should usually contain the asymptotic AUC.
+        true_auc_hits = 0
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            labels = rng.integers(0, 2, 400)
+            while labels.min() == labels.max():
+                labels = rng.integers(0, 2, 400)
+            scores = labels * 1.0 + rng.normal(0, 1.0, 400)
+            # True AUC for unit-separated normals: Phi(1/sqrt(2)) ~ 0.760.
+            result = bootstrap_auc(labels, scores, n_resamples=300, seed=seed)
+            if result.low <= 0.760 <= result.high:
+                true_auc_hits += 1
+        assert true_auc_hits >= 7

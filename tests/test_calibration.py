@@ -1,0 +1,77 @@
+"""Tests for calibration diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import (
+    brier_score,
+    expected_calibration_error,
+    reliability_curve,
+)
+
+
+class TestReliabilityCurve:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(0)
+        probs = rng.uniform(0, 1, 20000)
+        labels = (rng.random(20000) < probs).astype(float)
+        curve = reliability_curve(labels, probs, n_bins=10)
+        np.testing.assert_allclose(curve.mean_predicted, curve.fraction_positive, atol=0.05)
+
+    def test_counts_sum(self):
+        rng = np.random.default_rng(1)
+        probs = rng.uniform(0, 1, 500)
+        labels = rng.integers(0, 2, 500).astype(float)
+        curve = reliability_curve(labels, probs)
+        assert curve.counts.sum() == 500
+
+    def test_empty_bins_skipped(self):
+        probs = np.array([0.05, 0.06, 0.95, 0.96])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        curve = reliability_curve(labels, probs, n_bins=10)
+        assert len(curve.bin_centers) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([0, 1]), np.array([0.5, 1.5]))
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([0, 2]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([0, 1]), np.array([0.5, 0.5]), n_bins=0)
+
+
+class TestECE:
+    def test_zero_for_perfect(self):
+        rng = np.random.default_rng(2)
+        probs = rng.uniform(0, 1, 50000)
+        labels = (rng.random(50000) < probs).astype(float)
+        assert expected_calibration_error(labels, probs) < 0.02
+
+    def test_large_for_overconfident(self):
+        probs = np.full(100, 0.99)
+        labels = np.concatenate([np.ones(50), np.zeros(50)])
+        assert expected_calibration_error(labels, probs) > 0.4
+
+
+class TestBrier:
+    def test_perfect_predictions(self):
+        assert brier_score(np.array([1.0, 0.0]), np.array([1.0, 0.0])) == 0.0
+
+    def test_worst_predictions(self):
+        assert brier_score(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=100), st.integers(min_value=0, max_value=2**31))
+    def test_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, n).astype(float)
+        probs = rng.uniform(0, 1, n)
+        score = brier_score(labels, probs)
+        assert 0.0 <= score <= 1.0
+
+    def test_constant_half_prediction(self):
+        labels = np.array([1.0, 0.0, 1.0, 0.0])
+        assert brier_score(labels, np.full(4, 0.5)) == pytest.approx(0.25)

@@ -1,0 +1,136 @@
+"""Tests for the COSMOS-like catalogue and host/supernova placement."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import (
+    COSMOS_FOOTPRINT,
+    CosmosCatalog,
+    Galaxy,
+    HostSelector,
+    SupernovaPlacement,
+)
+
+
+def _galaxy(**overrides):
+    base = dict(
+        galaxy_id=0,
+        ra=150.0,
+        dec=2.0,
+        photo_z=0.5,
+        half_light_radius=0.8,
+        ellipticity=0.3,
+        position_angle=0.7,
+        sersic_index=1.5,
+        magnitude_i=22.0,
+    )
+    base.update(overrides)
+    return Galaxy(**base)
+
+
+class TestGalaxy:
+    def test_axis_ratio(self):
+        assert _galaxy(ellipticity=0.25).axis_ratio == pytest.approx(0.75)
+
+    def test_photo_z_bounds(self):
+        with pytest.raises(ValueError):
+            _galaxy(photo_z=0.05)
+        with pytest.raises(ValueError):
+            _galaxy(photo_z=2.5)
+
+    def test_radius_positive(self):
+        with pytest.raises(ValueError):
+            _galaxy(half_light_radius=0.0)
+
+    def test_ellipticity_bounds(self):
+        with pytest.raises(ValueError):
+            _galaxy(ellipticity=0.95)
+
+
+class TestCatalog:
+    def test_size(self):
+        assert len(CosmosCatalog(50, seed=1)) == 50
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CosmosCatalog(0)
+
+    def test_reproducible(self):
+        a = CosmosCatalog(20, seed=3)
+        b = CosmosCatalog(20, seed=3)
+        assert a[7].photo_z == b[7].photo_z
+        assert a[7].ra == b[7].ra
+
+    def test_positions_inside_footprint(self):
+        cat = CosmosCatalog(200, seed=2)
+        pos = cat.positions()
+        assert np.all(pos[:, 0] >= COSMOS_FOOTPRINT["ra_min"])
+        assert np.all(pos[:, 0] <= COSMOS_FOOTPRINT["ra_max"])
+        assert np.all(pos[:, 1] >= COSMOS_FOOTPRINT["dec_min"])
+        assert np.all(pos[:, 1] <= COSMOS_FOOTPRINT["dec_max"])
+
+    def test_photo_z_range_and_spread(self):
+        zs = CosmosCatalog(500, seed=4).photo_zs()
+        assert zs.min() >= 0.1 and zs.max() <= 2.0
+        # Fig. 3: distribution peaks below z=1 but has a high-z tail.
+        assert 0.4 < np.median(zs) < 1.0
+        assert (zs > 1.2).mean() > 0.05
+
+    def test_high_z_galaxies_fainter_on_average(self):
+        cat = CosmosCatalog(2000, seed=5)
+        zs = cat.photo_zs()
+        mags = np.array([g.magnitude_i for g in cat.galaxies])
+        near = mags[zs < 0.5].mean()
+        far = mags[zs > 1.2].mean()
+        assert far > near
+
+
+class TestHostSelector:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            HostSelector(CosmosCatalog(5, seed=0), max_radius_fraction=0.0)
+
+    def test_placement_within_ellipse(self):
+        cat = CosmosCatalog(20, seed=6)
+        selector = HostSelector(cat, max_radius_fraction=2.0)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            placement = selector.sample(rng)
+            host = placement.host
+            # Transform back into the ellipse frame and check the radius.
+            cos_pa, sin_pa = np.cos(host.position_angle), np.sin(host.position_angle)
+            x_ell = placement.offset_x * cos_pa + placement.offset_y * sin_pa
+            y_ell = -placement.offset_x * sin_pa + placement.offset_y * cos_pa
+            r_ell = np.hypot(x_ell, y_ell / host.axis_ratio)
+            assert r_ell <= 2.0 * host.half_light_radius + 1e-9
+
+    def test_offsets_fill_the_ellipse(self):
+        # sqrt-radius sampling is uniform over the area: mean normalized
+        # radius of a uniform disk is 2/3 of the max radius.
+        cat = CosmosCatalog(1, seed=7)
+        selector = HostSelector(cat, max_radius_fraction=1.0)
+        rng = np.random.default_rng(1)
+        host = cat[0]
+        radii = []
+        for _ in range(2000):
+            p = selector.place_supernova(host, rng)
+            cos_pa, sin_pa = np.cos(host.position_angle), np.sin(host.position_angle)
+            x_ell = p.offset_x * cos_pa + p.offset_y * sin_pa
+            y_ell = -p.offset_x * sin_pa + p.offset_y * cos_pa
+            radii.append(np.hypot(x_ell, y_ell / host.axis_ratio) / host.half_light_radius)
+        assert np.mean(radii) == pytest.approx(2.0 / 3.0, abs=0.03)
+
+    def test_normalized_offset(self):
+        p = SupernovaPlacement(host=_galaxy(half_light_radius=2.0), offset_x=1.0, offset_y=-2.0)
+        assert p.normalized_offset() == (pytest.approx(0.5), pytest.approx(-1.0))
+        assert p.offset_radius == pytest.approx(np.sqrt(5.0))
+
+    def test_round_galaxy_isotropic(self):
+        host = _galaxy(ellipticity=0.0)
+        selector = HostSelector(CosmosCatalog(1, seed=8))
+        rng = np.random.default_rng(2)
+        xs = [selector.place_supernova(host, rng).offset_x for _ in range(1000)]
+        ys = [selector.place_supernova(host, rng).offset_y for _ in range(1000)]
+        assert abs(np.mean(xs)) < 0.1
+        assert abs(np.mean(ys)) < 0.1
+        assert np.std(xs) == pytest.approx(np.std(ys), rel=0.15)

@@ -1,0 +1,85 @@
+"""End-to-end tests of the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load_dataset
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build-dataset", "--out", "x.npz"])
+        assert args.n_ia == 100
+        assert not args.no_images
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestWorkflow:
+    def test_build_lightcurve_dataset(self, tmp_path, capsys):
+        out = tmp_path / "lc.npz"
+        code = main([
+            "build-dataset", "--n-ia", "30", "--n-non-ia", "30",
+            "--no-images", "--seed", "3", "--out", str(out),
+        ])
+        assert code == 0
+        dataset = load_dataset(out)
+        assert len(dataset) == 60
+        assert dataset.stamp_size == 1
+
+    def test_full_classifier_workflow(self, tmp_path, capsys):
+        dataset_path = tmp_path / "ds.npz"
+        model_path = tmp_path / "clf.npz"
+        assert main([
+            "build-dataset", "--n-ia", "40", "--n-non-ia", "40",
+            "--no-images", "--seed", "5", "--out", str(dataset_path),
+        ]) == 0
+        assert main([
+            "train-classifier", "--dataset", str(dataset_path),
+            "--epochs", "10", "--units", "32", "--seed", "1",
+            "--out", str(model_path),
+        ]) == 0
+        assert model_path.exists()
+        assert main([
+            "evaluate", "--dataset", str(dataset_path),
+            "--classifier", str(model_path), "--units", "32",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "test AUC" in output
+
+    def test_flux_cnn_workflow(self, tmp_path, capsys):
+        dataset_path = tmp_path / "img.npz"
+        model_path = tmp_path / "cnn.npz"
+        # Tiny imaging dataset via the library (CLI build of images is slow).
+        from repro.datasets import BuildConfig, DatasetBuilder, save_dataset
+        from repro.survey import ImagingConfig
+
+        config = BuildConfig(
+            n_ia=10, n_non_ia=10, seed=9, catalog_size=50,
+            imaging=ImagingConfig(stamp_size=41),
+        )
+        save_dataset(DatasetBuilder(config).build(), dataset_path)
+        assert main([
+            "train-flux-cnn", "--dataset", str(dataset_path),
+            "--input-size", "36", "--epochs", "1", "--out", str(model_path),
+        ]) == 0
+        assert model_path.exists()
+
+    def test_flux_cnn_rejects_small_stamps(self, tmp_path, capsys):
+        dataset_path = tmp_path / "lc.npz"
+        main([
+            "build-dataset", "--n-ia", "20", "--n-non-ia", "20",
+            "--no-images", "--seed", "2", "--out", str(dataset_path),
+        ])
+        code = main([
+            "train-flux-cnn", "--dataset", str(dataset_path),
+            "--out", str(tmp_path / "cnn.npz"),
+        ])
+        assert code == 2

@@ -1,0 +1,57 @@
+"""Tests for image co-addition."""
+
+import numpy as np
+import pytest
+
+from repro.survey import GaussianPSF, coadd_exposures
+
+
+def _exposure(flux, fwhm, noise, seed):
+    rng = np.random.default_rng(seed)
+    psf = GaussianPSF(fwhm)
+    image = flux * psf.render((65, 65), (32.0, 32.0))
+    return image + rng.normal(0, noise, (65, 65))
+
+
+class TestCoadd:
+    def test_noise_reduction(self):
+        images = [_exposure(0.0, 0.7, 1.0, s) for s in range(8)]
+        result = coadd_exposures(images, [0.7] * 8, [1.0] * 8)
+        # 8 equal exposures: noise should drop by sqrt(8).
+        assert result.effective_noise == pytest.approx(1.0 / np.sqrt(8), rel=1e-6)
+        assert result.pixels.std() < 0.6
+
+    def test_flux_preserved(self):
+        # Nearly noise-free so the stamp sum isolates the source flux.
+        images = [_exposure(100.0, f, 0.005, s) for s, f in enumerate([0.6, 0.8, 1.0])]
+        result = coadd_exposures(images, [0.6, 0.8, 1.0], [0.005] * 3)
+        assert result.pixels.sum() == pytest.approx(100.0, rel=0.05)
+        assert result.effective_fwhm == 1.0
+
+    def test_homogenisation_widens_sharp_exposures(self):
+        sharp = _exposure(100.0, 0.5, 0.01, 0)
+        broad = _exposure(100.0, 1.2, 0.01, 1)
+        result = coadd_exposures([sharp, broad], [0.5, 1.2], [0.01, 0.01])
+        # The stack's peak must be close to the broad exposure's peak,
+        # not the sharp one's.
+        assert result.pixels.max() == pytest.approx(broad.max(), rel=0.15)
+
+    def test_inverse_variance_weighting(self):
+        # A very noisy exposure should barely affect the result.
+        good = _exposure(100.0, 0.7, 0.1, 2)
+        bad = _exposure(0.0, 0.7, 100.0, 3)
+        result = coadd_exposures([good, bad], [0.7, 0.7], [0.1, 100.0])
+        np.testing.assert_allclose(result.pixels, good, atol=1.0)
+
+    def test_validation(self):
+        img = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            coadd_exposures([], [], [])
+        with pytest.raises(ValueError):
+            coadd_exposures([img], [0.7, 0.8], [1.0])
+        with pytest.raises(ValueError):
+            coadd_exposures([img, np.zeros((6, 6))], [0.7, 0.8], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            coadd_exposures([img], [-0.7], [1.0])
+        with pytest.raises(ValueError):
+            coadd_exposures([img], [0.7], [0.0])

@@ -1,0 +1,73 @@
+"""Tests for the flat Lambda-CDM cosmology."""
+
+import numpy as np
+import pytest
+
+from repro.cosmology import DEFAULT_COSMOLOGY, FlatLambdaCDM
+
+
+class TestConstruction:
+    def test_defaults(self):
+        cosmo = FlatLambdaCDM()
+        assert cosmo.h0 == 70.0
+        assert cosmo.omega_lambda == pytest.approx(0.7)
+
+    def test_invalid_h0(self):
+        with pytest.raises(ValueError):
+            FlatLambdaCDM(h0=-1.0)
+
+    def test_invalid_omega(self):
+        with pytest.raises(ValueError):
+            FlatLambdaCDM(omega_m=1.5)
+
+    def test_hubble_distance(self):
+        assert FlatLambdaCDM(h0=70).hubble_distance == pytest.approx(4282.7, rel=1e-3)
+
+
+class TestDistances:
+    def test_comoving_distance_zero(self):
+        assert DEFAULT_COSMOLOGY.comoving_distance(0.0) == pytest.approx(0.0)
+
+    def test_known_value_z1(self):
+        # Standard textbook value for H0=70, Om=0.3: D_C(1) ~ 3300 Mpc.
+        assert DEFAULT_COSMOLOGY.comoving_distance(1.0) == pytest.approx(3300, rel=0.02)
+
+    def test_luminosity_distance_factor(self):
+        z = 0.8
+        d_c = DEFAULT_COSMOLOGY.comoving_distance(z)
+        assert DEFAULT_COSMOLOGY.luminosity_distance(z) == pytest.approx((1 + z) * d_c)
+
+    def test_distance_modulus_z_small(self):
+        # mu(0.01) ~ 33.1 for standard cosmology.
+        assert DEFAULT_COSMOLOGY.distance_modulus(0.01) == pytest.approx(33.1, abs=0.2)
+
+    def test_distance_modulus_monotone(self):
+        zs = np.linspace(0.1, 2.0, 20)
+        mus = DEFAULT_COSMOLOGY.distance_modulus(zs)
+        assert np.all(np.diff(mus) > 0)
+
+    def test_distance_modulus_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COSMOLOGY.distance_modulus(0.0)
+
+    def test_comoving_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COSMOLOGY.comoving_distance(-0.1)
+
+    def test_array_input(self):
+        out = DEFAULT_COSMOLOGY.comoving_distance(np.array([0.5, 1.0]))
+        assert out.shape == (2,)
+        assert out[1] > out[0]
+
+    def test_more_matter_shrinks_distances(self):
+        closed_ish = FlatLambdaCDM(omega_m=0.5)
+        assert closed_ish.comoving_distance(1.0) < DEFAULT_COSMOLOGY.comoving_distance(1.0)
+
+
+class TestTimeDilation:
+    def test_value(self):
+        assert DEFAULT_COSMOLOGY.time_dilation(0.5) == pytest.approx(1.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COSMOLOGY.time_dilation(-0.5)

@@ -1,0 +1,208 @@
+"""Tests for the dataset builder, container, splits and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BuildConfig,
+    DatasetBuilder,
+    N_BANDS,
+    SupernovaDataset,
+    load_dataset,
+    save_dataset,
+    train_val_test_split,
+)
+from repro.photometry import GRIZY
+from repro.survey import ImagingConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_image_dataset():
+    """A small rendered dataset shared across tests (module scoped)."""
+    config = BuildConfig(
+        n_ia=6,
+        n_non_ia=6,
+        seed=42,
+        catalog_size=50,
+        imaging=ImagingConfig(stamp_size=33),
+    )
+    return DatasetBuilder(config).build()
+
+
+@pytest.fixture(scope="module")
+def lc_dataset():
+    """A larger light-curve-only dataset (no stamps)."""
+    config = BuildConfig(n_ia=60, n_non_ia=60, seed=7, render_images=False, catalog_size=200)
+    return DatasetBuilder(config).build()
+
+
+class TestBuildConfig:
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            BuildConfig(n_ia=0, n_non_ia=0)
+
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ValueError):
+            BuildConfig(epochs_per_band=0)
+
+
+class TestBuiltDataset:
+    def test_counts(self, tiny_image_dataset):
+        ds = tiny_image_dataset
+        assert len(ds) == 12
+        assert int(ds.labels.sum()) == 6
+
+    def test_shapes(self, tiny_image_dataset):
+        ds = tiny_image_dataset
+        assert ds.pairs.shape == (12, 20, 2, 33, 33)
+        assert ds.visit_mjd.shape == (12, 20)
+        assert ds.n_epochs == 4
+        assert ds.stamp_size == 33
+
+    def test_band_layout_epoch_major(self, tiny_image_dataset):
+        ds = tiny_image_dataset
+        # Within each epoch block all five bands appear exactly once.
+        for i in range(len(ds)):
+            for e in range(4):
+                bands = sorted(ds.visit_band[i, e * N_BANDS : (e + 1) * N_BANDS])
+                assert bands == [0, 1, 2, 3, 4]
+
+    def test_types_consistent_with_labels(self, tiny_image_dataset):
+        ds = tiny_image_dataset
+        for label, name in zip(ds.labels, ds.sn_types):
+            assert (name == "Ia") == bool(label)
+
+    def test_redshifts_in_range(self, tiny_image_dataset):
+        assert np.all(tiny_image_dataset.redshifts >= 0.1)
+        assert np.all(tiny_image_dataset.redshifts <= 2.0)
+
+    def test_fluxes_non_negative(self, tiny_image_dataset):
+        assert np.all(tiny_image_dataset.true_flux >= 0)
+
+    def test_mjds_increase_within_band(self, tiny_image_dataset):
+        ds = tiny_image_dataset
+        for i in range(len(ds)):
+            for b in range(N_BANDS):
+                band_mjds = [
+                    ds.visit_mjd[i, e * N_BANDS + bb]
+                    for e in range(4)
+                    for bb in range(N_BANDS)
+                    if ds.visit_band[i, e * N_BANDS + bb] == b
+                ]
+                assert band_mjds == sorted(band_mjds)
+
+    def test_difference_recovers_bright_flux(self, tiny_image_dataset):
+        ds = tiny_image_dataset
+        diffs = ds.difference_images()
+        size = ds.stamp_size
+        c = size // 2
+        rows, cols = np.mgrid[:size, :size]
+        aperture = (rows - c) ** 2 + (cols - c) ** 2 <= (c - 3) ** 2
+        bright = ds.true_flux > 50
+        if bright.sum() == 0:
+            pytest.skip("no bright visits in the tiny dataset")
+        estimates = diffs[:, :, aperture].sum(axis=-1)[bright]
+        truths = ds.true_flux[bright]
+        ratio = estimates / truths
+        assert np.median(ratio) == pytest.approx(1.0, abs=0.25)
+
+    def test_summary_string(self, tiny_image_dataset):
+        assert "Ia=6" in tiny_image_dataset.summary()
+
+    def test_reproducible_build(self):
+        config = BuildConfig(n_ia=3, n_non_ia=3, seed=5, render_images=False, catalog_size=30)
+        a = DatasetBuilder(config).build()
+        b = DatasetBuilder(config).build()
+        np.testing.assert_allclose(a.true_flux, b.true_flux)
+        np.testing.assert_array_equal(a.sn_types, b.sn_types)
+
+
+class TestContainerValidation:
+    def test_bad_pair_shape(self, tiny_image_dataset):
+        ds = tiny_image_dataset
+        with pytest.raises(ValueError):
+            SupernovaDataset(
+                pairs=ds.pairs[:, :, :1],
+                visit_mjd=ds.visit_mjd,
+                visit_band=ds.visit_band,
+                true_flux=ds.true_flux,
+                labels=ds.labels,
+                sn_types=ds.sn_types,
+                redshifts=ds.redshifts,
+                host_mag=ds.host_mag,
+                sn_offset=ds.sn_offset,
+                peak_mjd=ds.peak_mjd,
+            )
+
+    def test_epoch_slice_bounds(self, tiny_image_dataset):
+        with pytest.raises(IndexError):
+            tiny_image_dataset.epoch_slice(4)
+        np.testing.assert_array_equal(
+            tiny_image_dataset.epoch_slice(1), np.arange(5, 10)
+        )
+
+    def test_flux_pairs_mask(self, lc_dataset):
+        flat, mags, mask = lc_dataset.flux_pairs(min_flux=10.0)
+        assert flat.shape[0] == len(lc_dataset) * 20
+        assert np.all(np.isfinite(mags[mask]))
+        assert np.all(np.isnan(mags[~mask]))
+        # min_flux=10 -> brightest allowed magnitude 24.5.
+        assert mags[mask].max() <= 27.0 - 2.5 * np.log10(10.0) + 1e-6
+
+    def test_select_preserves_alignment(self, lc_dataset):
+        subset = lc_dataset.select(np.array([3, 1, 4]))
+        assert len(subset) == 3
+        np.testing.assert_allclose(subset.redshifts[0], lc_dataset.redshifts[3])
+
+
+class TestSplits:
+    def test_partition_sizes(self, lc_dataset):
+        splits = train_val_test_split(lc_dataset, seed=0)
+        assert len(splits.train) + len(splits.val) + len(splits.test) == len(lc_dataset)
+        assert len(splits.train) == pytest.approx(0.8 * len(lc_dataset), abs=2)
+
+    def test_no_overlap(self, lc_dataset):
+        splits = train_val_test_split(lc_dataset, seed=0)
+        def keys(d):
+            return {(float(z), float(p)) for z, p in zip(d.redshifts, d.peak_mjd)}
+        assert not (keys(splits.train) & keys(splits.test))
+        assert not (keys(splits.train) & keys(splits.val))
+
+    def test_stratification(self, lc_dataset):
+        splits = train_val_test_split(lc_dataset, seed=1, stratify=True)
+        frac = lc_dataset.labels.mean()
+        assert splits.train.labels.mean() == pytest.approx(frac, abs=0.05)
+        assert splits.test.labels.mean() == pytest.approx(frac, abs=0.15)
+
+    def test_reproducible(self, lc_dataset):
+        a = train_val_test_split(lc_dataset, seed=9)
+        b = train_val_test_split(lc_dataset, seed=9)
+        np.testing.assert_allclose(a.test.redshifts, b.test.redshifts)
+
+    def test_invalid_fractions(self, lc_dataset):
+        with pytest.raises(ValueError):
+            train_val_test_split(lc_dataset, train_fraction=0.9, val_fraction=0.2)
+        with pytest.raises(ValueError):
+            train_val_test_split(lc_dataset, train_fraction=1.2)
+
+    def test_too_small_dataset(self):
+        config = BuildConfig(n_ia=2, n_non_ia=2, seed=1, render_images=False, catalog_size=10)
+        ds = DatasetBuilder(config).build()
+        with pytest.raises(ValueError):
+            train_val_test_split(ds, train_fraction=0.98, val_fraction=0.01)
+
+
+class TestIO:
+    def test_roundtrip(self, tiny_image_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset(tiny_image_dataset, path)
+        loaded = load_dataset(path)
+        np.testing.assert_allclose(loaded.pairs, tiny_image_dataset.pairs)
+        np.testing.assert_allclose(loaded.true_flux, tiny_image_dataset.true_flux)
+        np.testing.assert_array_equal(loaded.sn_types, tiny_image_dataset.sn_types)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, pairs=np.zeros((1, 5, 2, 3, 3)))
+        with pytest.raises(KeyError):
+            load_dataset(path)

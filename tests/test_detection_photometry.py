@@ -1,0 +1,217 @@
+"""Tests for transient detection, classical photometry, bogus artefacts
+and the real/bogus classifier."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FEATURE_NAMES, RealBogusClassifier, stamp_features
+from repro.eval import auc_score
+from repro.photometry import aperture_photometry, psf_photometry
+from repro.survey import (
+    GaussianPSF,
+    detect_transients,
+    inject_cosmic_ray,
+    inject_dipole,
+    inject_hot_pixel,
+    make_bogus_stamp,
+    snr_map,
+)
+
+RNG = np.random.default_rng(55)
+
+
+def _psf_kernel(size=21, fwhm=0.7):
+    center = (size - 1) / 2.0
+    kernel = GaussianPSF(fwhm).render((size, size), (center, center))
+    return kernel / kernel.sum()
+
+
+def _stamp_with_source(flux=100.0, noise=1.0, size=65, seed=0):
+    rng = np.random.default_rng(seed)
+    c = (size - 1) / 2.0
+    psf = GaussianPSF(0.7).render((size, size), (c, c))
+    return flux * psf + rng.normal(0, noise, (size, size))
+
+
+class TestAperturePhotometry:
+    def test_recovers_flux(self):
+        stamp = _stamp_with_source(flux=200.0, noise=0.5)
+        result = aperture_photometry(stamp, (32.0, 32.0), radius=10.0, pixel_noise=0.5)
+        assert result.flux == pytest.approx(200.0, rel=0.1)
+        assert result.snr > 10
+
+    def test_annulus_background_subtraction(self):
+        stamp = _stamp_with_source(flux=200.0, noise=0.5) + 3.0  # pedestal
+        result = aperture_photometry(
+            stamp, (32.0, 32.0), radius=8.0, sky_annulus=(15.0, 25.0)
+        )
+        assert result.flux == pytest.approx(200.0, rel=0.15)
+
+    def test_error_scales_with_aperture(self):
+        stamp = _stamp_with_source()
+        small = aperture_photometry(stamp, (32.0, 32.0), radius=4.0, pixel_noise=1.0)
+        large = aperture_photometry(stamp, (32.0, 32.0), radius=12.0, pixel_noise=1.0)
+        assert large.flux_error > small.flux_error
+
+    def test_validation(self):
+        stamp = np.zeros((21, 21))
+        with pytest.raises(ValueError):
+            aperture_photometry(stamp, (10.0, 10.0), radius=-1.0, pixel_noise=1.0)
+        with pytest.raises(ValueError):
+            aperture_photometry(stamp, (10.0, 10.0), radius=3.0)  # no error source
+        with pytest.raises(ValueError):
+            aperture_photometry(stamp, (10.0, 10.0), radius=3.0, sky_annulus=(5.0, 4.0))
+
+
+class TestPSFPhotometry:
+    def test_optimal_estimator_unbiased(self):
+        fluxes = []
+        c = 32.0
+        psf = GaussianPSF(0.7).render((65, 65), (c, c))
+        for seed in range(20):
+            stamp = _stamp_with_source(flux=50.0, noise=1.0, seed=seed)
+            fluxes.append(psf_photometry(stamp, psf, pixel_noise=1.0).flux)
+        assert np.mean(fluxes) == pytest.approx(50.0, abs=2.0)
+
+    def test_beats_aperture_noise(self):
+        # PSF photometry is the optimal linear estimator: its quoted error
+        # must be below the aperture error at equal pixel noise.
+        c = 32.0
+        psf = GaussianPSF(0.7).render((65, 65), (c, c))
+        stamp = _stamp_with_source(flux=50.0, noise=1.0)
+        psf_err = psf_photometry(stamp, psf, pixel_noise=1.0).flux_error
+        ap_err = aperture_photometry(stamp, (c, c), radius=8.0, pixel_noise=1.0).flux_error
+        assert psf_err < ap_err
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            psf_photometry(np.zeros((5, 5)), np.zeros((6, 6)), 1.0)
+        with pytest.raises(ValueError):
+            psf_photometry(np.zeros((5, 5)), np.ones((5, 5)), 0.0)
+        with pytest.raises(ValueError):
+            psf_photometry(np.zeros((5, 5)), np.zeros((5, 5)), 1.0)
+
+
+class TestDetection:
+    def test_snr_map_peak_at_source(self):
+        stamp = _stamp_with_source(flux=100.0, noise=1.0)
+        snr, flux = snr_map(stamp, _psf_kernel(), pixel_noise=1.0)
+        peak = np.unravel_index(np.argmax(snr), snr.shape)
+        assert peak == (32, 32)
+        assert flux[32, 32] == pytest.approx(100.0, rel=0.15)
+
+    def test_detects_bright_source(self):
+        stamp = _stamp_with_source(flux=80.0, noise=1.0)
+        detections = detect_transients(stamp, _psf_kernel(), pixel_noise=1.0)
+        assert detections
+        top = detections[0]
+        assert (top.row, top.col) == (32, 32)
+        assert top.snr > 5.0
+
+    def test_no_detections_in_pure_noise(self):
+        stamp = RNG.normal(0, 1.0, (65, 65))
+        detections = detect_transients(stamp, _psf_kernel(), pixel_noise=1.0, threshold=6.0)
+        assert len(detections) == 0
+
+    def test_two_sources_both_found(self):
+        size = 65
+        psf = GaussianPSF(0.7)
+        stamp = 80.0 * psf.render((size, size), (16.0, 16.0))
+        stamp += 60.0 * psf.render((size, size), (48.0, 48.0))
+        stamp += RNG.normal(0, 0.5, (size, size))
+        detections = detect_transients(stamp, _psf_kernel(), pixel_noise=0.5)
+        positions = {(d.row, d.col) for d in detections[:2]}
+        assert (16, 16) in positions and (48, 48) in positions
+
+    def test_detections_sorted_by_snr(self):
+        stamp = _stamp_with_source(flux=100.0, noise=1.0)
+        detections = detect_transients(stamp, _psf_kernel(), pixel_noise=1.0, threshold=3.0)
+        snrs = [d.snr for d in detections]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            snr_map(np.zeros((10, 10)), _psf_kernel(), pixel_noise=0.0)
+        with pytest.raises(ValueError):
+            snr_map(np.zeros((10, 10)), np.zeros((5, 5)), pixel_noise=1.0)
+        with pytest.raises(ValueError):
+            detect_transients(np.zeros((10, 10)), _psf_kernel(5), 1.0, threshold=0.0)
+
+
+class TestArtifacts:
+    def test_cosmic_ray_adds_flux(self):
+        stamp = np.zeros((65, 65))
+        out = inject_cosmic_ray(stamp, np.random.default_rng(0), amplitude=50.0)
+        assert out.max() >= 30.0
+        assert stamp.max() == 0.0  # input untouched
+
+    def test_hot_pixel_single(self):
+        stamp = np.zeros((65, 65))
+        out = inject_hot_pixel(stamp, np.random.default_rng(1), amplitude=80.0)
+        assert (out > 0).sum() == 1
+
+    def test_dipole_balanced(self):
+        stamp = np.zeros((65, 65))
+        out = inject_dipole(stamp, np.random.default_rng(2), amplitude=30.0)
+        assert out.max() > 5.0
+        assert out.min() < -5.0
+        assert abs(out.sum()) < 1.0  # positive and negative blobs cancel
+
+    def test_make_bogus_kinds(self):
+        rng = np.random.default_rng(3)
+        for kind in ("cosmic", "dipole", "hot"):
+            stamp = make_bogus_stamp((65, 65), 1.0, rng, kind=kind)
+            assert stamp.shape == (65, 65)
+            assert np.abs(stamp).max() > 3.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            inject_cosmic_ray(np.zeros((20, 20)), rng, amplitude=-1.0)
+        with pytest.raises(ValueError):
+            inject_hot_pixel(np.zeros((20, 20)), rng, amplitude=0.0)
+        with pytest.raises(ValueError):
+            inject_dipole(np.zeros((30, 30)), rng, sigma=-1.0)
+        with pytest.raises(ValueError):
+            make_bogus_stamp((30, 30), 1.0, rng, kind="alien")
+
+
+class TestRealBogus:
+    @staticmethod
+    def _make_dataset(n_per_class=60, seed=0):
+        rng = np.random.default_rng(seed)
+        psf = GaussianPSF(0.7)
+        real, bogus = [], []
+        for i in range(n_per_class):
+            flux = rng.uniform(20, 120)
+            stamp = flux * psf.render((33, 33), (16.0, 16.0))
+            stamp += rng.normal(0, 1.0, (33, 33))
+            real.append(stamp)
+            bogus.append(make_bogus_stamp((33, 33), 1.0, rng))
+        stamps = np.array(real + bogus)
+        labels = np.array([1.0] * n_per_class + [0.0] * n_per_class)
+        return stamps, labels
+
+    def test_feature_vector_shape(self):
+        features = stamp_features(RNG.normal(size=(33, 33)))
+        assert features.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(features))
+
+    def test_feature_validation(self):
+        with pytest.raises(ValueError):
+            stamp_features(np.zeros(10))
+
+    def test_separates_real_from_bogus(self):
+        stamps, labels = self._make_dataset(seed=1)
+        test_stamps, test_labels = self._make_dataset(seed=2)
+        clf = RealBogusClassifier(n_trees=40, seed=3).fit(stamps, labels)
+        scores = clf.predict_proba(test_stamps)
+        assert auc_score(test_labels, scores) > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RealBogusClassifier().predict_proba(np.zeros((1, 33, 33)))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            RealBogusClassifier().fit(np.zeros((3, 33)), np.zeros(3))

@@ -1,0 +1,145 @@
+"""Tests for ROC/AUC and point metrics, including property-based
+invariants (trapezoid AUC == rank AUC)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import (
+    accuracy,
+    auc_score,
+    best_accuracy,
+    confusion_matrix,
+    rank_auc,
+    roc_curve,
+)
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == pytest.approx(1.0)
+
+    def test_inverted_scores(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(labels, scores) == pytest.approx(0.0)
+
+    def test_random_scores_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 4000)
+        while labels.min() == labels.max():
+            labels = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert auc_score(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_endpoints(self):
+        curve = roc_curve(np.array([0, 1, 1, 0]), np.array([0.3, 0.7, 0.2, 0.9]))
+        assert curve.fpr[0] == 0.0 and curve.tpr[0] == 0.0
+        assert curve.fpr[-1] == 1.0 and curve.tpr[-1] == 1.0
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        labels = np.array([0, 1] * 50)
+        scores = rng.random(100)
+        curve = roc_curve(labels, scores)
+        assert np.all(np.diff(curve.fpr) >= 0)
+        assert np.all(np.diff(curve.tpr) >= 0)
+
+    def test_ties_collapsed(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        curve = roc_curve(labels, scores)
+        # All tied: the curve is the diagonal with a single interior point.
+        assert auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_tpr_at_fpr(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_curve(labels, scores).tpr_at_fpr(0.01) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([1, 1]), np.array([0.1, 0.2]))  # one class
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 2]), np.array([0.1, 0.2]))  # non-binary
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 1]), np.array([0.1, np.nan]))
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 1]), np.array([0.1]))
+        with pytest.raises(ValueError):
+            roc_curve(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 1]), np.array([0.1, 0.2])).tpr_at_fpr(1.5)
+
+
+class TestAucInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=2**31))
+    def test_trapezoid_equals_rank(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, n)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = np.round(rng.random(n), 1)  # coarse scores force ties
+        assert auc_score(labels, scores) == pytest.approx(rank_auc(labels, scores), abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=2**31))
+    def test_score_shift_invariance(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, n)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = rng.random(n)
+        assert auc_score(labels, scores) == pytest.approx(
+            auc_score(labels, scores * 3.0 + 10.0)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=2**31))
+    def test_label_flip_complements(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, n)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = rng.random(n)  # continuous, so ties have measure zero
+        assert auc_score(1 - labels, scores) == pytest.approx(
+            1.0 - auc_score(labels, scores), abs=1e-9
+        )
+
+
+class TestConfusion:
+    def test_counts(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.1, 0.8, 0.2])
+        cm = confusion_matrix(labels, scores, threshold=0.5)
+        assert (cm.tp, cm.fn, cm.fp, cm.tn) == (1, 1, 1, 1)
+
+    def test_metrics(self):
+        labels = np.array([1, 1, 1, 0])
+        scores = np.array([0.9, 0.8, 0.1, 0.7])
+        cm = confusion_matrix(labels, scores)
+        assert cm.accuracy == pytest.approx(0.5)
+        assert cm.precision == pytest.approx(2 / 3)
+        assert cm.recall == pytest.approx(2 / 3)
+        assert cm.f1 == pytest.approx(2 / 3)
+        assert cm.false_positive_rate == pytest.approx(1.0)
+
+    def test_empty_positive_predictions(self):
+        cm = confusion_matrix(np.array([1, 0]), np.array([0.1, 0.1]), threshold=0.5)
+        assert cm.precision == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([1, 0]), np.array([0.5]))
+
+    def test_accuracy_helper(self):
+        assert accuracy(np.array([1, 0]), np.array([0.9, 0.1])) == 1.0
+
+    def test_best_accuracy_finds_threshold(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.4, 0.45, 0.9])
+        assert best_accuracy(labels, scores) == 1.0
+        assert accuracy(labels, scores, 0.5) == pytest.approx(0.75)

@@ -1,0 +1,48 @@
+"""Smoke checks of the example scripts: they must parse, expose main(),
+and document themselves.  (Full runs happen outside the unit suite —
+some examples train for minutes.)"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestExampleStructure:
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text())
+        assert tree is not None
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_defines_main_and_guard(self, path):
+        source = path.read_text()
+        tree = ast.parse(source)
+        functions = [n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)]
+        assert "main" in functions, f"{path.name} has no main()"
+        assert '__name__ == "__main__"' in source
+
+    def test_imports_resolve(self, path):
+        """Every `from repro...` import in the example must exist."""
+        import importlib
+
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} does not exist"
+                    )

@@ -1,0 +1,77 @@
+"""Tests for the CCM89 Galactic extinction law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.photometry import (
+    GRIZY,
+    apply_extinction_to_flux,
+    band_by_name,
+    band_extinction,
+    ccm_extinction,
+)
+
+
+class TestCCMValues:
+    def test_v_band_normalisation(self):
+        # By construction A(V) = R_V * E(B-V) at 5500 A (a=1, b=0).
+        a_v = ccm_extinction(5500.0, ebv=0.1, r_v=3.1)
+        assert a_v == pytest.approx(0.31, abs=0.02)
+
+    def test_b_minus_v_equals_ebv(self):
+        # The law's defining property: A(B) - A(V) = E(B-V).
+        ebv = 0.25
+        diff = ccm_extinction(4400.0, ebv) - ccm_extinction(5500.0, ebv)
+        assert diff == pytest.approx(ebv, rel=0.1)
+
+    def test_zero_dust_zero_extinction(self):
+        assert ccm_extinction(6000.0, 0.0) == 0.0
+
+    def test_blue_extinguished_more_than_red(self):
+        ebv = 0.1
+        values = [ccm_extinction(b.effective_wavelength, ebv) for b in GRIZY]
+        assert values == sorted(values, reverse=True)
+
+    def test_array_input(self):
+        out = ccm_extinction(np.array([4000.0, 8000.0]), 0.1)
+        assert out.shape == (2,)
+        assert out[0] > out[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ccm_extinction(5500.0, ebv=-0.1)
+        with pytest.raises(ValueError):
+            ccm_extinction(5500.0, ebv=0.1, r_v=0.0)
+        with pytest.raises(ValueError):
+            ccm_extinction(-100.0, ebv=0.1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=3200.0, max_value=30000.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_non_negative_and_monotone_in_ebv(self, wavelength, ebv):
+        low = ccm_extinction(wavelength, ebv)
+        high = ccm_extinction(wavelength, ebv + 0.1)
+        assert low >= -1e-9
+        assert high >= low
+
+
+class TestBandHelpers:
+    def test_band_extinction_positive(self):
+        assert band_extinction(band_by_name("g"), 0.05) > 0
+
+    def test_apply_dims_flux(self):
+        flux = apply_extinction_to_flux(100.0, band_by_name("g"), ebv=0.3)
+        assert 0 < flux < 100.0
+
+    def test_apply_zero_dust_identity(self):
+        assert apply_extinction_to_flux(100.0, band_by_name("i"), 0.0) == pytest.approx(100.0)
+
+    def test_cosmos_column_is_small(self):
+        from repro.photometry.extinction import COSMOS_EBV
+
+        # Across all five bands, COSMOS foreground dust dims < 0.1 mag.
+        for band in GRIZY:
+            assert band_extinction(band, COSMOS_EBV) < 0.1

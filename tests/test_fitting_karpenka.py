@@ -1,0 +1,140 @@
+"""Tests for SALT2-like fitting and the Karpenka parametric baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    KARPENKA_FEATURE_DIM,
+    fit_karpenka_band,
+    karpenka_features,
+    karpenka_model,
+)
+from repro.lightcurves import (
+    LightCurve,
+    SALT2LikeModel,
+    SALT2Parameters,
+    fit_salt2,
+)
+from repro.photometry import GRIZY
+
+
+def _observations(x1=0.0, c=0.0, z=0.4, peak=57000.0, noise=0.5, seed=0, n_per_band=6):
+    """Simulate multi-band photometry of a known Ia."""
+    rng = np.random.default_rng(seed)
+    curve = LightCurve(SALT2LikeModel(SALT2Parameters(x1=x1, c=c)), z, peak)
+    mjds, bands, fluxes = [], [], []
+    for band in GRIZY:
+        for t in np.linspace(peak - 15, peak + 40, n_per_band):
+            mjds.append(t)
+            bands.append(band.index)
+            fluxes.append(float(curve.flux(band, t)))
+    mjd = np.array(mjds)
+    band_idx = np.array(bands)
+    flux = np.array(fluxes) + rng.normal(0, noise, len(fluxes))
+    err = np.full(len(fluxes), max(noise, 1e-3))
+    return flux, err, mjd, band_idx
+
+
+class TestSalt2Fit:
+    def test_recovers_peak_date(self):
+        flux, err, mjd, band_idx = _observations(noise=0.3)
+        result = fit_salt2(flux, err, mjd, band_idx, redshift=0.4)
+        assert result.peak_mjd == pytest.approx(57000.0, abs=4.0)
+
+    def test_recovers_amplitude_near_unity(self):
+        flux, err, mjd, band_idx = _observations(noise=0.3)
+        result = fit_salt2(flux, err, mjd, band_idx, redshift=0.4)
+        assert result.amplitude == pytest.approx(1.0, abs=0.35)
+
+    def test_recovers_color_sign(self):
+        red_flux, err, mjd, band_idx = _observations(c=0.3, noise=0.2, seed=1)
+        blue_flux, _, _, _ = _observations(c=-0.3, noise=0.2, seed=2)
+        red_fit = fit_salt2(red_flux, err, mjd, band_idx, redshift=0.4)
+        blue_fit = fit_salt2(blue_flux, err, mjd, band_idx, redshift=0.4)
+        assert red_fit.c > blue_fit.c
+
+    def test_good_fit_has_reasonable_chi2(self):
+        flux, err, mjd, band_idx = _observations(noise=0.4, seed=3)
+        result = fit_salt2(flux, err, mjd, band_idx, redshift=0.4)
+        assert result.reduced_chi2 < 5.0
+
+    def test_wrong_type_fits_worse(self):
+        # A IIP light curve should fit the Ia model worse than an Ia does.
+        from repro.lightcurves import NonIaRealization, SNType, TEMPLATES
+
+        rng = np.random.default_rng(4)
+        curve = LightCurve(
+            NonIaRealization(TEMPLATES[SNType.IIP], 0.0, 1.0), 0.4, 57000.0
+        )
+        mjds, bands, fluxes = [], [], []
+        for band in GRIZY:
+            for t in np.linspace(56985.0, 57100.0, 8):
+                mjds.append(t)
+                bands.append(band.index)
+                fluxes.append(float(curve.flux(band, t)))
+        flux = np.array(fluxes) + rng.normal(0, 0.3, len(fluxes))
+        err = np.full(len(fluxes), 0.3)
+        iip_fit = fit_salt2(flux, err, np.array(mjds), np.array(bands), redshift=0.4)
+
+        ia_flux, ia_err, ia_mjd, ia_bands = _observations(noise=0.3, seed=5)
+        ia_fit = fit_salt2(ia_flux, ia_err, ia_mjd, ia_bands, redshift=0.4)
+        assert iip_fit.reduced_chi2 > ia_fit.reduced_chi2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_salt2(np.ones(3), np.ones(3), np.ones(3), np.zeros(3), redshift=0.4)
+        with pytest.raises(ValueError):
+            fit_salt2(np.ones(5), np.zeros(5), np.ones(5), np.zeros(5), redshift=0.4)
+        with pytest.raises(ValueError):
+            fit_salt2(np.ones(5), np.ones(5), np.ones(5), np.zeros(5), redshift=0.0)
+        with pytest.raises(ValueError):
+            fit_salt2(np.ones(5), np.ones(4), np.ones(5), np.zeros(5), redshift=0.4)
+
+
+class TestKarpenka:
+    def test_model_shape(self):
+        t = np.linspace(0, 100, 50)
+        params = np.array([10.0, 0.0, 30.0, 30.0, 5.0, 20.0])
+        out = karpenka_model(t, params)
+        assert out.shape == (50,)
+        # Rises then falls around t0.
+        peak_t = t[np.argmax(out)]
+        assert 20.0 < peak_t < 60.0
+
+    def test_fit_recovers_model(self):
+        rng = np.random.default_rng(6)
+        t = np.linspace(0, 90, 15)
+        true = np.array([20.0, 0.0, 40.0, 40.0, 6.0, 25.0])
+        flux = karpenka_model(t, true) + rng.normal(0, 0.2, len(t))
+        err = np.full(len(t), 0.2)
+        params, chi2 = fit_karpenka_band(t, flux, err)
+        fitted = karpenka_model(t, params)
+        assert chi2 / len(t) < 3.0
+        assert np.argmax(fitted) == np.argmax(karpenka_model(t, true))
+
+    def test_few_points_fallback(self):
+        params, chi2 = fit_karpenka_band(
+            np.array([1.0, 2.0]), np.array([5.0, 6.0]), np.array([1.0, 1.0])
+        )
+        np.testing.assert_allclose(params, 0.0)
+        assert chi2 == pytest.approx(61.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_karpenka_band(np.ones(3), np.ones(2), np.ones(3))
+        with pytest.raises(ValueError):
+            fit_karpenka_band(np.ones(3), np.ones(3), np.zeros(3))
+
+    def test_features_shape_and_finite(self):
+        flux, err, mjd, band_idx = _observations(noise=0.3, seed=7)
+        features = karpenka_features(flux, err, mjd, band_idx)
+        assert features.shape == (KARPENKA_FEATURE_DIM,)
+        assert np.all(np.isfinite(features))
+
+    def test_features_distinguish_brightness(self):
+        bright, err, mjd, band_idx = _observations(z=0.2, noise=0.3, seed=8)
+        faint, err2, _, _ = _observations(z=0.8, noise=0.3, seed=9)
+        f_bright = karpenka_features(bright, err, mjd, band_idx)
+        f_faint = karpenka_features(faint, err2, mjd, band_idx)
+        # Amplitude features (every 7th starting at 0) larger when closer.
+        assert f_bright[0::7].sum() > f_faint[0::7].sum()

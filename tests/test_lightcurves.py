@@ -1,0 +1,229 @@
+"""Tests for templates, the SALT2-like Ia model, population priors and
+observer-frame light curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lightcurves import (
+    B_WAVELENGTH,
+    TEMPLATES,
+    LightCurve,
+    NonIaRealization,
+    PopulationModel,
+    SALT2LikeModel,
+    SALT2Parameters,
+    SNType,
+    blackbody_color,
+    color_law,
+)
+from repro.photometry import GRIZY, band_by_name
+
+
+class TestSNType:
+    def test_ia_flag(self):
+        assert SNType.IA.is_ia
+        assert not SNType.IIP.is_ia
+
+    def test_non_ia_listing(self):
+        assert SNType.IA not in SNType.non_ia()
+        assert len(SNType.non_ia()) == 5
+
+    def test_all_types_have_templates(self):
+        assert set(TEMPLATES) == set(SNType)
+
+
+class TestBlackbodyColor:
+    def test_zero_at_b(self):
+        assert blackbody_color(10000.0, B_WAVELENGTH) == pytest.approx(0.0)
+
+    def test_hot_is_blue(self):
+        # A hot blackbody is brighter in B than in the red: red color > 0.
+        assert blackbody_color(15000.0, 8000.0) > 0
+
+    def test_cool_is_red(self):
+        # A cool photosphere is brighter in the red than in B.
+        assert blackbody_color(4000.0, 8000.0) < 0
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ValueError):
+            blackbody_color(-100.0, 5000.0)
+
+    @given(st.floats(min_value=3000, max_value=20000))
+    def test_cooling_reddens(self, temp):
+        red = 9000.0
+        cooler = blackbody_color(temp * 0.8, red) - blackbody_color(temp, red)
+        assert cooler < 1e-9
+
+
+class TestColorLaw:
+    def test_normalisation(self):
+        assert color_law(B_WAVELENGTH) == pytest.approx(1.0)
+        assert color_law(5500.0) == pytest.approx(0.0)
+
+    def test_monotone_blue_to_red(self):
+        wavelengths = np.array([3500.0, 4400.0, 5500.0, 8000.0])
+        values = color_law(wavelengths)
+        assert np.all(np.diff(values) < 0)
+
+
+class TestTemplates:
+    def test_peak_at_phase_zero(self):
+        for template in TEMPLATES.values():
+            phases = np.linspace(-15, 80, 300)
+            dm = template.delta_mag_b(phases)
+            assert dm.min() >= -1e-9
+            assert template.delta_mag_b(0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rise_and_decline(self):
+        ia = TEMPLATES[SNType.IA]
+        assert ia.delta_mag_b(-10.0) > 0.1
+        assert ia.delta_mag_b(15.0) == pytest.approx(1.1, abs=0.05)
+
+    def test_iip_plateau_then_drop(self):
+        iip = TEMPLATES[SNType.IIP]
+        plateau = iip.delta_mag_b(80.0)
+        after_drop = iip.delta_mag_b(110.0)
+        assert plateau < 0.6
+        assert after_drop - plateau > 1.5
+
+    def test_ia_brightest_type(self):
+        peak = {t: TEMPLATES[t].peak_abs_mag_b for t in SNType}
+        assert peak[SNType.IA] == min(peak.values())
+
+    def test_ia_uv_suppressed_more_than_ii(self):
+        ia_deficit = TEMPLATES[SNType.IA].uv_deficit(3000.0)
+        iip_deficit = TEMPLATES[SNType.IIP].uv_deficit(3000.0)
+        assert ia_deficit > 1.5
+        assert ia_deficit > iip_deficit + 1.0
+
+    def test_uv_deficit_vanishes_redward(self):
+        assert TEMPLATES[SNType.IA].uv_deficit(8000.0) < 0.01
+
+    def test_very_early_phase_is_dark(self):
+        for template in TEMPLATES.values():
+            assert template.delta_mag_b(-200.0) >= 7.9
+
+
+class TestSALT2:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SALT2Parameters(x1=7.0)
+        with pytest.raises(ValueError):
+            SALT2Parameters(c=0.9)
+
+    def test_tripp_relation(self):
+        base = SALT2LikeModel(SALT2Parameters()).peak_abs_mag_b
+        stretched = SALT2LikeModel(SALT2Parameters(x1=1.0)).peak_abs_mag_b
+        red = SALT2LikeModel(SALT2Parameters(c=0.1)).peak_abs_mag_b
+        assert stretched == pytest.approx(base - 0.14)
+        assert red == pytest.approx(base + 0.31)
+
+    def test_stretch_broadens(self):
+        slow = SALT2LikeModel(SALT2Parameters(x1=2.0))
+        fast = SALT2LikeModel(SALT2Parameters(x1=-2.0))
+        # 15 days after peak the stretched SN has declined less.
+        decline_slow = slow.rest_mag(15.0, B_WAVELENGTH) - slow.rest_mag(0.0, B_WAVELENGTH)
+        decline_fast = fast.rest_mag(15.0, B_WAVELENGTH) - fast.rest_mag(0.0, B_WAVELENGTH)
+        assert decline_slow < decline_fast
+
+    def test_color_reddening_dims_blue_more(self):
+        neutral = SALT2LikeModel(SALT2Parameters())
+        red = SALT2LikeModel(SALT2Parameters(c=0.2))
+        dim_b = red.rest_mag(0.0, 4400.0) - neutral.rest_mag(0.0, 4400.0)
+        dim_i = red.rest_mag(0.0, 8000.0) - neutral.rest_mag(0.0, 8000.0)
+        assert dim_b > dim_i
+
+    def test_sn_type(self):
+        assert SALT2LikeModel(SALT2Parameters()).sn_type is SNType.IA
+
+
+class TestPopulation:
+    def test_sample_ia_type(self):
+        pop = PopulationModel()
+        rng = np.random.default_rng(0)
+        assert pop.sample(True, rng).sn_type.is_ia
+        assert not pop.sample(False, rng).sn_type.is_ia
+
+    def test_non_ia_fractions_respected(self):
+        pop = PopulationModel(non_ia_fractions={SNType.IIP: 1.0})
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            assert pop.sample_non_ia(rng).sn_type is SNType.IIP
+
+    def test_rejects_ia_in_fractions(self):
+        with pytest.raises(ValueError):
+            PopulationModel(non_ia_fractions={SNType.IA: 1.0})
+
+    def test_rejects_empty_fractions(self):
+        with pytest.raises(ValueError):
+            PopulationModel(non_ia_fractions={})
+
+    def test_realization_rejects_bad_stretch(self):
+        with pytest.raises(ValueError):
+            NonIaRealization(TEMPLATES[SNType.IB], 0.0, stretch=-1.0)
+
+    def test_parameters_vary(self):
+        pop = PopulationModel()
+        rng = np.random.default_rng(2)
+        mags = {pop.sample_ia(rng).peak_abs_mag_b for _ in range(5)}
+        assert len(mags) == 5
+
+
+class TestLightCurve:
+    @staticmethod
+    def _ia_curve(z=0.5):
+        return LightCurve(SALT2LikeModel(SALT2Parameters()), redshift=z, peak_mjd=57000.0)
+
+    def test_rejects_nonpositive_redshift(self):
+        with pytest.raises(ValueError):
+            LightCurve(SALT2LikeModel(SALT2Parameters()), redshift=0.0, peak_mjd=0.0)
+
+    def test_rest_phase_time_dilation(self):
+        curve = self._ia_curve(z=1.0)
+        assert curve.rest_phase(57020.0) == pytest.approx(10.0)
+
+    def test_flux_positive(self):
+        curve = self._ia_curve()
+        band = band_by_name("i")
+        dates = 57000.0 + np.linspace(-30, 100, 50)
+        assert np.all(curve.flux(band, dates) > 0)
+
+    def test_peak_near_peak_mjd(self):
+        curve = self._ia_curve()
+        band = band_by_name("r")
+        dates = 57000.0 + np.linspace(-40, 80, 241)
+        mags = curve.magnitude(band, dates)
+        peak_date = dates[np.argmin(mags)]
+        assert abs(peak_date - 57000.0) < 15.0
+
+    def test_higher_z_is_fainter(self):
+        band = band_by_name("i")
+        near = self._ia_curve(z=0.3).peak_magnitude(band)
+        far = self._ia_curve(z=0.9).peak_magnitude(band)
+        assert far > near + 1.0
+
+    def test_is_ia_flag(self):
+        assert self._ia_curve().is_ia
+        non = NonIaRealization(TEMPLATES[SNType.IIP], 0.0, 1.0)
+        assert not LightCurve(non, 0.5, 57000.0).is_ia
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.15, max_value=1.9))
+    def test_flux_finite_over_survey_window(self, z):
+        curve = self._ia_curve(z=z)
+        dates = 57000.0 + np.linspace(-60, 200, 40)
+        for band in GRIZY:
+            flux = curve.flux(band, dates)
+            assert np.all(np.isfinite(flux))
+            assert np.all(flux >= 0)
+
+    def test_ia_g_band_fades_fast_at_high_z(self):
+        # At z=1.5 the g band samples the suppressed rest UV: very faint.
+        curve = self._ia_curve(z=1.5)
+        g_peak = curve.peak_magnitude(band_by_name("g"))
+        y_peak = curve.peak_magnitude(band_by_name("y"))
+        assert g_peak > y_peak + 2.0
+
+    def test_repr(self):
+        assert "Ia" in repr(self._ia_curve())

@@ -1,0 +1,158 @@
+"""Edge-case and failure-injection tests for the NN framework."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(77)
+
+
+class TestSingleSampleAndEmpty:
+    def test_linear_single_row(self):
+        layer = nn.Linear(4, 2, rng=RNG)
+        assert layer(Tensor(np.zeros((1, 4)))).shape == (1, 2)
+
+    def test_conv_single_image(self):
+        layer = nn.Conv2d(1, 2, 3, rng=RNG)
+        assert layer(Tensor(np.zeros((1, 1, 5, 5)))).shape == (1, 2, 3, 3)
+
+    def test_predict_on_empty_batch(self):
+        from repro.core import LightCurveClassifier
+
+        clf = LightCurveClassifier(input_dim=10, units=8, rng=RNG)
+        out = clf.predict_proba(np.zeros((0, 10), dtype=np.float32))
+        assert out.shape == (0,)
+
+    def test_cnn_predict_empty(self):
+        from repro.core import BandwiseCNN
+
+        cnn = BandwiseCNN(input_size=36, rng=RNG)
+        out = cnn.predict(np.zeros((0, 2, 36, 36), dtype=np.float32))
+        assert out.shape == (0,)
+
+
+class TestNumericalRobustness:
+    def test_bn_constant_input_no_nan(self):
+        bn = nn.BatchNorm1d(3)
+        out = bn(Tensor(np.full((8, 3), 5.0)))
+        assert np.all(np.isfinite(out.numpy()))
+
+    def test_signed_log_extreme_values(self):
+        out = F.signed_log10(Tensor(np.array([1e30, -1e30, 0.0])))
+        assert np.all(np.isfinite(out.numpy()))
+
+    def test_softmax_all_equal(self):
+        out = F.softmax(Tensor(np.full((2, 4), 3.0)))
+        np.testing.assert_allclose(out.numpy(), 0.25, rtol=1e-6)
+
+    def test_bce_probability_zero_one_targets(self):
+        loss = nn.BCEWithLogitsLoss()(
+            Tensor(np.array([50.0, -50.0])), np.array([0.0, 1.0])
+        )
+        # Maximally wrong but still finite (≈ 50 nats each).
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(50.0, rel=0.01)
+
+    def test_adam_survives_zero_gradients(self):
+        param = nn.Parameter(np.ones(3))
+        opt = nn.Adam([param], lr=0.1)
+        param.grad = np.zeros(3)
+        opt.step()
+        np.testing.assert_allclose(param.data, np.ones(3))
+
+    def test_grad_clip_zero_gradient(self):
+        param = nn.Parameter(np.ones(3))
+        param.grad = np.zeros(3)
+        norm = nn.clip_grad_norm([param], 1.0)
+        assert norm == 0.0
+
+
+class TestStateDictEdgeCases:
+    def test_prelu_alpha_in_state(self):
+        layer = nn.PReLU(4)
+        assert "alpha" in layer.state_dict()
+
+    def test_bn_buffers_in_state(self):
+        bn = nn.BatchNorm2d(2)
+        state = bn.state_dict()
+        assert "buffer:running_mean" in state
+        assert "buffer:running_var" in state
+
+    def test_nested_sequential_roundtrip(self):
+        inner = nn.Sequential(nn.Linear(2, 3, rng=RNG), nn.PReLU())
+        outer = nn.Sequential(inner, nn.Linear(3, 1, rng=RNG))
+        clone_inner = nn.Sequential(nn.Linear(2, 3, rng=RNG), nn.PReLU())
+        clone = nn.Sequential(clone_inner, nn.Linear(3, 1, rng=RNG))
+        clone.load_state_dict(outer.state_dict())
+        x = Tensor(RNG.normal(size=(4, 2)).astype(np.float32))
+        np.testing.assert_allclose(outer(x).numpy(), clone(x).numpy(), rtol=1e-6)
+
+    def test_state_dict_is_a_copy(self):
+        layer = nn.Linear(2, 2, rng=RNG)
+        state = layer.state_dict()
+        state["weight"][:] = 99.0
+        assert not np.any(layer.weight.data == 99.0)
+
+
+class TestTrainingDynamics:
+    def test_batchnorm_train_vs_eval_differ(self):
+        bn = nn.BatchNorm1d(2, momentum=0.5)
+        x = Tensor(RNG.normal(loc=3.0, size=(32, 2)))
+        train_out = bn(x).numpy().copy()
+        bn.eval()
+        eval_out = bn(x).numpy()
+        assert not np.allclose(train_out, eval_out)
+
+    def test_dropout_changes_between_calls(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((4, 100)))
+        a = layer(x).numpy().copy()
+        b = layer(x).numpy()
+        assert not np.array_equal(a, b)
+
+    def test_momentum_accelerates_on_quadratic(self):
+        def run(momentum):
+            param = nn.Parameter(np.array([10.0]))
+            opt = nn.SGD([param], lr=0.02, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                (param * param).sum().backward()
+                opt.step()
+            return abs(float(param.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_equivalent_to_l2(self):
+        # One SGD step with decay == explicit L2 gradient.
+        a = nn.Parameter(np.array([2.0]))
+        opt_a = nn.SGD([a], lr=0.1, weight_decay=0.5)
+        a.grad = np.array([1.0])
+        opt_a.step()
+
+        b = nn.Parameter(np.array([2.0]))
+        opt_b = nn.SGD([b], lr=0.1)
+        b.grad = np.array([1.0 + 0.5 * 2.0])
+        opt_b.step()
+        np.testing.assert_allclose(a.data, b.data)
+
+
+class TestTensorMisuse:
+    def test_getitem_out_of_bounds(self):
+        t = Tensor(np.zeros((2, 2)))
+        with pytest.raises(IndexError):
+            _ = t[5]
+
+    def test_shape_mismatch_add(self):
+        with pytest.raises(ValueError):
+            _ = Tensor(np.zeros((2, 3))) + Tensor(np.zeros((2, 4)))
+
+    def test_matmul_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            _ = Tensor(np.zeros((2, 3))) @ Tensor(np.zeros((4, 2)))
+
+    def test_reshape_bad_size(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros(6)).reshape(4, 2)

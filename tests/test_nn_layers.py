@@ -1,0 +1,256 @@
+"""Tests for layers, functional API, highway layers and the module system."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from .helpers import check_gradient
+
+RNG = np.random.default_rng(23)
+
+
+class TestFunctional:
+    def test_relu_values(self):
+        out = F.relu(Tensor(np.array([-1.0, 0.0, 2.0])))
+        np.testing.assert_allclose(out.numpy(), [0.0, 0.0, 2.0])
+
+    def test_relu_gradient(self):
+        check_gradient(F.relu, RNG.normal(size=(10,)) + 0.3)
+
+    def test_leaky_relu_gradient(self):
+        check_gradient(lambda t: F.leaky_relu(t, 0.1), RNG.normal(size=(10,)) + 0.3)
+
+    def test_prelu_shared_slope(self):
+        alpha = Tensor(np.array([0.5]))
+        out = F.prelu(Tensor(np.array([-2.0, 4.0])), alpha)
+        np.testing.assert_allclose(out.numpy(), [-1.0, 4.0])
+
+    def test_prelu_gradient_wrt_input(self):
+        alpha = Tensor(np.array([0.25]))
+        check_gradient(lambda t: F.prelu(t, alpha), RNG.normal(size=(8,)) + 0.2)
+
+    def test_prelu_gradient_wrt_alpha(self):
+        x = Tensor(RNG.normal(size=(2, 3, 4, 4)))
+        check_gradient(lambda a: F.prelu(x, a), np.array([0.25, 0.1, 0.4]))
+
+    def test_prelu_per_channel_4d(self):
+        x = Tensor(-np.ones((1, 2, 2, 2)))
+        alpha = Tensor(np.array([0.5, 0.1]))
+        out = F.prelu(x, alpha).numpy()
+        np.testing.assert_allclose(out[0, 0], -0.5)
+        np.testing.assert_allclose(out[0, 1], -0.1)
+
+    def test_softmax_sums_to_one(self):
+        out = F.softmax(Tensor(RNG.normal(size=(4, 6))), axis=1)
+        np.testing.assert_allclose(out.numpy().sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(RNG.normal(size=(3, 5)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).numpy(), np.log(F.softmax(x).numpy()), rtol=1e-5
+        )
+
+    def test_log_softmax_stable_for_huge_logits(self):
+        out = F.log_softmax(Tensor(np.array([[1000.0, 0.0]])))
+        assert np.all(np.isfinite(out.numpy()))
+
+    def test_signed_log10_values(self):
+        out = F.signed_log10(Tensor(np.array([-99.0, 0.0, 9.0])))
+        np.testing.assert_allclose(out.numpy(), [-2.0, 0.0, 1.0], atol=1e-6)
+
+    def test_signed_log10_gradient(self):
+        check_gradient(F.signed_log10, RNG.normal(size=(10,)) * 5 + 0.1)
+
+    def test_signed_log10_odd_symmetry(self):
+        x = RNG.uniform(0.1, 100, size=20)
+        pos = F.signed_log10(Tensor(x)).numpy()
+        neg = F.signed_log10(Tensor(-x)).numpy()
+        np.testing.assert_allclose(pos, -neg, rtol=1e-6)
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(RNG.normal(size=(5, 5)))
+        out = F.dropout(x, 0.5, training=False, rng=RNG)
+        assert out is x
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        assert out.numpy().mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True, rng=RNG)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = nn.Linear(8, 3, rng=RNG)
+        assert layer(Tensor(np.zeros((5, 8)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False, rng=RNG)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 4))))
+        np.testing.assert_allclose(out.numpy(), 0.0)
+
+    def test_gradients_flow_to_parameters(self):
+        layer = nn.Linear(4, 2, rng=RNG)
+        loss = layer(Tensor(RNG.normal(size=(3, 4)))).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_weight_gradient_numerically(self):
+        x = Tensor(RNG.normal(size=(3, 4)))
+        bias = Tensor(np.zeros(2))
+        check_gradient(lambda w: x.matmul(w.T) + bias, RNG.normal(size=(2, 4)))
+
+
+class TestConvLayer:
+    def test_forward_shape(self):
+        layer = nn.Conv2d(3, 8, kernel_size=5, rng=RNG)
+        assert layer(Tensor(np.zeros((2, 3, 20, 20)))).shape == (2, 8, 16, 16)
+
+    def test_parameter_count(self):
+        layer = nn.Conv2d(10, 20, kernel_size=5, rng=RNG)
+        assert layer.num_parameters() == 20 * 10 * 25 + 20
+
+
+class TestBatchNorm:
+    def test_normalises_batch(self):
+        bn = nn.BatchNorm1d(4)
+        x = Tensor(RNG.normal(loc=5.0, scale=3.0, size=(64, 4)))
+        out = bn(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self):
+        bn = nn.BatchNorm1d(2, momentum=1.0)
+        x = Tensor(np.array([[1.0, 10.0], [3.0, 14.0]]))
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, [2.0, 12.0], atol=1e-5)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm1d(1, momentum=1.0)
+        bn(Tensor(np.array([[0.0], [2.0]])))  # running_mean=1, running_var=2
+        bn.eval()
+        out = bn(Tensor(np.array([[1.0]]))).numpy()
+        np.testing.assert_allclose(out, 0.0, atol=1e-3)
+
+    def test_2d_shapes(self):
+        bn = nn.BatchNorm2d(3)
+        out = bn(Tensor(RNG.normal(size=(4, 3, 5, 5))))
+        assert out.shape == (4, 3, 5, 5)
+
+    def test_2d_normalises_per_channel(self):
+        bn = nn.BatchNorm2d(2)
+        x = RNG.normal(size=(8, 2, 6, 6))
+        x[:, 1] += 100.0
+        out = bn(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+
+    def test_gamma_beta_trainable(self):
+        bn = nn.BatchNorm1d(3)
+        bn(Tensor(RNG.normal(size=(10, 3)))).sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3)(Tensor(np.zeros((2, 3, 4))))
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3)(Tensor(np.zeros((2, 3))))
+
+
+class TestHighway:
+    def test_preserves_shape(self):
+        layer = nn.Highway(16, rng=RNG)
+        assert layer(Tensor(np.zeros((4, 16)))).shape == (4, 16)
+
+    def test_negative_gate_bias_starts_near_identity(self):
+        layer = nn.Highway(8, gate_bias=-20.0, rng=RNG)
+        x = RNG.normal(size=(3, 8))
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), x, atol=1e-4)
+
+    def test_gradients_flow(self):
+        layer = nn.Highway(8, rng=RNG)
+        layer(Tensor(RNG.normal(size=(4, 8)))).sum().backward()
+        for name, param in layer.named_parameters():
+            assert param.grad is not None, name
+
+    def test_activations(self):
+        for act in ("relu", "tanh", "prelu"):
+            layer = nn.Highway(4, activation=act, rng=RNG)
+            assert layer(Tensor(RNG.normal(size=(2, 4)))).shape == (2, 4)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            nn.Highway(4, activation="gelu")
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            nn.Highway(4, rng=RNG)(Tensor(np.zeros((2, 5))))
+
+
+class TestModuleSystem:
+    def test_sequential_runs_in_order(self):
+        model = nn.Sequential(nn.Linear(4, 8, rng=RNG), nn.ReLU(), nn.Linear(8, 2, rng=RNG))
+        assert model(Tensor(np.zeros((3, 4)))).shape == (3, 2)
+        assert len(model) == 3
+
+    def test_named_parameters_dotted(self):
+        model = nn.Sequential(nn.Linear(2, 2, rng=RNG))
+        names = [n for n, _ in model.named_parameters()]
+        assert "layer0.weight" in names
+
+    def test_train_eval_recursive(self):
+        model = nn.Sequential(nn.Sequential(nn.Dropout(0.5)))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        model = nn.Linear(3, 1, rng=RNG)
+        model(Tensor(np.ones((2, 3)))).sum().backward()
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        src = nn.Sequential(nn.Linear(3, 4, rng=RNG), nn.BatchNorm1d(4))
+        src(Tensor(RNG.normal(size=(8, 3))))  # mutate running stats
+        dst = nn.Sequential(nn.Linear(3, 4, rng=RNG), nn.BatchNorm1d(4))
+        dst.load_state_dict(src.state_dict())
+        x = Tensor(RNG.normal(size=(2, 3)))
+        src.eval(), dst.eval()
+        np.testing.assert_allclose(src(x).numpy(), dst(x).numpy(), rtol=1e-6)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = nn.Linear(3, 4, rng=RNG)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.zeros((4, 3))})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = nn.Linear(3, 4, rng=RNG)
+        state = model.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_module_list(self):
+        layers = nn.ModuleList([nn.Linear(2, 2, rng=RNG) for _ in range(3)])
+        assert len(layers) == 3
+        assert len(list(layers.parameters())) == 6
+
+    def test_num_parameters(self):
+        assert nn.Linear(10, 5, rng=RNG).num_parameters() == 55
+
+    def test_serialization_file_roundtrip(self, tmp_path):
+        model = nn.Linear(4, 2, rng=RNG)
+        path = tmp_path / "weights.npz"
+        nn.save_module(model, path)
+        clone = nn.Linear(4, 2, rng=np.random.default_rng(99))
+        nn.load_module(clone, path)
+        np.testing.assert_allclose(model.weight.data, clone.weight.data)

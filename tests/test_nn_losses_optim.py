@@ -1,0 +1,214 @@
+"""Tests for losses, optimisers and the data pipeline."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import Tensor
+
+from .helpers import check_gradient
+
+RNG = np.random.default_rng(31)
+
+
+class TestMSELoss:
+    def test_value(self):
+        loss = nn.MSELoss()(Tensor(np.array([1.0, 2.0])), np.array([0.0, 4.0]))
+        assert loss.item() == pytest.approx((1 + 4) / 2)
+
+    def test_gradient(self):
+        target = np.array([0.5, -0.5, 1.0])
+        check_gradient(lambda t: nn.MSELoss()(t, target), RNG.normal(size=(3,)))
+
+    def test_zero_at_perfect_prediction(self):
+        y = RNG.normal(size=(5,))
+        assert nn.MSELoss()(Tensor(y), y).item() == pytest.approx(0.0)
+
+
+class TestL1AndHuber:
+    def test_l1_value(self):
+        loss = nn.L1Loss()(Tensor(np.array([1.0, -3.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_huber_quadratic_inside_delta(self):
+        loss = nn.HuberLoss(delta=1.0)(Tensor(np.array([0.5])), np.array([0.0]))
+        assert loss.item() == pytest.approx(0.125)
+
+    def test_huber_linear_outside_delta(self):
+        loss = nn.HuberLoss(delta=1.0)(Tensor(np.array([3.0])), np.array([0.0]))
+        assert loss.item() == pytest.approx(0.5 + 2.0)
+
+    def test_huber_gradient(self):
+        target = np.zeros(6)
+        check_gradient(
+            lambda t: nn.HuberLoss(delta=1.0)(t, target),
+            np.array([-3.0, -0.7, -0.2, 0.3, 0.8, 2.5]),
+        )
+
+
+class TestBCEWithLogits:
+    def test_matches_manual_formula(self):
+        logits = np.array([0.3, -1.2, 2.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        loss = nn.BCEWithLogitsLoss()(Tensor(logits), targets)
+        probs = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_stable_for_extreme_logits(self):
+        loss = nn.BCEWithLogitsLoss()(
+            Tensor(np.array([1000.0, -1000.0])), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient(self):
+        targets = np.array([1.0, 0.0, 1.0, 0.0])
+        check_gradient(
+            lambda t: nn.BCEWithLogitsLoss()(t, targets), RNG.normal(size=(4,))
+        )
+
+    def test_gradient_is_sigmoid_minus_target(self):
+        logits = Tensor(np.array([0.0]), requires_grad=True)
+        nn.BCEWithLogitsLoss()(logits, np.array([1.0])).backward()
+        np.testing.assert_allclose(logits.grad, [-0.5], atol=1e-6)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = nn.CrossEntropyLoss()(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_uniform_prediction_log_k(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = nn.CrossEntropyLoss()(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3), rel=1e-5)
+
+    def test_gradient(self):
+        targets = np.array([0, 2, 1])
+        check_gradient(
+            lambda t: nn.CrossEntropyLoss()(t, targets), RNG.normal(size=(3, 3))
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_param():
+        # Minimise f(w) = ||w - target||^2.
+        return nn.Parameter(np.array([5.0, -3.0], dtype=np.float32)), np.array([1.0, 2.0])
+
+    def test_sgd_converges_on_quadratic(self):
+        param, target = self._quadratic_param()
+        opt = nn.SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = ((param - target) ** 2).sum()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        param, target = self._quadratic_param()
+        opt = nn.SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            ((param - target) ** 2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        param, target = self._quadratic_param()
+        opt = nn.Adam([param], lr=0.3)
+        for _ in range(300):
+            opt.zero_grad()
+            ((param - target) ** 2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = nn.Parameter(np.array([10.0]))
+        opt = nn.SGD([param], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (param * 0.0).sum().backward()
+        opt.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([nn.Parameter(np.zeros(1))], lr=0.0)
+
+    def test_step_skips_params_without_grad(self):
+        param = nn.Parameter(np.array([1.0]))
+        opt = nn.Adam([param], lr=0.1)
+        opt.step()  # no gradient accumulated; should be a no-op
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_steplr_decays(self):
+        param = nn.Parameter(np.zeros(1))
+        opt = nn.SGD([param], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_clip_grad_norm(self):
+        param = nn.Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        norm = nn.clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-5)
+
+
+class TestDataPipeline:
+    def test_array_dataset_indexing(self):
+        ds = nn.ArrayDataset(np.arange(10), np.arange(10) * 2)
+        x, y = ds[3]
+        assert x == 3 and y == 6
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            nn.ArrayDataset(np.arange(3), np.arange(4))
+
+    def test_select_subset(self):
+        ds = nn.ArrayDataset(np.arange(10))
+        sub = ds.select([1, 5])
+        assert len(sub) == 2
+
+    def test_loader_covers_all_samples(self):
+        ds = nn.ArrayDataset(np.arange(10))
+        loader = nn.DataLoader(ds, batch_size=3)
+        seen = np.concatenate([b[0] for b in loader])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_loader_drop_last(self):
+        ds = nn.ArrayDataset(np.arange(10))
+        loader = nn.DataLoader(ds, batch_size=3, drop_last=True)
+        assert len(loader) == 3
+        assert sum(1 for _ in loader) == 3
+
+    def test_loader_shuffle_reproducible(self):
+        ds = nn.ArrayDataset(np.arange(100))
+        first = [b[0].copy() for b in nn.DataLoader(ds, 10, shuffle=True, rng=np.random.default_rng(5))]
+        second = [b[0].copy() for b in nn.DataLoader(ds, 10, shuffle=True, rng=np.random.default_rng(5))]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_loader_shuffle_changes_order(self):
+        ds = nn.ArrayDataset(np.arange(100))
+        loader = nn.DataLoader(ds, 100, shuffle=True, rng=np.random.default_rng(1))
+        (batch,) = [b[0] for b in loader]
+        assert not np.array_equal(batch, np.arange(100))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            nn.DataLoader(nn.ArrayDataset(np.arange(3)), batch_size=0)

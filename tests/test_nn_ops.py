@@ -1,0 +1,118 @@
+"""Gradient and value tests for conv2d / pooling primitives."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.nn import Tensor, avg_pool2d, conv2d, max_pool2d
+
+from .helpers import check_gradient
+
+RNG = np.random.default_rng(11)
+
+
+class TestConv2dForward:
+    def test_matches_scipy_correlate(self):
+        x = RNG.normal(size=(1, 1, 8, 8))
+        w = RNG.normal(size=(1, 1, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w)).numpy()
+        expected = signal.correlate2d(x[0, 0], w[0, 0], mode="valid")
+        np.testing.assert_allclose(out[0, 0], expected, rtol=1e-5)
+
+    def test_multichannel_sums_over_input_channels(self):
+        x = RNG.normal(size=(2, 3, 6, 6))
+        w = RNG.normal(size=(4, 3, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w)).numpy()
+        expected = np.zeros((2, 4, 4, 4))
+        for n in range(2):
+            for f in range(4):
+                for c in range(3):
+                    expected[n, f] += signal.correlate2d(x[n, c], w[f, c], mode="valid")
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_output_shape_with_stride_and_padding(self):
+        x = Tensor(np.zeros((1, 1, 9, 9)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        assert conv2d(x, w, stride=2, padding=1).shape == (1, 2, 5, 5)
+
+    def test_bias_added_per_channel(self):
+        x = Tensor(np.zeros((1, 1, 4, 4)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        b = Tensor(np.array([1.0, -2.0]))
+        out = conv2d(x, w, b).numpy()
+        np.testing.assert_allclose(out[0, 0], 1.0)
+        np.testing.assert_allclose(out[0, 1], -2.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((1, 3, 3, 3))))
+        with pytest.raises(ValueError):
+            conv2d(Tensor(np.zeros((4, 4))), Tensor(np.zeros((1, 1, 3, 3))))
+
+
+class TestConv2dGradients:
+    def test_grad_wrt_input(self):
+        w = Tensor(RNG.normal(size=(2, 1, 3, 3)))
+        check_gradient(lambda t: conv2d(t, w), RNG.normal(size=(1, 1, 5, 5)))
+
+    def test_grad_wrt_input_padded_strided(self):
+        w = Tensor(RNG.normal(size=(2, 2, 3, 3)))
+        check_gradient(
+            lambda t: conv2d(t, w, stride=2, padding=1), RNG.normal(size=(1, 2, 6, 6))
+        )
+
+    def test_grad_wrt_weight(self):
+        x = Tensor(RNG.normal(size=(2, 2, 5, 5)))
+        check_gradient(lambda t: conv2d(x, t), RNG.normal(size=(3, 2, 3, 3)))
+
+    def test_grad_wrt_bias(self):
+        x = Tensor(RNG.normal(size=(2, 1, 4, 4)))
+        w = Tensor(RNG.normal(size=(2, 1, 3, 3)))
+        check_gradient(lambda t: conv2d(x, w, t), RNG.normal(size=(2,)))
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), 2).numpy()
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_odd_size_cropped(self):
+        x = Tensor(np.zeros((1, 1, 5, 5)))
+        assert max_pool2d(x, 2).shape == (1, 1, 2, 2)
+
+    def test_too_large_window_raises(self):
+        with pytest.raises(ValueError):
+            max_pool2d(Tensor(np.zeros((1, 1, 2, 2))), 3)
+
+    def test_gradient(self):
+        # Unique values avoid tie ambiguity at the argmax.
+        x = RNG.permutation(np.arange(64.0)).reshape(1, 1, 8, 8)
+        check_gradient(lambda t: max_pool2d(t, 2), x)
+
+    def test_gradient_routes_to_argmax_only(self):
+        x = np.zeros((1, 1, 2, 2))
+        x[0, 0, 1, 1] = 5.0
+        t = Tensor(x, requires_grad=True)
+        max_pool2d(t, 2).sum().backward()
+        expected = np.zeros((1, 1, 2, 2))
+        expected[0, 0, 1, 1] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_overlapping_stride(self):
+        x = RNG.permutation(np.arange(36.0)).reshape(1, 1, 6, 6)
+        check_gradient(lambda t: max_pool2d(t, 3, stride=1), x)
+
+
+class TestAvgPool:
+    def test_forward_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x), 2).numpy()
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_gradient(self):
+        check_gradient(lambda t: avg_pool2d(t, 2), RNG.normal(size=(2, 2, 4, 4)))
+
+    def test_too_large_window_raises(self):
+        with pytest.raises(ValueError):
+            avg_pool2d(Tensor(np.zeros((1, 1, 2, 2))), 4)

@@ -1,0 +1,166 @@
+"""Property-based tests of autograd identities and layer invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.nn as nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+finite_arrays = st.integers(min_value=1, max_value=6).flatmap(
+    lambda n: st.lists(
+        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+        min_size=n,
+        max_size=n,
+    )
+)
+
+
+def _grad_of(fn, x: np.ndarray) -> np.ndarray:
+    t = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    fn(t).sum().backward()
+    return t.grad
+
+
+class TestAutogradIdentities:
+    @settings(max_examples=40, deadline=None)
+    @given(finite_arrays)
+    def test_sum_rule(self, xs):
+        # d/dx (f + g) = df/dx + dg/dx with f = x^2, g = 3x.
+        x = np.array(xs)
+        combined = _grad_of(lambda t: t * t + 3.0 * t, x)
+        separate = _grad_of(lambda t: t * t, x) + _grad_of(lambda t: 3.0 * t, x)
+        np.testing.assert_allclose(combined, separate, rtol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(finite_arrays)
+    def test_product_rule(self, xs):
+        # d/dx (x * sin-ish) via product of (x) and (tanh x).
+        x = np.array(xs)
+        grad = _grad_of(lambda t: t * t.tanh(), x)
+        expected = np.tanh(x) + x * (1 - np.tanh(x) ** 2)
+        np.testing.assert_allclose(grad, expected, rtol=1e-5, atol=1e-7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(finite_arrays)
+    def test_chain_rule_exp_of_linear(self, xs):
+        x = np.clip(np.array(xs), -3, 3)
+        grad = _grad_of(lambda t: (2.0 * t + 1.0).exp(), x)
+        np.testing.assert_allclose(grad, 2.0 * np.exp(2.0 * x + 1.0), rtol=1e-5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(finite_arrays)
+    def test_linearity_of_backward(self, xs):
+        # grad of (a * f) = a * grad of f.
+        x = np.array(xs)
+        grad_scaled = _grad_of(lambda t: 5.0 * t.sigmoid(), x)
+        grad_base = _grad_of(lambda t: t.sigmoid(), x)
+        np.testing.assert_allclose(grad_scaled, 5.0 * grad_base, rtol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(finite_arrays)
+    def test_sigmoid_tanh_identity(self, xs):
+        # sigmoid(x) = (tanh(x/2) + 1) / 2 — values and gradients agree.
+        x = np.array(xs)
+        sig = _grad_of(lambda t: t.sigmoid(), x)
+        via_tanh = _grad_of(lambda t: ((t * 0.5).tanh() + 1.0) * 0.5, x)
+        np.testing.assert_allclose(sig, via_tanh, rtol=1e-5, atol=1e-8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(finite_arrays)
+    def test_detach_blocks_gradient(self, xs):
+        x = np.array(xs)
+        t = Tensor(x, requires_grad=True)
+        out = t * Tensor(t.detach().numpy())  # second factor is a constant
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, x, rtol=1e-6)
+
+
+class TestSoftmaxProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=10**6))
+    def test_softmax_shift_invariance(self, k, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(3, k))
+        a = F.softmax(Tensor(x)).numpy()
+        b = F.softmax(Tensor(x + 100.0)).numpy()
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=10**6))
+    def test_log_softmax_normalisation(self, k, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(4, k))
+        log_probs = F.log_softmax(Tensor(x)).numpy()
+        np.testing.assert_allclose(np.exp(log_probs).sum(axis=1), 1.0, rtol=1e-5)
+
+
+class TestConvProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_conv_linearity(self, seed):
+        rng = np.random.default_rng(seed)
+        x1 = rng.normal(size=(1, 1, 7, 7))
+        x2 = rng.normal(size=(1, 1, 7, 7))
+        w = Tensor(rng.normal(size=(2, 1, 3, 3)))
+        sum_out = nn.conv2d(Tensor(x1 + x2), w).numpy()
+        sep_out = nn.conv2d(Tensor(x1), w).numpy() + nn.conv2d(Tensor(x2), w).numpy()
+        np.testing.assert_allclose(sum_out, sep_out, rtol=1e-4, atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_maxpool_dominance(self, seed):
+        # max_pool(x) >= avg_pool(x) elementwise, with equality iff the
+        # window is constant.
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 1, 8, 8))
+        mx = nn.max_pool2d(Tensor(x), 2).numpy()
+        av = nn.avg_pool2d(Tensor(x), 2).numpy()
+        assert np.all(mx >= av - 1e-7)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_conv_translation_covariance(self, seed):
+        # Shifting the input shifts the (valid-mode) output.
+        rng = np.random.default_rng(seed)
+        base = rng.normal(size=(1, 1, 10, 10))
+        shifted = np.roll(base, 1, axis=3)
+        w = Tensor(rng.normal(size=(1, 1, 3, 3)))
+        out_base = nn.conv2d(Tensor(base), w).numpy()
+        out_shift = nn.conv2d(Tensor(shifted), w).numpy()
+        np.testing.assert_allclose(out_shift[..., 1:], out_base[..., :-1], rtol=1e-4, atol=1e-6)
+
+
+class TestLayerInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=32), st.integers(min_value=0, max_value=10**6))
+    def test_batchnorm_output_statistics(self, n, seed):
+        rng = np.random.default_rng(seed)
+        bn = nn.BatchNorm1d(3)
+        x = rng.normal(loc=7.0, scale=4.0, size=(max(n, 2), 3))
+        out = bn(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_highway_interpolates(self, seed):
+        # Highway output is a convex combination of transform and input,
+        # so it lies inside the elementwise envelope of the two.
+        rng = np.random.default_rng(seed)
+        layer = nn.Highway(6, rng=rng)
+        x = rng.normal(size=(4, 6)).astype(np.float32)
+        out = layer(Tensor(x)).numpy()
+        transform = layer._transform(Tensor(x)).numpy()
+        low = np.minimum(transform, x)
+        high = np.maximum(transform, x)
+        assert np.all(out >= low - 1e-5)
+        assert np.all(out <= high + 1e-5)
+
+    def test_dropout_scales_preserved_mean_gradient(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((2000,), dtype=np.float64), requires_grad=True)
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        out.sum().backward()
+        # Inverted dropout: E[grad] = 1.
+        assert x.grad.mean() == pytest.approx(1.0, abs=0.05)

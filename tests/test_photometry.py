@@ -1,0 +1,101 @@
+"""Tests for bands and magnitude algebra, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.photometry import (
+    GRIZY,
+    ZERO_POINT,
+    Band,
+    band_by_name,
+    flux_to_mag,
+    inverse_signed_log10,
+    mag_error_from_flux,
+    mag_to_flux,
+    signed_log10,
+)
+
+
+class TestBands:
+    def test_five_bands_ordered(self):
+        assert [b.name for b in GRIZY] == ["g", "r", "i", "z", "y"]
+        assert [b.index for b in GRIZY] == [0, 1, 2, 3, 4]
+
+    def test_wavelengths_increase(self):
+        wavelengths = [b.effective_wavelength for b in GRIZY]
+        assert wavelengths == sorted(wavelengths)
+
+    def test_lookup(self):
+        assert band_by_name("i").effective_wavelength == pytest.approx(7711.0)
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            band_by_name("u")
+
+    def test_invalid_wavelength(self):
+        with pytest.raises(ValueError):
+            Band("x", -5.0, 20.0, 0)
+
+    def test_str(self):
+        assert str(band_by_name("g")) == "g"
+
+
+class TestMagnitudes:
+    def test_zero_point_value(self):
+        assert flux_to_mag(1.0) == pytest.approx(ZERO_POINT)
+
+    def test_paper_formula(self):
+        # mag = -2.5 log10(flux) + 27 from Section 4.
+        assert flux_to_mag(100.0) == pytest.approx(22.0)
+
+    def test_rejects_nonpositive_flux(self):
+        with pytest.raises(ValueError):
+            flux_to_mag(0.0)
+        with pytest.raises(ValueError):
+            flux_to_mag(np.array([1.0, -2.0]))
+
+    def test_array_roundtrip(self):
+        mags = np.array([20.0, 23.5, 27.0])
+        np.testing.assert_allclose(flux_to_mag(mag_to_flux(mags)), mags, rtol=1e-10)
+
+    @given(st.floats(min_value=15.0, max_value=30.0))
+    def test_roundtrip_property(self, mag):
+        assert flux_to_mag(mag_to_flux(mag)) == pytest.approx(mag, abs=1e-9)
+
+    @given(st.floats(min_value=1e-3, max_value=1e6))
+    def test_brighter_means_smaller_mag(self, flux):
+        assert flux_to_mag(flux * 2) < flux_to_mag(flux)
+
+    def test_mag_error_first_order(self):
+        # 10% flux error ~ 0.108 mag.
+        assert mag_error_from_flux(100.0, 10.0) == pytest.approx(0.1086, rel=1e-3)
+
+    def test_mag_error_validation(self):
+        with pytest.raises(ValueError):
+            mag_error_from_flux(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            mag_error_from_flux(1.0, -1.0)
+
+
+class TestSignedLog:
+    def test_values(self):
+        np.testing.assert_allclose(
+            signed_log10(np.array([-9.0, 0.0, 99.0])), [-1.0, 0.0, 2.0], atol=1e-12
+        )
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_roundtrip_property(self, x):
+        assert inverse_signed_log10(signed_log10(x)) == pytest.approx(x, rel=1e-6, abs=1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_odd_function(self, x):
+        assert signed_log10(-x) == pytest.approx(-signed_log10(x))
+
+    @given(
+        st.floats(min_value=-1e5, max_value=1e5),
+        st.floats(min_value=-1e5, max_value=1e5),
+    )
+    def test_monotone(self, a, b):
+        if a < b:
+            assert signed_log10(a) <= signed_log10(b)

@@ -1,0 +1,91 @@
+"""Tests for purity/efficiency curves and the SNPCC figure of merit."""
+
+import numpy as np
+import pytest
+
+from repro.eval import PurityCurve, purity_efficiency_curve, snpcc_figure_of_merit
+
+
+class TestPurityCurve:
+    def test_perfect_classifier(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        curve = purity_efficiency_curve(labels, scores, n_thresholds=21)
+        # Some threshold achieves purity 1 at efficiency 1.
+        both = (curve.purity == 1.0) & (curve.efficiency == 1.0)
+        assert np.any(both)
+
+    def test_loosest_threshold_full_efficiency(self):
+        labels = np.array([0, 1, 0, 1, 1])
+        scores = np.array([0.3, 0.7, 0.5, 0.6, 0.9])
+        curve = purity_efficiency_curve(labels, scores)
+        assert curve.efficiency[0] == 1.0
+        assert curve.purity[0] == pytest.approx(3 / 5)
+
+    def test_efficiency_monotone_decreasing(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 200)
+        labels[0] = 1
+        scores = rng.random(200)
+        curve = purity_efficiency_curve(labels, scores)
+        assert np.all(np.diff(curve.efficiency) <= 1e-12)
+
+    def test_at_efficiency(self):
+        # A negative (0.75) sits between the positives: full efficiency
+        # forces it into the selection, capping purity at 2/3.
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.75, 0.7, 0.9])
+        curve = purity_efficiency_curve(labels, scores, n_thresholds=101)
+        assert curve.at_efficiency(1.0) == pytest.approx(2 / 3)
+        assert curve.at_efficiency(0.5) == 1.0
+
+    def test_at_efficiency_validation(self):
+        curve = PurityCurve(
+            thresholds=np.array([0.0, 1.0]),
+            purity=np.array([0.5, 1.0]),
+            efficiency=np.array([1.0, 0.5]),
+        )
+        with pytest.raises(ValueError):
+            curve.at_efficiency(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            purity_efficiency_curve(np.array([0, 1]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            purity_efficiency_curve(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            purity_efficiency_curve(np.array([0, 0]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            purity_efficiency_curve(np.array([0, 1]), np.array([0.1, 0.2]), n_thresholds=1)
+
+
+class TestFigureOfMerit:
+    def test_perfect_selection(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.0, 0.0, 1.0, 1.0])
+        assert snpcc_figure_of_merit(labels, scores) == pytest.approx(1.0)
+
+    def test_contamination_penalised_threefold(self):
+        labels = np.array([1, 0])
+        scores = np.array([0.9, 0.9])  # selects both: 1 TP, 1 FP
+        fom = snpcc_figure_of_merit(labels, scores)
+        assert fom == pytest.approx(1.0 * (1 / (1 + 3.0)))
+
+    def test_no_selection_zero(self):
+        labels = np.array([1, 0])
+        scores = np.array([0.1, 0.2])
+        assert snpcc_figure_of_merit(labels, scores, threshold=0.5) == 0.0
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            snpcc_figure_of_merit(
+                np.array([1, 0]), np.array([0.9, 0.1]), false_positive_weight=0.0
+            )
+
+    def test_better_classifier_higher_fom(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 500)
+        labels[0] = 1
+        good = labels + rng.normal(0, 0.3, 500)
+        bad = labels + rng.normal(0, 2.0, 500)
+        assert snpcc_figure_of_merit(labels, good) > snpcc_figure_of_merit(labels, bad)

@@ -1,0 +1,205 @@
+"""Tests for the SNPCC-style generator, temperature scaling and the LSTM
+baseline variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LSTMCell, RecurrentClassifier
+from repro.core import TemperatureScaler
+from repro.datasets import SNPCCConfig, generate_snpcc
+from repro.eval import expected_calibration_error
+from repro.nn import Tensor
+
+
+class TestSNPCCGenerator:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_snpcc(SNPCCConfig(n_samples=150, seed=3))
+
+    def test_sample_count(self, dataset):
+        assert len(dataset) == 150
+
+    def test_class_mix_unbalanced(self, dataset):
+        frac = dataset.labels().mean()
+        assert 0.1 < frac < 0.45  # ~25% SNIa as in the challenge
+
+    def test_observation_count_spread(self, dataset):
+        counts = dataset.observation_counts()
+        assert counts.min() >= 4
+        # Irregular sampling: a real spread of light-curve lengths.
+        assert counts.max() - counts.min() >= 5
+
+    def test_arrays_aligned(self, dataset):
+        sample = dataset[0]
+        n = sample.n_observations
+        assert sample.band.shape == (n,)
+        assert sample.flux.shape == (n,)
+        assert sample.flux_err.shape == (n,)
+        assert np.all(sample.flux_err > 0)
+
+    def test_detections_significant(self, dataset):
+        for sample in dataset.samples[:20]:
+            snr = sample.flux / sample.flux_err
+            assert np.all(snr >= 3.0 - 1e-9)
+
+    def test_redshifts_recorded(self, dataset):
+        z = np.array([s.redshift for s in dataset.samples])
+        assert np.all((z >= 0.1) & (z <= 2.0))
+
+    def test_reproducible(self):
+        a = generate_snpcc(SNPCCConfig(n_samples=30, seed=9))
+        b = generate_snpcc(SNPCCConfig(n_samples=30, seed=9))
+        np.testing.assert_allclose(a[0].flux, b[0].flux)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SNPCCConfig(n_samples=0)
+        with pytest.raises(ValueError):
+            SNPCCConfig(ia_fraction=1.5)
+        with pytest.raises(ValueError):
+            SNPCCConfig(cadence_days=0.0)
+
+    def test_ia_lightcurves_shorter_than_iip(self, dataset):
+        # IIP plateaus stay detectable longer than Ia declines.
+        spans_ia, spans_iip = [], []
+        for sample in dataset.samples:
+            span = sample.mjd.max() - sample.mjd.min()
+            if sample.sn_type == "Ia":
+                spans_ia.append(span)
+            elif sample.sn_type == "IIP":
+                spans_iip.append(span)
+        if len(spans_ia) > 5 and len(spans_iip) > 5:
+            assert np.median(spans_iip) >= np.median(spans_ia)
+
+
+class TestSNPCCFeatures:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_snpcc(SNPCCConfig(n_samples=80, seed=13))
+
+    def test_shape(self, dataset):
+        from repro.baselines import SNPCC_FEATURE_DIM, snpcc_features
+
+        x, y = snpcc_features(dataset)
+        assert x.shape == (80, SNPCC_FEATURE_DIM)
+        assert y.shape == (80,)
+
+    def test_features_finite(self, dataset):
+        from repro.baselines import snpcc_features
+
+        x, _ = snpcc_features(dataset)
+        assert np.all(np.isfinite(x))
+
+    def test_undetected_band_is_zero_block(self):
+        from repro.baselines import snpcc_sample_features
+        from repro.datasets import SNPCCSample
+
+        sample = SNPCCSample(
+            mjd=np.array([10.0, 15.0]),
+            band=np.array([2, 2]),  # only i band detected
+            flux=np.array([50.0, 40.0]),
+            flux_err=np.array([1.0, 1.0]),
+            is_ia=True,
+            redshift=0.5,
+            sn_type="Ia",
+        )
+        features = snpcc_sample_features(sample)
+        np.testing.assert_allclose(features[:10], 0.0)  # g and r blocks
+        assert features[10] > 0  # i-band peak flux
+
+    def test_carries_class_signal(self, dataset):
+        from repro.baselines import snpcc_features
+        from repro.eval import auc_score
+
+        x, y = snpcc_features(dataset)
+        if y.min() == y.max():
+            pytest.skip("single-class draw")
+        # Peak-flux features alone should beat chance (Ia are brighter).
+        score = x[:, 0::5].max(axis=1)
+        assert auc_score(y, score) > 0.5
+
+
+class TestTemperatureScaler:
+    def test_recovers_known_temperature(self):
+        rng = np.random.default_rng(0)
+        true_logits = rng.normal(0, 2, 20000)
+        labels = (rng.random(20000) < 1 / (1 + np.exp(-true_logits))).astype(float)
+        # The "model" reports logits that are 3x too confident.
+        scaler = TemperatureScaler().fit(true_logits * 3.0, labels)
+        assert scaler.temperature == pytest.approx(3.0, rel=0.1)
+
+    def test_improves_calibration(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(0, 1.5, 5000)
+        labels = (rng.random(5000) < 1 / (1 + np.exp(-logits))).astype(float)
+        overconfident = logits * 4.0
+        raw_probs = 1 / (1 + np.exp(-overconfident))
+        scaler = TemperatureScaler().fit(overconfident, labels)
+        calibrated = scaler.transform(overconfident)
+        assert expected_calibration_error(labels, calibrated) < (
+            expected_calibration_error(labels, raw_probs)
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TemperatureScaler().transform(np.zeros(3))
+
+    def test_validation(self):
+        scaler = TemperatureScaler()
+        with pytest.raises(ValueError):
+            scaler.fit(np.zeros(3), np.zeros(2))
+        with pytest.raises(ValueError):
+            scaler.fit(np.zeros(0), np.zeros(0))
+        with pytest.raises(ValueError):
+            scaler.fit(np.zeros(2), np.array([0.0, 2.0]))
+        with pytest.raises(ValueError):
+            scaler.fit(np.zeros(2), np.zeros(2), bounds=(2.0, 1.0))
+
+    def test_logit_roundtrip(self):
+        probs = np.array([0.1, 0.5, 0.9])
+        logits = TemperatureScaler.probabilities_to_logits(probs)
+        back = 1 / (1 + np.exp(-logits))
+        np.testing.assert_allclose(back, probs, rtol=1e-6)
+
+
+class TestLSTM:
+    def test_cell_shapes(self):
+        rng = np.random.default_rng(2)
+        cell = LSTMCell(10, 8, rng=rng)
+        h = Tensor(np.zeros((4, 8), dtype=np.float32))
+        c = Tensor(np.zeros((4, 8), dtype=np.float32))
+        x = Tensor(rng.normal(size=(4, 10)).astype(np.float32))
+        h_next, c_next = cell(x, h, c)
+        assert h_next.shape == (4, 8)
+        assert c_next.shape == (4, 8)
+
+    def test_classifier_lstm_variant(self):
+        rng = np.random.default_rng(3)
+        model = RecurrentClassifier(input_dim=10, hidden_dim=8, cell="lstm", rng=rng)
+        out = model(Tensor(rng.normal(size=(3, 4, 10)).astype(np.float32)))
+        assert out.shape == (3,)
+
+    def test_invalid_cell(self):
+        with pytest.raises(ValueError):
+            RecurrentClassifier(cell="vanilla")
+
+    def test_lstm_learns_memory_task(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(300, 4, 10)).astype(np.float32)
+        y = (x[:, 0, 0] > 0).astype(np.float32)  # label set by the FIRST step
+        model = RecurrentClassifier(input_dim=10, hidden_dim=12, cell="lstm", rng=rng)
+        from repro.core import TrainConfig
+        from repro.core.training import fit
+        from repro.eval import auc_score
+        from repro.nn import BCEWithLogitsLoss
+
+        bce = BCEWithLogitsLoss()
+
+        def loss_fn(m, inputs, target):
+            return bce(m(Tensor(inputs[0])), target)
+
+        fit(
+            model, [x], y, loss_fn,
+            TrainConfig(epochs=60, batch_size=64, seed=5, learning_rate=3e-3),
+        )
+        assert auc_score(y, model.predict_proba(x)) > 0.85

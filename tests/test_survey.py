@@ -1,0 +1,364 @@
+"""Tests for the survey substrate: PSFs, galaxy rendering, noise,
+conditions, scheduling, imaging and differencing."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import CosmosCatalog, HostSelector
+from repro.photometry import GRIZY, band_by_name, mag_to_flux
+from repro.survey import (
+    ConditionsModel,
+    GaussianPSF,
+    ImagingConfig,
+    MoffatPSF,
+    NightConditions,
+    NoiseModel,
+    ObservationPlan,
+    ScheduledVisit,
+    StampSimulator,
+    SurveyScheduler,
+    difference_images,
+    fit_matching_kernel,
+    fwhm_to_sigma,
+    gaussian_matching_kernel,
+    render_sersic,
+    sersic_b,
+    sigma_to_fwhm,
+    sky_counts_per_pixel,
+)
+
+
+class TestPSF:
+    def test_fwhm_sigma_roundtrip(self):
+        assert sigma_to_fwhm(fwhm_to_sigma(0.7)) == pytest.approx(0.7)
+
+    def test_fwhm_validation(self):
+        with pytest.raises(ValueError):
+            fwhm_to_sigma(0.0)
+        with pytest.raises(ValueError):
+            sigma_to_fwhm(-1.0)
+
+    def test_gaussian_normalised(self):
+        psf = GaussianPSF(fwhm=0.7, pixel_scale=0.17)
+        img = psf.render((41, 41), (20.0, 20.0))
+        assert img.sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_gaussian_fwhm_measured(self):
+        psf = GaussianPSF(fwhm=0.85, pixel_scale=0.17)
+        img = psf.render((61, 61), (30.0, 30.0))
+        half_max = img.max() / 2
+        width_px = np.sum(img[30] >= half_max)
+        assert width_px == pytest.approx(0.85 / 0.17, abs=1.5)
+
+    def test_moffat_normalised(self):
+        psf = MoffatPSF(fwhm=0.7, beta=3.0, pixel_scale=0.17)
+        img = psf.render((81, 81), (40.0, 40.0))
+        assert img.sum() == pytest.approx(1.0, abs=0.02)
+
+    def test_moffat_heavier_wings_than_gaussian(self):
+        gauss = GaussianPSF(0.7).render((41, 41), (20.0, 20.0))
+        moffat = MoffatPSF(0.7).render((41, 41), (20.0, 20.0))
+        assert moffat[20, 35] > gauss[20, 35]
+
+    def test_moffat_beta_validation(self):
+        with pytest.raises(ValueError):
+            MoffatPSF(0.7, beta=1.0)
+
+    def test_subpixel_center(self):
+        psf = GaussianPSF(0.7)
+        img = psf.render((21, 21), (10.3, 9.6))
+        rows, cols = np.mgrid[:21, :21]
+        centroid_r = (rows * img).sum() / img.sum()
+        centroid_c = (cols * img).sum() / img.sum()
+        assert centroid_r == pytest.approx(10.3, abs=0.05)
+        assert centroid_c == pytest.approx(9.6, abs=0.05)
+
+
+class TestSersic:
+    def test_b_n_known_values(self):
+        # Classic approximations: b_1 ~ 1.678, b_4 ~ 7.669.
+        assert sersic_b(1.0) == pytest.approx(1.678, abs=0.01)
+        assert sersic_b(4.0) == pytest.approx(7.669, abs=0.01)
+
+    def test_b_n_validation(self):
+        with pytest.raises(ValueError):
+            sersic_b(0.0)
+
+    def test_total_flux_captured(self):
+        # A small galaxy on a big stamp captures nearly all its flux.
+        img = render_sersic((101, 101), (50.0, 50.0), 1000.0, 4.0, 1.0)
+        assert img.sum() == pytest.approx(1000.0, rel=0.03)
+
+    def test_half_light_radius(self):
+        img = render_sersic((201, 201), (100.0, 100.0), 1.0, 8.0, 1.0)
+        rows, cols = np.mgrid[:201, :201]
+        inside = (rows - 100.0) ** 2 + (cols - 100.0) ** 2 <= 8.0**2
+        assert img[inside].sum() / img.sum() == pytest.approx(0.5, abs=0.03)
+
+    def test_ellipticity_shapes_isophotes(self):
+        img = render_sersic(
+            (101, 101), (50.0, 50.0), 1.0, 10.0, 1.0, ellipticity=0.5, position_angle=0.0
+        )
+        # Major axis along columns: flux at (50, 70) > flux at (70, 50).
+        assert img[50, 70] > img[70, 50]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_sersic((11, 11), (5.0, 5.0), -1.0, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            render_sersic((11, 11), (5.0, 5.0), 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            render_sersic((11, 11), (5.0, 5.0), 1.0, 2.0, 1.0, ellipticity=1.0)
+        with pytest.raises(ValueError):
+            render_sersic((11, 11), (5.0, 5.0), 1.0, 2.0, 1.0, oversample=0)
+
+
+class TestNoise:
+    def test_sky_counts_sensible(self):
+        counts = sky_counts_per_pixel(band_by_name("i"), pixel_scale=0.17)
+        assert 0.1 < counts < 100.0
+
+    def test_sky_validation(self):
+        with pytest.raises(ValueError):
+            sky_counts_per_pixel(band_by_name("i"), pixel_scale=-0.1)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(read_noise=-1.0)
+        with pytest.raises(ValueError):
+            NoiseModel(exposure_factor=0.0)
+
+    def test_realise_unbiased(self):
+        model = NoiseModel(exposure_factor=60.0)
+        rng = np.random.default_rng(0)
+        signal = np.full((40, 40), 5.0)
+        image = model.realise(signal, band_by_name("r"), 0.17, rng)
+        assert image.mean() == pytest.approx(5.0, abs=0.15)
+
+    def test_realise_rejects_negative_signal(self):
+        model = NoiseModel()
+        with pytest.raises(ValueError):
+            model.realise(np.full((4, 4), -1.0), band_by_name("r"), 0.17, np.random.default_rng())
+
+    def test_pixel_sigma_matches_empirical(self):
+        model = NoiseModel(exposure_factor=60.0)
+        rng = np.random.default_rng(1)
+        blank = np.zeros((200, 200))
+        image = model.realise(blank, band_by_name("i"), 0.17, rng)
+        predicted = model.pixel_sigma(band_by_name("i"), 0.17)
+        assert image.std() == pytest.approx(predicted, rel=0.05)
+
+    def test_depth_boost_reduces_noise(self):
+        model = NoiseModel()
+        shallow = model.pixel_sigma(band_by_name("i"), 0.17)
+        deep = model.pixel_sigma(band_by_name("i"), 0.17, depth_boost=8.0)
+        assert deep == pytest.approx(shallow / np.sqrt(8.0), rel=0.05)
+
+
+class TestConditions:
+    def test_sample_within_bounds(self):
+        model = ConditionsModel()
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            night = model.sample(57000.0, rng)
+            assert 0.4 <= night.seeing_fwhm <= 2.0
+            assert 0.3 <= night.transparency <= 1.0
+
+    def test_seeing_median_close_to_config(self):
+        model = ConditionsModel(median_seeing=0.7)
+        rng = np.random.default_rng(1)
+        seeing = [model.sample(0.0, rng).seeing_fwhm for _ in range(500)]
+        assert np.median(seeing) == pytest.approx(0.7, abs=0.05)
+
+    def test_best_conditions(self):
+        night = ConditionsModel().best_conditions(123.0)
+        assert night.transparency == 1.0
+        assert night.mjd == 123.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NightConditions(0.0, seeing_fwhm=-0.5, transparency=1.0, zp_jitter_mag=0.0)
+        with pytest.raises(ValueError):
+            NightConditions(0.0, seeing_fwhm=0.7, transparency=0.0, zp_jitter_mag=0.0)
+        with pytest.raises(ValueError):
+            ConditionsModel(median_seeing=-1.0)
+
+
+class TestScheduler:
+    def test_every_band_has_quota(self):
+        scheduler = SurveyScheduler(epochs_per_band=4)
+        plan = scheduler.generate(57000.0, np.random.default_rng(0))
+        counts = plan.epochs_per_band()
+        assert counts == {"g": 4, "r": 4, "i": 4, "z": 4, "y": 4}
+
+    def test_max_two_bands_per_night(self):
+        scheduler = SurveyScheduler(epochs_per_band=4, max_bands_per_night=2)
+        for seed in range(5):
+            plan = scheduler.generate(57000.0, np.random.default_rng(seed))
+            assert max(plan.bands_per_night().values()) <= 2
+
+    def test_chronological(self):
+        plan = SurveyScheduler().generate(57000.0, np.random.default_rng(1))
+        mjds = [v.mjd for v in plan]
+        assert mjds == sorted(mjds)
+
+    def test_epoch_groups_cover_all_bands(self):
+        plan = SurveyScheduler(epochs_per_band=3).generate(57000.0, np.random.default_rng(2))
+        groups = plan.epoch_groups()
+        assert len(groups) == 3
+        for group in groups:
+            assert sorted(v.band.name for v in group) == ["g", "i", "r", "y", "z"]
+
+    def test_peak_inside_window(self):
+        scheduler = SurveyScheduler()
+        rng = np.random.default_rng(3)
+        plan = scheduler.generate(57000.0, rng)
+        for _ in range(20):
+            peak = scheduler.sample_peak_mjd(plan, rng)
+            assert plan.start_mjd - 5.0 <= peak <= plan.end_mjd
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurveyScheduler(epochs_per_band=0)
+        with pytest.raises(ValueError):
+            SurveyScheduler(max_bands_per_night=9)
+        with pytest.raises(ValueError):
+            SurveyScheduler(cadence_days=-1.0)
+        with pytest.raises(ValueError):
+            SurveyScheduler(cadence_jitter=10.0, cadence_days=5.0)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            ObservationPlan(visits=())
+        band = GRIZY[0]
+        with pytest.raises(ValueError):
+            ObservationPlan(
+                visits=(ScheduledVisit(5.0, band), ScheduledVisit(1.0, band))
+            )
+
+
+class TestImaging:
+    @staticmethod
+    def _setup(seed=0):
+        cat = CosmosCatalog(10, seed=seed)
+        placement = HostSelector(cat).sample(np.random.default_rng(seed))
+        return StampSimulator(), placement
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ImagingConfig(stamp_size=64)  # even
+        with pytest.raises(ValueError):
+            ImagingConfig(psf_family="airy")
+        with pytest.raises(ValueError):
+            ImagingConfig(reference_depth_boost=0.5)
+
+    def test_clean_scene_contains_sn_flux(self):
+        sim, placement = self._setup()
+        scene_without = sim.clean_scene(placement, 0.0, 0.7)
+        scene_with = sim.clean_scene(placement, 100.0, 0.7)
+        added = scene_with.sum() - scene_without.sum()
+        assert added == pytest.approx(100.0, rel=0.1)  # Moffat wings lose a little
+
+    def test_sn_at_stamp_center(self):
+        sim, placement = self._setup()
+        delta = sim.clean_scene(placement, 500.0, 0.7) - sim.clean_scene(placement, 0.0, 0.7)
+        peak = np.unravel_index(np.argmax(delta), delta.shape)
+        assert peak == (32, 32)
+
+    def test_observe_returns_float32(self):
+        sim, placement = self._setup()
+        night = sim.conditions.sample(57000.0, np.random.default_rng(0))
+        exposure = sim.observe(placement, band_by_name("i"), 50.0, night, np.random.default_rng(1))
+        assert exposure.pixels.dtype == np.float32
+        assert exposure.true_sn_flux == 50.0
+        assert exposure.mjd == 57000.0
+
+    def test_reference_is_deep_and_clean(self):
+        sim, placement = self._setup()
+        rng = np.random.default_rng(2)
+        ref = sim.reference(placement, band_by_name("i"), rng)
+        obs = sim.observe(
+            placement, band_by_name("i"), 0.0, sim.conditions.best_conditions(0.0), rng
+        )
+        # Reference is a co-add: much lower background noise.
+        corner_ref = ref.pixels[:10, :10].std()
+        corner_obs = obs.pixels[:10, :10].std()
+        assert corner_ref < corner_obs
+        assert ref.true_sn_flux == 0.0
+
+    def test_negative_flux_rejected(self):
+        sim, placement = self._setup()
+        with pytest.raises(ValueError):
+            sim.clean_scene(placement, -5.0, 0.7)
+
+
+class TestDifferencing:
+    def test_gaussian_kernel_width(self):
+        kernel = gaussian_matching_kernel(1.0, 2.0, size=31)
+        assert kernel.sum() == pytest.approx(1.0)
+        # Effective sigma = sqrt(4 - 1).
+        grid = np.arange(31) - 15
+        rr, cc = np.meshgrid(grid, grid, indexing="ij")
+        sigma2 = (kernel * (rr**2)).sum()
+        assert np.sqrt(sigma2) == pytest.approx(np.sqrt(3.0), rel=0.05)
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_matching_kernel(2.0, 1.0)
+        with pytest.raises(ValueError):
+            gaussian_matching_kernel(1.0, 2.0, size=20)
+
+    def test_difference_recovers_point_source(self):
+        # Clean scene: same galaxy, different seeing, a transient added.
+        sim = StampSimulator()
+        cat = CosmosCatalog(5, seed=3)
+        placement = HostSelector(cat).sample(np.random.default_rng(3))
+        ref_clean = sim.clean_scene(placement, 0.0, 0.6)
+        obs_clean = sim.clean_scene(placement, 80.0, 0.9)
+        result = difference_images(ref_clean, obs_clean, 0.6, 0.9, method="model")
+        assert result.convolved == "reference"
+        # Noise-free: the difference should be just the PSF-shaped SN.
+        assert result.difference.sum() == pytest.approx(80.0, rel=0.15)
+        peak = np.unravel_index(np.argmax(result.difference), result.difference.shape)
+        assert peak == (32, 32)
+
+    def test_sharper_observation_convolves_observation(self):
+        sim = StampSimulator()
+        cat = CosmosCatalog(5, seed=4)
+        placement = HostSelector(cat).sample(np.random.default_rng(4))
+        ref_clean = sim.clean_scene(placement, 0.0, 1.0)
+        obs_clean = sim.clean_scene(placement, 80.0, 0.6)
+        result = difference_images(ref_clean, obs_clean, 1.0, 0.6, method="model")
+        assert result.convolved == "observation"
+        assert result.difference.sum() == pytest.approx(80.0, rel=0.15)
+
+    def test_fit_kernel_matches_known_blur(self):
+        rng = np.random.default_rng(5)
+        sharp = rng.normal(size=(65, 65))
+        from scipy import signal as sp_signal
+
+        true_kernel = gaussian_matching_kernel(0.5, 2.0, size=11)
+        broad = sp_signal.fftconvolve(sharp, true_kernel, mode="same")
+        fitted = fit_matching_kernel(sharp, broad, kernel_size=11, regularization=1e-6)
+        assert fitted.sum() == pytest.approx(1.0, abs=0.05)
+        matched = sp_signal.fftconvolve(sharp, fitted, mode="same")
+        residual = (broad - matched)[10:-10, 10:-10]
+        assert np.abs(residual).max() < 0.05
+
+    def test_method_none(self):
+        a = np.zeros((10, 10))
+        b = np.ones((10, 10))
+        result = difference_images(a, b, method="none")
+        np.testing.assert_allclose(result.difference, 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            difference_images(np.zeros((5, 5)), np.zeros((6, 6)), method="none")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            difference_images(np.zeros((5, 5)), np.zeros((5, 5)), method="magic")
+
+    def test_model_requires_fwhm(self):
+        with pytest.raises(ValueError):
+            difference_images(np.zeros((5, 5)), np.zeros((5, 5)), method="model")

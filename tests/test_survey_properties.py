@@ -1,0 +1,131 @@
+"""Property-based tests for the survey substrate: scheduling invariants,
+PSF normalisation across parameters, noise scaling laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.photometry import GRIZY, band_by_name
+from repro.survey import (
+    ConditionsModel,
+    GaussianPSF,
+    MoffatPSF,
+    NoiseModel,
+    SurveyScheduler,
+    fwhm_to_sigma,
+    gaussian_matching_kernel,
+)
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_quota_and_nightly_cap_always_hold(self, epochs, max_bands, seed):
+        scheduler = SurveyScheduler(
+            epochs_per_band=epochs, max_bands_per_night=max_bands
+        )
+        plan = scheduler.generate(57000.0, np.random.default_rng(seed))
+        counts = plan.epochs_per_band()
+        assert all(c == epochs for c in counts.values())
+        assert len(counts) == 5
+        assert max(plan.bands_per_night().values()) <= max_bands
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_no_band_repeats_on_a_night(self, seed):
+        plan = SurveyScheduler().generate(57000.0, np.random.default_rng(seed))
+        nights: dict[float, list[str]] = {}
+        for visit in plan:
+            nights.setdefault(visit.mjd, []).append(visit.band.name)
+        for bands in nights.values():
+            assert len(bands) == len(set(bands))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_epoch_groups_are_chronological_per_band(self, seed):
+        plan = SurveyScheduler().generate(57000.0, np.random.default_rng(seed))
+        groups = plan.epoch_groups()
+        for band_pos in range(5):
+            mjds = [group[band_pos].mjd for group in groups]
+            assert mjds == sorted(mjds)
+
+
+class TestPSFProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.45, max_value=1.6))
+    def test_gaussian_unit_flux_any_seeing(self, fwhm):
+        psf = GaussianPSF(fwhm, pixel_scale=0.17)
+        stamp = psf.render((81, 81), (40.0, 40.0))
+        assert stamp.sum() == pytest.approx(1.0, abs=0.02)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=0.45, max_value=1.4),
+        st.floats(min_value=2.2, max_value=5.0),
+    )
+    def test_moffat_unit_flux_any_beta(self, fwhm, beta):
+        psf = MoffatPSF(fwhm, beta=beta, pixel_scale=0.17)
+        stamp = psf.render((121, 121), (60.0, 60.0))
+        assert stamp.sum() == pytest.approx(1.0, abs=0.06)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=1.5), st.floats(min_value=1.1, max_value=2.5))
+    def test_matching_kernel_widens_quadratically(self, sharp, ratio):
+        broad = sharp * ratio
+        expected_var = broad**2 - sharp**2
+        if expected_var < 0.8:
+            # Sub-pixel kernels cannot carry their variance on a discrete
+            # grid; the differencing code treats them as near-identity.
+            return
+        kernel = gaussian_matching_kernel(sharp, broad, size=41)
+        grid = np.arange(41) - 20
+        rr, _ = np.meshgrid(grid, grid, indexing="ij")
+        measured_var = float((kernel * rr**2).sum())
+        assert measured_var == pytest.approx(expected_var, rel=0.15)
+
+
+class TestNoiseProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=10.0, max_value=200.0), st.integers(min_value=0, max_value=10**6))
+    def test_noise_scales_inverse_sqrt_depth(self, depth, seed):
+        model = NoiseModel(exposure_factor=depth, read_noise=0.0)
+        band = band_by_name("r")
+        base = NoiseModel(exposure_factor=1.0, read_noise=0.0).pixel_sigma(band, 0.17)
+        scaled = model.pixel_sigma(band, 0.17)
+        assert scaled == pytest.approx(base / np.sqrt(depth), rel=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_calibration_removes_transparency(self, seed):
+        # Expectation of the calibrated image equals the true signal for
+        # any transparency (calibration divides it back out).
+        rng = np.random.default_rng(seed)
+        model = NoiseModel(exposure_factor=500.0)
+        signal = np.full((50, 50), 20.0)
+        image = model.realise(signal, band_by_name("i"), 0.17, rng, transparency=0.5)
+        assert image.mean() == pytest.approx(20.0, abs=0.5)
+
+    def test_redder_bands_brighter_sky(self):
+        sigmas = [
+            NoiseModel().pixel_sigma(band, 0.17) for band in GRIZY
+        ]
+        # Sky brightness grows toward the red: noise must too.
+        assert sigmas == sorted(sigmas)
+
+
+class TestConditionsProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=1.2), st.integers(min_value=0, max_value=10**6))
+    def test_seeing_distribution_tracks_median(self, median, seed):
+        model = ConditionsModel(median_seeing=median)
+        rng = np.random.default_rng(seed)
+        draws = [model.sample(0.0, rng).seeing_fwhm for _ in range(300)]
+        assert np.median(draws) == pytest.approx(median, rel=0.12)
+
+    def test_fwhm_sigma_consistency(self):
+        # 2 sqrt(2 ln 2) sigma = FWHM.
+        assert fwhm_to_sigma(2.3548) == pytest.approx(1.0, abs=1e-3)

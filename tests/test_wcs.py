@@ -1,0 +1,99 @@
+"""Tests for the gnomonic WCS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import COSMOS_FOOTPRINT, CosmosCatalog
+from repro.survey import TanWCS
+
+COSMOS_WCS = TanWCS(ra_center=150.12, dec_center=2.2, pixel_scale=0.17)
+
+
+class TestProjectionBasics:
+    def test_tangent_point_maps_to_crpix(self):
+        wcs = TanWCS(150.0, 2.0, crpix=(100.0, 200.0))
+        x, y = wcs.sky_to_pixel(150.0, 2.0)
+        assert float(x) == pytest.approx(100.0, abs=1e-9)
+        assert float(y) == pytest.approx(200.0, abs=1e-9)
+
+    def test_north_is_positive_y(self):
+        _, y = COSMOS_WCS.sky_to_pixel(150.12, 2.3)
+        assert float(y) > 0
+
+    def test_east_is_negative_x(self):
+        # Larger RA (East) maps to smaller x (astronomical orientation).
+        x, _ = COSMOS_WCS.sky_to_pixel(150.2, 2.2)
+        assert float(x) < 0
+
+    def test_pixel_scale_at_center(self):
+        # 1 arcsec offset in Dec = 1/0.17 pixels.
+        _, y = COSMOS_WCS.sky_to_pixel(150.12, 2.2 + 1.0 / 3600.0)
+        assert float(y) == pytest.approx(1.0 / 0.17, rel=1e-4)
+
+    def test_far_position_rejected(self):
+        with pytest.raises(ValueError):
+            COSMOS_WCS.sky_to_pixel(150.12 + 120.0, 2.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TanWCS(150.0, 2.0, pixel_scale=0.0)
+        with pytest.raises(ValueError):
+            TanWCS(150.0, 95.0)
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=149.5, max_value=150.8),
+        st.floats(min_value=1.6, max_value=2.8),
+    )
+    def test_sky_pixel_sky(self, ra, dec):
+        x, y = COSMOS_WCS.sky_to_pixel(ra, dec)
+        ra2, dec2 = COSMOS_WCS.pixel_to_sky(x, y)
+        assert float(ra2) == pytest.approx(ra, abs=1e-8)
+        assert float(dec2) == pytest.approx(dec, abs=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=-20000, max_value=20000),
+        st.floats(min_value=-20000, max_value=20000),
+    )
+    def test_pixel_sky_pixel(self, x, y):
+        ra, dec = COSMOS_WCS.pixel_to_sky(x, y)
+        x2, y2 = COSMOS_WCS.sky_to_pixel(float(ra), float(dec))
+        assert float(x2) == pytest.approx(x, abs=1e-4)
+        assert float(y2) == pytest.approx(y, abs=1e-4)
+
+
+class TestGeometry:
+    def test_separation_matches_angular_distance(self):
+        # Small separations: pixel distance * scale ~ angular distance.
+        sep_px = COSMOS_WCS.separation_pixels(150.12, 2.2, 150.12, 2.2 + 10.0 / 3600.0)
+        assert sep_px * 0.17 == pytest.approx(10.0, rel=1e-3)
+
+    def test_ra_compression_at_dec(self):
+        # RA separations shrink with cos(dec): compare pixel distances of
+        # equal RA offsets at different declinations (different WCS).
+        high = TanWCS(150.0, 60.0)
+        low = TanWCS(150.0, 0.0)
+        offset = 30.0 / 3600.0
+        sep_high = high.separation_pixels(150.0, 60.0, 150.0 + offset, 60.0)
+        sep_low = low.separation_pixels(150.0, 0.0, 150.0 + offset, 0.0)
+        assert sep_high == pytest.approx(sep_low * np.cos(np.radians(60.0)), rel=1e-3)
+
+    def test_cutout_origin_centers_target(self):
+        x0, y0 = COSMOS_WCS.cutout_origin(150.12, 2.2, stamp_size=65)
+        assert (x0, y0) == (-32, -32)
+
+    def test_catalog_positions_projectable(self):
+        catalog = CosmosCatalog(200, seed=0)
+        positions = catalog.positions()
+        wcs = TanWCS(
+            ra_center=(COSMOS_FOOTPRINT["ra_min"] + COSMOS_FOOTPRINT["ra_max"]) / 2,
+            dec_center=(COSMOS_FOOTPRINT["dec_min"] + COSMOS_FOOTPRINT["dec_max"]) / 2,
+        )
+        x, y = wcs.sky_to_pixel(positions[:, 0], positions[:, 1])
+        assert np.all(np.isfinite(x)) and np.all(np.isfinite(y))
+        # The 1.4-degree footprint spans ~30k pixels at 0.17"/px.
+        assert x.max() - x.min() > 20000
