@@ -22,6 +22,9 @@ Subpackages
     forest, recurrent network).
 ``repro.eval``
     ROC curves, AUC, point metrics.
+``repro.runtime``
+    Resilience runtime: atomic checkpoints, resume, divergence guards,
+    per-sample fault isolation and fault injection.
 """
 
 from . import (
@@ -34,6 +37,7 @@ from . import (
     lightcurves,
     nn,
     photometry,
+    runtime,
     survey,
     utils,
 )
@@ -51,6 +55,7 @@ __all__ = [
     "core",
     "baselines",
     "eval",
+    "runtime",
     "utils",
     "__version__",
 ]

@@ -9,6 +9,16 @@ Four subcommands cover the full workflow::
 
 Datasets are ``.npz`` archives written by :mod:`repro.datasets.io`;
 models are ``.npz`` state dicts written by :mod:`repro.nn.serialization`.
+
+Long-running commands are resumable: ``build-dataset`` and the two
+training commands accept ``--checkpoint PATH`` (plus
+``--checkpoint-every N``) to snapshot progress atomically, and
+``--resume`` to continue a killed run from that checkpoint.
+
+Failures map to exit codes instead of tracebacks: ``2`` for bad inputs
+(missing/unreadable paths, malformed arrays), ``3`` for corrupt
+artifacts (truncation / checksum mismatch), ``4`` for training that
+diverged beyond its retry budget.
 """
 
 from __future__ import annotations
@@ -31,8 +41,29 @@ from .core.features import dataset_windowed_features
 from .datasets import BuildConfig, DatasetBuilder, load_dataset, save_dataset, train_val_test_split
 from .eval import auc_score, roc_curve
 from .nn import load_module, save_module
+from .runtime import BuildAborted, CorruptArtifactError, TrainingDiverged
 
 __all__ = ["main", "build_parser"]
+
+#: Exit codes for the structured failure modes.
+EXIT_BAD_INPUT = 2
+EXIT_CORRUPT_ARTIFACT = 3
+EXIT_DIVERGED = 4
+
+
+def _add_checkpoint_args(parser: argparse.ArgumentParser, default_every: int) -> None:
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write an atomic progress checkpoint here",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=default_every, metavar="N",
+        help="checkpoint interval (epochs for training, samples for builds)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue from --checkpoint if it exists",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--no-images", action="store_true", help="light curves only")
     build.add_argument("--out", required=True, help="output .npz path")
+    build.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the JSON build report (quarantined samples) here",
+    )
+    _add_checkpoint_args(build, default_every=200)
 
     cnn = sub.add_parser("train-flux-cnn", help="train the band-wise CNN (Fig. 7)")
     cnn.add_argument("--dataset", required=True)
@@ -58,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     cnn.add_argument("--learning-rate", type=float, default=5e-4)
     cnn.add_argument("--seed", type=int, default=0)
     cnn.add_argument("--out", required=True, help="output weights .npz path")
+    _add_checkpoint_args(cnn, default_every=1)
 
     clf = sub.add_parser("train-classifier", help="train the highway classifier (Fig. 6)")
     clf.add_argument("--dataset", required=True)
@@ -66,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     clf.add_argument("--epochs", type=int, default=40)
     clf.add_argument("--seed", type=int, default=0)
     clf.add_argument("--out", required=True, help="output weights .npz path")
+    _add_checkpoint_args(clf, default_every=1)
 
     ev = sub.add_parser("evaluate", help="evaluate a trained classifier")
     ev.add_argument("--dataset", required=True)
@@ -75,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resume_path(args: argparse.Namespace) -> str | None:
+    if not args.resume:
+        return None
+    if args.checkpoint is None:
+        raise ValueError("--resume requires --checkpoint")
+    return args.checkpoint
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     config = BuildConfig(
         n_ia=args.n_ia,
@@ -82,9 +128,23 @@ def _cmd_build(args: argparse.Namespace) -> int:
         seed=args.seed,
         render_images=not args.no_images,
     )
+    if args.resume and args.checkpoint is None:
+        raise ValueError("--resume requires --checkpoint")
     start = time.time()
-    dataset = DatasetBuilder(config).build(verbose=True)
+    builder = DatasetBuilder(config)
+    dataset = builder.build(
+        verbose=True,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
+        resume=args.resume,
+    )
     save_dataset(dataset, args.out)
+    report = builder.report
+    if args.report is not None and report is not None:
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json())
+    if report is not None and report.n_quarantined:
+        print(f"{report.summary()} (see --report for quarantined samples)")
     print(f"{dataset.summary()} written to {args.out} in {time.time() - start:.1f}s")
     return 0
 
@@ -97,7 +157,7 @@ def _cmd_train_cnn(args: argparse.Namespace) -> int:
             f"--input-size {args.input_size}",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_BAD_INPUT
     splits = train_val_test_split(dataset, seed=args.seed)
     x_train, y_train, m_train = splits.train.flux_pairs(min_flux=2.0)
     x_val, y_val, m_val = splits.val.flux_pairs(min_flux=2.0)
@@ -117,6 +177,9 @@ def _cmd_train_cnn(args: argparse.Namespace) -> int:
         x_val[m_val],
         y_val[m_val],
         augment_fn=make_pair_augmenter(args.input_size),
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=_resume_path(args),
     )
     save_module(cnn, args.out)
     print(f"best val loss {history.best_val_loss:.4f}; weights written to {args.out}")
@@ -142,6 +205,9 @@ def _cmd_train_classifier(args: argparse.Namespace) -> int:
         x_val,
         y_val,
         metric=auc_score,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=_resume_path(args),
     )
     save_module(clf, args.out)
     best = max(history.val_metric) if history.val_metric else float("nan")
@@ -172,9 +238,32 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Structured runtime failures are reported as one-line ``error:``
+    messages on stderr instead of tracebacks: bad or missing inputs exit
+    with ``2``, corrupt artifacts with ``3``, diverged training with
+    ``4``.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except CorruptArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CORRUPT_ARTIFACT
+    except TrainingDiverged as exc:
+        print(f"error: training diverged: {exc}", file=sys.stderr)
+        return EXIT_DIVERGED
+    except BuildAborted as exc:
+        print(f"error: dataset build aborted: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except OSError as exc:
+        # FileNotFoundError / PermissionError / IsADirectoryError on inputs
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
 
 
 if __name__ == "__main__":

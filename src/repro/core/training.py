@@ -1,14 +1,25 @@
-"""Training loops with history tracking and early stopping.
+"""Training loops with history tracking, early stopping and fault tolerance.
 
 One generic engine drives all three of the paper's training stages
 (flux CNN regression, classifier, joint fine-tuning): mini-batch SGD over
 ``(inputs..., target)`` arrays, per-epoch validation, optional early
 stopping on the validation loss, and a :class:`History` record that the
 Fig. 12 benchmark plots directly.
+
+The engine is wrapped by the resilience runtime
+(:mod:`repro.runtime`): it can snapshot model / optimizer / RNG state and
+the :class:`History` to an atomic checkpoint every ``checkpoint_every``
+epochs, resume bit-identically from such a checkpoint after a kill, and
+recover from non-finite losses or gradients by rolling back to the last
+good epoch with a decayed learning rate (bounded by
+:class:`~repro.runtime.guards.RetryPolicy`; exhaustion raises
+:class:`~repro.runtime.errors.TrainingDiverged`).
 """
 
 from __future__ import annotations
 
+import copy
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -16,6 +27,7 @@ import numpy as np
 
 from .. import nn
 from ..nn.tensor import Tensor
+from ..runtime import RetryPolicy, TrainCheckpoint, TrainingDiverged, grads_are_finite
 
 __all__ = ["TrainConfig", "History", "fit", "fit_regressor", "fit_classifier"]
 
@@ -53,6 +65,14 @@ class TrainConfig:
             weight_decay=self.weight_decay,
         )
 
+    def fingerprint(self) -> dict:
+        """Identity of a run for checkpoint-compatibility checks."""
+        return {
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "optimizer": self.optimizer,
+        }
+
 
 @dataclass
 class History:
@@ -70,6 +90,25 @@ class History:
     @property
     def best_val_loss(self) -> float:
         return min(self.val_loss) if self.val_loss else float("nan")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by checkpoints)."""
+        return {
+            "train_loss": list(self.train_loss),
+            "val_loss": list(self.val_loss),
+            "val_metric": list(self.val_metric),
+            "best_epoch": self.best_epoch,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "History":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            train_loss=list(data.get("train_loss", [])),
+            val_loss=list(data.get("val_loss", [])),
+            val_metric=list(data.get("val_metric", [])),
+            best_epoch=int(data.get("best_epoch", -1)),
+        )
 
 
 LossFn = Callable[[nn.Module, tuple[np.ndarray, ...], np.ndarray], Tensor]
@@ -94,6 +133,12 @@ def fit(
     metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
     metric_scores: Callable[[nn.Module, tuple[np.ndarray, ...]], np.ndarray] | None = None,
     augment_fn: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None,
+    *,
+    checkpoint_path: str | os.PathLike | None = None,
+    checkpoint_every: int = 1,
+    resume: str | os.PathLike | None = None,
+    retry_policy: RetryPolicy | None = None,
+    on_epoch_end: Callable[[int, History], None] | None = None,
 ) -> History:
     """Generic mini-batch training.
 
@@ -112,20 +157,103 @@ def fit(
     augment_fn:
         Optional per-batch augmentation applied to the *first* input
         array only (the image input) during training.
+    checkpoint_path / checkpoint_every:
+        When set, a :class:`~repro.runtime.checkpoint.TrainCheckpoint`
+        (model, optimizer, RNG, history, early-stopping state) is written
+        atomically after every ``checkpoint_every``-th epoch and at the
+        final epoch.
+    resume:
+        Path to a checkpoint written by a previous run with the same
+        ``config``; training restores every piece of state and continues
+        at the next epoch, producing results bit-identical to an
+        uninterrupted run.
+    retry_policy:
+        Divergence handling (default :class:`~repro.runtime.RetryPolicy`):
+        on a non-finite loss or gradient the run rolls back to the last
+        good epoch, multiplies the learning rate by the policy's backoff
+        and retries; after ``max_retries`` rollbacks it raises
+        :class:`~repro.runtime.TrainingDiverged` carrying the history.
+    on_epoch_end:
+        Optional ``callback(epoch, history)`` invoked after each
+        completed (and checkpointed) epoch — LR schedules, progress
+        reporting, or fault injection in tests.
     """
     n = len(target)
     if any(len(x) != n for x in inputs):
         raise ValueError("all input arrays must match the target length")
+    if checkpoint_every <= 0:
+        raise ValueError("checkpoint_every must be positive")
+    policy = retry_policy or RetryPolicy()
     rng = np.random.default_rng(config.seed)
     optimizer = config.make_optimizer(model)
     history = History()
     best_state: dict[str, np.ndarray] | None = None
     patience_left = config.early_stopping_patience
+    start_epoch = 0
+    retries_used = 0
+    stopped = False
 
-    for epoch in range(config.epochs):
+    if resume is not None:
+        ckpt = TrainCheckpoint.load(resume)
+        if ckpt.fingerprint and ckpt.fingerprint != config.fingerprint():
+            raise ValueError(
+                f"checkpoint {os.fspath(resume)} was written by an incompatible run: "
+                f"{ckpt.fingerprint} != {config.fingerprint()}"
+            )
+        model.load_state_dict(ckpt.model_state)
+        optimizer.load_state_dict(ckpt.optimizer_state)
+        rng.bit_generator.state = ckpt.rng_state
+        history = History.from_dict(ckpt.history)
+        best_state = ckpt.best_state
+        patience_left = ckpt.patience_left
+        retries_used = ckpt.retries_used
+        start_epoch = ckpt.epoch + 1
+        stopped = ckpt.stopped
+
+    def snapshot() -> dict:
+        return {
+            "model": model.state_dict(),
+            "optim": optimizer.state_dict(),
+            "rng": copy.deepcopy(rng.bit_generator.state),
+            "history": history.to_dict(),
+            "best": best_state,
+            "patience": patience_left,
+        }
+
+    def restore(snap: dict) -> None:
+        nonlocal history, best_state, patience_left
+        model.load_state_dict(snap["model"])
+        optimizer.load_state_dict(snap["optim"])
+        rng.bit_generator.state = copy.deepcopy(snap["rng"])
+        history = History.from_dict(snap["history"])
+        best_state = snap["best"]
+        patience_left = snap["patience"]
+
+    def write_checkpoint(epoch: int) -> None:
+        if checkpoint_path is None:
+            return
+        TrainCheckpoint(
+            epoch=epoch,
+            model_state=model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            rng_state=rng.bit_generator.state,
+            history=history.to_dict(),
+            best_state=best_state,
+            patience_left=patience_left,
+            retries_used=retries_used,
+            lr=optimizer.lr,
+            stopped=stopped,
+            fingerprint=config.fingerprint(),
+        ).save(checkpoint_path)
+
+    last_good = snapshot()
+
+    epoch = start_epoch
+    while epoch < config.epochs and not stopped:
         model.train()
         order = rng.permutation(n)
         epoch_losses: list[float] = []
+        diverged = False
         for start in range(0, n, config.batch_size):
             idx = order[start : start + config.batch_size]
             if len(idx) < 2:
@@ -137,15 +265,38 @@ def fit(
             model.zero_grad()
             loss = loss_fn(model, batch_inputs, batch_target)
             if not np.isfinite(loss.item()):
-                raise RuntimeError(
-                    f"non-finite training loss at epoch {epoch + 1}; "
-                    "check inputs for NaN/inf or lower the learning rate"
-                )
+                diverged = True
+                break
             loss.backward()
+            if not grads_are_finite(model.parameters()):
+                diverged = True
+                break
             if config.grad_clip is not None:
                 nn.clip_grad_norm(model.parameters(), config.grad_clip)
             optimizer.step()
             epoch_losses.append(loss.item())
+
+        if diverged:
+            retries_used += 1
+            failed_lr = optimizer.lr
+            if retries_used > policy.max_retries:
+                raise TrainingDiverged(
+                    f"non-finite training loss at epoch {epoch + 1} after "
+                    f"{policy.max_retries} recovery attempts; check inputs for "
+                    "NaN/inf or lower the learning rate",
+                    history=history,
+                    attempts=retries_used - 1,
+                    last_lr=failed_lr,
+                )
+            restore(last_good)
+            optimizer.lr = policy.next_lr(failed_lr)
+            if config.verbose:
+                print(
+                    f"  divergence at epoch {epoch + 1}: rolled back, "
+                    f"retry {retries_used}/{policy.max_retries} at lr={optimizer.lr:.2e}"
+                )
+            continue  # retry the same epoch from the last good state
+
         history.train_loss.append(float(np.mean(epoch_losses)))
 
         if val_inputs is not None and val_target is not None:
@@ -163,9 +314,9 @@ def fit(
             elif config.early_stopping_patience is not None:
                 patience_left -= 1
                 if patience_left < 0:
+                    stopped = True
                     if config.verbose:
                         print(f"  early stop at epoch {epoch + 1}")
-                    break
         if config.verbose:
             msg = f"  epoch {epoch + 1}/{config.epochs} train={history.train_loss[-1]:.4f}"
             if history.val_loss:
@@ -173,6 +324,13 @@ def fit(
             if history.val_metric:
                 msg += f" metric={history.val_metric[-1]:.4f}"
             print(msg)
+
+        last_good = snapshot()
+        if (epoch + 1) % checkpoint_every == 0 or epoch + 1 == config.epochs or stopped:
+            write_checkpoint(epoch)
+        if on_epoch_end is not None:
+            on_epoch_end(epoch, history)
+        epoch += 1
 
     if best_state is not None:
         model.load_state_dict(best_state)
@@ -187,8 +345,13 @@ def fit_regressor(
     x_val: np.ndarray | None = None,
     y_val: np.ndarray | None = None,
     augment_fn: Callable[[np.ndarray, np.random.Generator], np.ndarray] | None = None,
+    **fit_kwargs: object,
 ) -> History:
-    """Train with mean-squared error (flux CNN stage)."""
+    """Train with mean-squared error (flux CNN stage).
+
+    Keyword arguments (``checkpoint_path``, ``resume``, ...) are passed
+    through to :func:`fit`.
+    """
     return fit(
         model,
         [x],
@@ -198,6 +361,7 @@ def fit_regressor(
         val_inputs=[x_val] if x_val is not None else None,
         val_target=y_val.astype(np.float32) if y_val is not None else None,
         augment_fn=augment_fn,
+        **fit_kwargs,
     )
 
 
@@ -209,8 +373,13 @@ def fit_classifier(
     x_val: np.ndarray | None = None,
     y_val: np.ndarray | None = None,
     metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
+    **fit_kwargs: object,
 ) -> History:
-    """Train with binary cross-entropy (classifier / joint stages)."""
+    """Train with binary cross-entropy (classifier / joint stages).
+
+    Keyword arguments (``checkpoint_path``, ``resume``, ...) are passed
+    through to :func:`fit`.
+    """
 
     def scores(m: nn.Module, val_in: tuple[np.ndarray, ...]) -> np.ndarray:
         with nn.no_grad():
@@ -226,4 +395,5 @@ def fit_classifier(
         val_target=y_val.astype(np.float32) if y_val is not None else None,
         metric=metric,
         metric_scores=scores if metric is not None else None,
+        **fit_kwargs,
     )

@@ -1,7 +1,7 @@
 """Synthetic dataset construction (paper Section 3)."""
 
 from .builder import BuildConfig, DatasetBuilder
-from .io import load_dataset, save_dataset
+from .io import load_dataset, save_dataset, validate_dataset_arrays
 from .sample import N_BANDS, SupernovaDataset
 from .snpcc import SNPCCConfig, SNPCCDataset, SNPCCSample, generate_snpcc
 from .splits import DatasetSplits, train_val_test_split
@@ -15,6 +15,7 @@ __all__ = [
     "train_val_test_split",
     "save_dataset",
     "load_dataset",
+    "validate_dataset_arrays",
     "SNPCCConfig",
     "SNPCCDataset",
     "SNPCCSample",

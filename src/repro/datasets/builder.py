@@ -19,13 +19,25 @@ paper; configurable here because the imaging is CPU-bound).
 
 from __future__ import annotations
 
+import copy
+import os
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..catalog import CosmosCatalog, HostSelector
 from ..lightcurves import LightCurve, PopulationModel
 from ..photometry import GRIZY
+from ..runtime import (
+    BuildAborted,
+    BuildReport,
+    QuarantineRecord,
+    atomic_savez,
+    pack_json,
+    unpack_json,
+    verified_load,
+)
 from ..survey import (
     ConditionsModel,
     ImagingConfig,
@@ -67,8 +79,31 @@ class BuildConfig:
             raise ValueError("epochs_per_band must be positive")
 
 
+_ARRAY_FIELDS = (
+    "pairs",
+    "visit_mjd",
+    "visit_band",
+    "true_flux",
+    "labels",
+    "sn_types",
+    "redshifts",
+    "host_mag",
+    "sn_offset",
+    "peak_mjd",
+)
+
+
 class DatasetBuilder:
-    """Build synthetic supernova datasets."""
+    """Build synthetic supernova datasets.
+
+    Builds are failure-isolated and resumable: an exception while
+    rendering one sample (PSF, WCS, noise, ...) quarantines that attempt
+    into :attr:`report` and resamples the slot instead of aborting the
+    whole CPU-bound run, and with ``checkpoint_path`` set the partial
+    build is snapshotted atomically every ``checkpoint_every`` samples so
+    a killed build continues from where it stopped (bit-identical to an
+    uninterrupted one).
+    """
 
     def __init__(self, config: BuildConfig | None = None) -> None:
         self.config = config or BuildConfig()
@@ -78,9 +113,52 @@ class DatasetBuilder:
         self.population = PopulationModel()
         self.scheduler = SurveyScheduler(epochs_per_band=cfg.epochs_per_band)
         self.simulator = StampSimulator(cfg.imaging, cfg.noise, cfg.conditions)
+        #: BuildReport of the most recent :meth:`build` call (or None).
+        self.report: BuildReport | None = None
 
-    def build(self, verbose: bool = False) -> SupernovaDataset:
-        """Generate the full dataset."""
+    def _fingerprint(self) -> dict:
+        cfg = self.config
+        return {
+            "n_ia": cfg.n_ia,
+            "n_non_ia": cfg.n_non_ia,
+            "epochs_per_band": cfg.epochs_per_band,
+            "seed": cfg.seed,
+            "catalog_size": cfg.catalog_size,
+            "start_mjd": cfg.start_mjd,
+            "render_images": cfg.render_images,
+            "stamp_size": cfg.imaging.stamp_size if cfg.render_images else 1,
+        }
+
+    def build(
+        self,
+        verbose: bool = False,
+        *,
+        checkpoint_path: str | os.PathLike | None = None,
+        checkpoint_every: int = 0,
+        resume: bool = False,
+        max_sample_retries: int = 5,
+        fault_hook: Callable[[int, int], None] | None = None,
+    ) -> SupernovaDataset:
+        """Generate the full dataset.
+
+        Parameters
+        ----------
+        checkpoint_path / checkpoint_every:
+            When both are set, the partial build (arrays, generator
+            state, quarantine report) is written atomically every
+            ``checkpoint_every`` completed samples.
+        resume:
+            Continue from ``checkpoint_path`` if it exists; the
+            checkpoint must have been written by a builder with an
+            identical configuration.
+        max_sample_retries:
+            How many times one sample slot may be resampled after
+            failures before the build aborts with
+            :class:`~repro.runtime.errors.BuildAborted`.
+        fault_hook:
+            Optional ``hook(sample_index, attempt)`` called before each
+            build attempt; used by the fault-injection tests.
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed + 1)
         n_total = cfg.n_ia + cfg.n_non_ia
@@ -89,50 +167,139 @@ class DatasetBuilder:
         # placeholders: classifier experiments need fluxes, not stamps.
         size = cfg.imaging.stamp_size if cfg.render_images else 1
 
-        pairs = np.zeros((n_total, n_visits, 2, size, size), dtype=np.float32)
-        visit_mjd = np.zeros((n_total, n_visits))
-        visit_band = np.zeros((n_total, n_visits), dtype=np.int64)
-        true_flux = np.zeros((n_total, n_visits))
-        labels = np.zeros(n_total, dtype=np.int64)
-        sn_types = np.empty(n_total, dtype="U4")
-        redshifts = np.zeros(n_total)
-        host_mag = np.zeros(n_total)
-        sn_offset = np.zeros((n_total, 2))
-        peak_mjd = np.zeros(n_total)
+        arrays = {
+            "pairs": np.zeros((n_total, n_visits, 2, size, size), dtype=np.float32),
+            "visit_mjd": np.zeros((n_total, n_visits)),
+            "visit_band": np.zeros((n_total, n_visits), dtype=np.int64),
+            "true_flux": np.zeros((n_total, n_visits)),
+            "labels": np.zeros(n_total, dtype=np.int64),
+            "sn_types": np.empty(n_total, dtype="U4"),
+            "redshifts": np.zeros(n_total),
+            "host_mag": np.zeros(n_total),
+            "sn_offset": np.zeros((n_total, 2)),
+            "peak_mjd": np.zeros(n_total),
+        }
+        arrays["sn_types"].fill("")
 
         class_flags = np.array([True] * cfg.n_ia + [False] * cfg.n_non_ia)
         rng.shuffle(class_flags)
+        report = BuildReport(n_target=n_total)
+        start_index = 0
 
-        for i, is_ia in enumerate(class_flags):
-            self._build_one(
-                i,
-                bool(is_ia),
-                rng,
-                pairs,
-                visit_mjd,
-                visit_band,
-                true_flux,
-                labels,
-                sn_types,
-                redshifts,
-                host_mag,
-                sn_offset,
-                peak_mjd,
-            )
+        if resume:
+            if checkpoint_path is None:
+                raise ValueError("resume=True requires a checkpoint_path")
+            if os.path.exists(checkpoint_path):
+                start_index, class_flags, report = self._load_build_checkpoint(
+                    checkpoint_path, arrays, rng
+                )
+                report.resumed += 1
+                if verbose:
+                    print(f"  resumed build at sample {start_index}/{n_total}")
+
+        for i in range(start_index, n_total):
+            is_ia = bool(class_flags[i])
+            attempt = 0
+            while True:
+                pre_state = copy.deepcopy(rng.bit_generator.state)
+                try:
+                    if fault_hook is not None:
+                        fault_hook(i, attempt)
+                    self._build_one(
+                        i,
+                        is_ia,
+                        rng,
+                        arrays["pairs"],
+                        arrays["visit_mjd"],
+                        arrays["visit_band"],
+                        arrays["true_flux"],
+                        arrays["labels"],
+                        arrays["sn_types"],
+                        arrays["redshifts"],
+                        arrays["host_mag"],
+                        arrays["sn_offset"],
+                        arrays["peak_mjd"],
+                    )
+                    break
+                except Exception as exc:
+                    report.record(
+                        QuarantineRecord.from_exception(i, attempt, is_ia, exc, pre_state)
+                    )
+                    self._clear_slot(i, arrays)
+                    attempt += 1
+                    if attempt > max_sample_retries:
+                        self.report = report
+                        raise BuildAborted(
+                            f"sample slot {i} failed {attempt} consecutive attempts "
+                            f"(last: {type(exc).__name__}: {exc})",
+                            report=report,
+                        ) from exc
+                    if verbose:
+                        print(
+                            f"  quarantined sample {i} attempt {attempt - 1} "
+                            f"({type(exc).__name__}); resampling"
+                        )
+            report.n_built = i + 1
+            if (
+                checkpoint_path is not None
+                and checkpoint_every > 0
+                and (i + 1) % checkpoint_every == 0
+            ):
+                self._save_build_checkpoint(checkpoint_path, arrays, class_flags, rng, i + 1, report)
             if verbose and (i + 1) % 50 == 0:
                 print(f"  built {i + 1}/{n_total} samples")
 
-        return SupernovaDataset(
-            pairs=pairs,
-            visit_mjd=visit_mjd,
-            visit_band=visit_band,
-            true_flux=true_flux,
-            labels=labels,
-            sn_types=sn_types,
-            redshifts=redshifts,
-            host_mag=host_mag,
-            sn_offset=sn_offset,
-            peak_mjd=peak_mjd,
+        self.report = report
+        return SupernovaDataset(**arrays)
+
+    # ------------------------------------------------------------------
+    # Fault isolation & checkpoint plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _clear_slot(i: int, arrays: dict[str, np.ndarray]) -> None:
+        """Zero every array row of one sample slot after a failed attempt."""
+        for name in _ARRAY_FIELDS:
+            arrays[name][i] = "" if name == "sn_types" else 0
+
+    def _save_build_checkpoint(
+        self,
+        path: str | os.PathLike,
+        arrays: dict[str, np.ndarray],
+        class_flags: np.ndarray,
+        rng: np.random.Generator,
+        next_index: int,
+        report: BuildReport,
+    ) -> None:
+        payload = dict(arrays)
+        payload["class_flags"] = class_flags
+        payload["meta"] = pack_json(
+            {
+                "next_index": next_index,
+                "rng_state": rng.bit_generator.state,
+                "report": report.to_dict(),
+                "fingerprint": self._fingerprint(),
+            }
+        )
+        atomic_savez(path, payload)
+
+    def _load_build_checkpoint(
+        self,
+        path: str | os.PathLike,
+        arrays: dict[str, np.ndarray],
+        rng: np.random.Generator,
+    ) -> tuple[int, np.ndarray, BuildReport]:
+        data = verified_load(path)
+        meta = unpack_json(data["meta"])
+        if meta["fingerprint"] != self._fingerprint():
+            raise ValueError(
+                f"build checkpoint {os.fspath(path)} was written with an incompatible "
+                f"configuration: {meta['fingerprint']} != {self._fingerprint()}"
+            )
+        for name in _ARRAY_FIELDS:
+            arrays[name][...] = data[name]
+        rng.bit_generator.state = meta["rng_state"]
+        return int(meta["next_index"]), data["class_flags"].astype(bool), BuildReport.from_dict(
+            meta["report"]
         )
 
     def _build_one(

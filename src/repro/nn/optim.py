@@ -33,6 +33,14 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot of the optimiser's mutable state (for checkpointing)."""
+        return {"lr": np.asarray(self.lr, dtype=np.float64)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -63,6 +71,19 @@ class SGD(Optimizer):
             else:
                 update = grad
             param.data = param.data - self.lr * update
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Learning rate plus per-parameter momentum buffers."""
+        state = super().state_dict()
+        for i, velocity in enumerate(self._velocity):
+            state[f"velocity.{i}"] = velocity.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state saved by :meth:`state_dict` (strict on buffer count)."""
+        super().load_state_dict(state)
+        for i in range(len(self._velocity)):
+            self._velocity[i] = np.array(state[f"velocity.{i}"], copy=True)
 
 
 class Adam(Optimizer):
@@ -101,6 +122,23 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Learning rate, step counter and per-parameter moment buffers."""
+        state = super().state_dict()
+        state["t"] = np.asarray(self._t, dtype=np.int64)
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state saved by :meth:`state_dict` (strict on buffer count)."""
+        super().load_state_dict(state)
+        self._t = int(state["t"])
+        for i in range(len(self._m)):
+            self._m[i] = np.array(state[f"m.{i}"], copy=True)
+            self._v[i] = np.array(state[f"v.{i}"], copy=True)
 
 
 class StepLR:

@@ -1,11 +1,17 @@
-"""Persist module weights to ``.npz`` archives."""
+"""Persist module weights to ``.npz`` archives.
+
+Writes are atomic (write-then-rename) with an embedded SHA-256 checksum
+via :mod:`repro.runtime.checkpoint`; loads verify the checksum and raise
+:class:`~repro.runtime.errors.CorruptArtifactError` on truncated or
+otherwise corrupt files.  Archives written by older versions (no
+checksum) still load.
+"""
 
 from __future__ import annotations
 
 import os
 
-import numpy as np
-
+from ..runtime import atomic_savez, verified_load
 from .module import Module
 
 __all__ = ["save_module", "load_module"]
@@ -16,14 +22,16 @@ def save_module(module: Module, path: str | os.PathLike) -> None:
 
     Dotted parameter names are preserved as archive keys so the file can be
     reloaded into a freshly constructed module of the same architecture.
+    The write is atomic and checksummed.
     """
-    state = module.state_dict()
-    np.savez(path, **state)
+    atomic_savez(path, module.state_dict())
 
 
 def load_module(module: Module, path: str | os.PathLike) -> Module:
-    """Load weights saved by :func:`save_module` into ``module`` (in place)."""
-    with np.load(path) as archive:
-        state = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state)
+    """Load weights saved by :func:`save_module` into ``module`` (in place).
+
+    Raises :class:`~repro.runtime.errors.CorruptArtifactError` when the
+    archive is truncated or fails its integrity checksum.
+    """
+    module.load_state_dict(verified_load(path))
     return module

@@ -1,0 +1,230 @@
+"""Atomic, checksummed ``.npz`` persistence and training checkpoints.
+
+All durable artifacts in the repo (datasets, model weights, training and
+build checkpoints) go through two primitives defined here:
+
+* :func:`atomic_savez` — write-then-rename so a crash mid-write never
+  leaves a half-written file at the destination path, plus an embedded
+  SHA-256 checksum over every stored array;
+* :func:`verified_load` — load that turns truncation, bad zip data and
+  checksum mismatches into a structured
+  :class:`~repro.runtime.errors.CorruptArtifactError`.
+
+On top of those, :class:`TrainCheckpoint` packages everything
+:func:`repro.core.training.fit` needs to continue a run bit-identically:
+model state, optimizer state, generator state, history and the
+early-stopping bookkeeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import CorruptArtifactError
+
+__all__ = [
+    "CHECKSUM_KEY",
+    "array_checksum",
+    "atomic_savez",
+    "verified_load",
+    "pack_json",
+    "unpack_json",
+    "TrainCheckpoint",
+]
+
+#: Reserved archive key holding the hex SHA-256 of all other arrays.
+CHECKSUM_KEY = "__checksum__"
+
+
+def array_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """Hex SHA-256 over the names, dtypes, shapes and bytes of ``arrays``.
+
+    Keys are visited in sorted order so the digest is independent of
+    insertion order; the :data:`CHECKSUM_KEY` entry itself is skipped.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def _checksum_array(arrays: dict[str, np.ndarray]) -> np.ndarray:
+    return np.frombuffer(array_checksum(arrays).encode(), dtype=np.uint8)
+
+
+def atomic_savez(
+    path: str | os.PathLike,
+    arrays: dict[str, np.ndarray],
+    compressed: bool = False,
+    checksum: bool = True,
+) -> None:
+    """Write ``arrays`` to an ``.npz`` at ``path`` atomically.
+
+    The archive is written to a temporary file in the destination
+    directory, flushed to disk, then moved into place with
+    :func:`os.replace`, so readers only ever see the old file or the
+    complete new one.  With ``checksum`` (the default) a SHA-256 digest
+    of every array is embedded under :data:`CHECKSUM_KEY` and verified by
+    :func:`verified_load`.
+    """
+    path = os.fspath(path)
+    payload = dict(arrays)
+    if checksum:
+        payload[CHECKSUM_KEY] = _checksum_array(arrays)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            if compressed:
+                np.savez_compressed(handle, **payload)
+            else:
+                np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def verified_load(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load an ``.npz`` into a dict, verifying its embedded checksum.
+
+    Raises :class:`~repro.runtime.errors.CorruptArtifactError` when the
+    file is missing-as-zip, truncated, undecodable, or its checksum does
+    not match; plain :class:`FileNotFoundError` propagates unchanged so
+    "no such file" keeps its usual meaning.  Archives written without a
+    checksum (e.g. by older versions) load without verification.
+    """
+    path = os.fspath(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, EOFError, KeyError, OSError) as exc:
+        raise CorruptArtifactError(path, f"unreadable archive ({exc})") from exc
+    if CHECKSUM_KEY in arrays:
+        stored = arrays.pop(CHECKSUM_KEY).tobytes().decode()
+        actual = array_checksum(arrays)
+        if stored != actual:
+            raise CorruptArtifactError(
+                path, f"checksum mismatch (stored {stored[:12]}…, computed {actual[:12]}…)"
+            )
+    return arrays
+
+
+def pack_json(obj: object) -> np.ndarray:
+    """Encode a JSON-serialisable object as a ``uint8`` array for ``.npz`` storage."""
+    return np.frombuffer(json.dumps(obj).encode(), dtype=np.uint8)
+
+
+def unpack_json(arr: np.ndarray) -> object:
+    """Inverse of :func:`pack_json`."""
+    return json.loads(np.asarray(arr, dtype=np.uint8).tobytes().decode())
+
+
+_MODEL = "model:"
+_BEST = "best:"
+_OPTIM = "optim:"
+
+
+@dataclass
+class TrainCheckpoint:
+    """Complete snapshot of a training run at an epoch boundary.
+
+    ``history`` is stored structurally (dict of lists + ``best_epoch``)
+    rather than as a :class:`~repro.core.training.History` instance to
+    keep this module free of imports from :mod:`repro.core`.
+    """
+
+    epoch: int
+    model_state: dict[str, np.ndarray]
+    optimizer_state: dict[str, np.ndarray]
+    rng_state: dict
+    history: dict = field(default_factory=dict)
+    best_state: dict[str, np.ndarray] | None = None
+    patience_left: int | None = None
+    retries_used: int = 0
+    lr: float = float("nan")
+    stopped: bool = False
+    fingerprint: dict = field(default_factory=dict)
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the checkpoint atomically with an embedded checksum."""
+        arrays: dict[str, np.ndarray] = {}
+        for name, value in self.model_state.items():
+            arrays[_MODEL + name] = value
+        for name, value in self.optimizer_state.items():
+            arrays[_OPTIM + name] = value
+        if self.best_state is not None:
+            for name, value in self.best_state.items():
+                arrays[_BEST + name] = value
+        arrays["meta"] = pack_json(
+            {
+                "epoch": self.epoch,
+                "rng_state": self.rng_state,
+                "history": self.history,
+                "patience_left": self.patience_left,
+                "retries_used": self.retries_used,
+                "lr": self.lr,
+                "stopped": self.stopped,
+                "has_best": self.best_state is not None,
+                "fingerprint": self.fingerprint,
+            }
+        )
+        atomic_savez(path, arrays)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "TrainCheckpoint":
+        """Read a checkpoint written by :meth:`save`, verifying integrity."""
+        arrays = verified_load(path)
+        if "meta" not in arrays:
+            raise CorruptArtifactError(path, "missing checkpoint metadata")
+        meta = unpack_json(arrays.pop("meta"))
+        model_state = {
+            key[len(_MODEL):]: value
+            for key, value in arrays.items()
+            if key.startswith(_MODEL)
+        }
+        optimizer_state = {
+            key[len(_OPTIM):]: value
+            for key, value in arrays.items()
+            if key.startswith(_OPTIM)
+        }
+        best_state = (
+            {
+                key[len(_BEST):]: value
+                for key, value in arrays.items()
+                if key.startswith(_BEST)
+            }
+            if meta.get("has_best")
+            else None
+        )
+        return cls(
+            epoch=int(meta["epoch"]),
+            model_state=model_state,
+            optimizer_state=optimizer_state,
+            rng_state=meta["rng_state"],
+            history=meta["history"],
+            best_state=best_state,
+            patience_left=meta["patience_left"],
+            retries_used=int(meta["retries_used"]),
+            lr=float(meta["lr"]),
+            stopped=bool(meta["stopped"]),
+            fingerprint=meta.get("fingerprint", {}),
+        )

@@ -1,0 +1,127 @@
+"""Deterministic fault injection for testing the resilience runtime.
+
+Every injector is counter- or index-driven — no wall clock, no global
+randomness — so a test that injects "fail on the 3rd sample" or "NaN on
+the 5th batch" reproduces exactly.  Three fault families cover the three
+workloads:
+
+* :func:`raise_on_nth_sample` — a builder ``fault_hook`` that makes one
+  stamp render fail (exercises per-sample quarantine);
+* :class:`NanBatchFault` — wraps a training ``loss_fn`` and poisons the
+  inputs of chosen batches with NaN (exercises the divergence guard);
+* :func:`truncate_file` — chops bytes off an artifact on disk
+  (exercises checksum / corrupt-artifact detection).
+
+:class:`SimulatedCrash` deliberately subclasses :class:`BaseException`
+so it sails through the per-sample ``except Exception`` quarantine in
+the builder exactly like a real ``SIGKILL`` would, which is what the
+kill-and-resume tests need.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "InjectedFault",
+    "SimulatedCrash",
+    "raise_on_nth_sample",
+    "crash_on_nth_sample",
+    "NanBatchFault",
+    "KillSwitch",
+    "truncate_file",
+]
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected, recoverable fault (quarantinable)."""
+
+
+class SimulatedCrash(BaseException):
+    """A simulated hard kill; bypasses ``except Exception`` handlers."""
+
+
+def raise_on_nth_sample(n: int, exc: type[BaseException] = InjectedFault) -> Callable[[int, int], None]:
+    """Builder ``fault_hook`` raising ``exc`` on the ``n``-th build attempt.
+
+    Counts every ``(sample, attempt)`` invocation (0-based) and raises
+    exactly once, so the builder's resampling retry succeeds afterwards.
+    """
+    calls = {"count": 0}
+
+    def hook(index: int, attempt: int) -> None:
+        current = calls["count"]
+        calls["count"] += 1
+        if current == n:
+            raise exc(f"injected fault at sample {index} (attempt {attempt})")
+
+    return hook
+
+
+def crash_on_nth_sample(n: int) -> Callable[[int, int], None]:
+    """Builder ``fault_hook`` simulating a process kill before sample ``n``."""
+    return raise_on_nth_sample(n, exc=SimulatedCrash)
+
+
+class NanBatchFault:
+    """Wrap a training ``loss_fn`` so chosen batches produce NaN losses.
+
+    ``batches`` is a set of 0-based global batch counters to poison, or
+    the string ``"all"`` to poison every batch (forcing retry
+    exhaustion).  Poisoning replaces the first input array with NaNs, so
+    the NaN propagates through the model exactly like bad data would.
+    """
+
+    def __init__(self, loss_fn: Callable, batches: set[int] | str) -> None:
+        self.loss_fn = loss_fn
+        self.batches = batches
+        self.calls = 0
+
+    def _poison(self, count: int) -> bool:
+        if self.batches == "all":
+            return True
+        return count in self.batches
+
+    def __call__(self, model, inputs, target):
+        """Evaluate the wrapped loss, poisoning this batch if selected."""
+        count = self.calls
+        self.calls += 1
+        if self._poison(count):
+            inputs = (np.full_like(inputs[0], np.nan),) + tuple(inputs[1:])
+        return self.loss_fn(model, inputs, target)
+
+
+class KillSwitch:
+    """``on_epoch_end`` callback that simulates a kill after ``after_epoch``.
+
+    Raises :class:`SimulatedCrash` once the given 0-based epoch has
+    completed (and therefore been checkpointed), emulating a process
+    death between epochs.
+    """
+
+    def __init__(self, after_epoch: int) -> None:
+        self.after_epoch = after_epoch
+
+    def __call__(self, epoch: int, history) -> None:
+        """Raise :class:`SimulatedCrash` when the target epoch finishes."""
+        if epoch >= self.after_epoch:
+            raise SimulatedCrash(f"simulated kill after epoch {epoch}")
+
+
+def truncate_file(path: str | os.PathLike, keep_fraction: float = 0.5) -> int:
+    """Truncate a file to ``keep_fraction`` of its size; returns new size.
+
+    Used to emulate a crash mid-write of a non-atomic producer or a
+    partially transferred artifact.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    new_size = int(size * keep_fraction)
+    with open(path, "r+b") as handle:
+        handle.truncate(new_size)
+    return new_size

@@ -1,0 +1,95 @@
+"""Build reports: what the dataset builder quarantined and retried.
+
+A :class:`BuildReport` is produced by every
+:meth:`~repro.datasets.builder.DatasetBuilder.build` call.  Each failed
+sample attempt becomes a :class:`QuarantineRecord` carrying the slot,
+class, error and the generator state at the start of the attempt (as a
+JSON string), so any quarantined draw can be replayed in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["QuarantineRecord", "BuildReport"]
+
+
+@dataclass
+class QuarantineRecord:
+    """One failed sample-build attempt."""
+
+    slot: int
+    attempt: int
+    is_ia: bool
+    error_type: str
+    error_message: str
+    rng_state: str = ""
+
+    @classmethod
+    def from_exception(
+        cls, slot: int, attempt: int, is_ia: bool, exc: BaseException, rng_state: dict | None = None
+    ) -> "QuarantineRecord":
+        """Build a record from a caught exception and the pre-attempt RNG state."""
+        return cls(
+            slot=slot,
+            attempt=attempt,
+            is_ia=is_ia,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            rng_state=json.dumps(rng_state) if rng_state is not None else "",
+        )
+
+
+@dataclass
+class BuildReport:
+    """Aggregate outcome of one dataset build (possibly across resumes)."""
+
+    n_target: int = 0
+    n_built: int = 0
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
+    resumed: int = 0
+
+    @property
+    def n_quarantined(self) -> int:
+        """Total failed attempts recorded."""
+        return len(self.quarantined)
+
+    def record(self, record: QuarantineRecord) -> None:
+        """Append one quarantine record."""
+        self.quarantined.append(record)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        return (
+            f"BuildReport(built={self.n_built}/{self.n_target}, "
+            f"quarantined={self.n_quarantined}, resumed={self.resumed})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "n_target": self.n_target,
+            "n_built": self.n_built,
+            "resumed": self.resumed,
+            "quarantined": [asdict(rec) for rec in self.quarantined],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BuildReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            n_target=int(data.get("n_target", 0)),
+            n_built=int(data.get("n_built", 0)),
+            resumed=int(data.get("resumed", 0)),
+            quarantined=[QuarantineRecord(**rec) for rec in data.get("quarantined", [])],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BuildReport":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.utils",
+    "repro.runtime",
 ]
 
 

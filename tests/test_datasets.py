@@ -202,7 +202,9 @@ class TestIO:
         np.testing.assert_array_equal(loaded.sn_types, tiny_image_dataset.sn_types)
 
     def test_missing_field(self, tmp_path):
+        from repro.runtime import CorruptArtifactError
+
         path = tmp_path / "bad.npz"
         np.savez(path, pairs=np.zeros((1, 5, 2, 3, 3)))
-        with pytest.raises(KeyError):
+        with pytest.raises(CorruptArtifactError, match="missing fields"):
             load_dataset(path)

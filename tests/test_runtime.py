@@ -1,0 +1,272 @@
+"""Fault-tolerance runtime: checkpoints, resume, divergence guards, integrity."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import LightCurveClassifier
+from repro.core.training import History, TrainConfig, fit, fit_classifier
+from repro.nn import load_module, save_module
+from repro.nn.tensor import Tensor
+from repro.runtime import (
+    CorruptArtifactError,
+    KillSwitch,
+    NanBatchFault,
+    RetryPolicy,
+    SimulatedCrash,
+    TrainCheckpoint,
+    TrainingDiverged,
+    array_checksum,
+    atomic_savez,
+    truncate_file,
+    verified_load,
+)
+
+
+def small_data(n=120, dim=10, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, dim)).astype(np.float32)
+    y = (rng.random(n) > 0.5).astype(np.float32)
+    return x, y
+
+
+def make_model(dim=10, units=8, seed=7):
+    return LightCurveClassifier(input_dim=dim, units=units, rng=np.random.default_rng(seed))
+
+
+def states_equal(a, b):
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestAtomicCheckpointIO:
+    def test_roundtrip_preserves_arrays(self, tmp_path):
+        path = tmp_path / "a.npz"
+        arrays = {"x": np.arange(12.0).reshape(3, 4), "y": np.array([1, 2, 3])}
+        atomic_savez(path, arrays)
+        loaded = verified_load(path)
+        assert states_equal(arrays, loaded)
+
+    def test_no_partial_file_left_behind(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_savez(path, {"x": np.zeros(4)})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_checksum_is_order_independent(self):
+        a = {"x": np.ones(3), "y": np.zeros(2)}
+        b = {"y": np.zeros(2), "x": np.ones(3)}
+        assert array_checksum(a) == array_checksum(b)
+
+    def test_truncated_archive_raises(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_savez(path, {"x": np.arange(1000.0)})
+        truncate_file(path, keep_fraction=0.5)
+        with pytest.raises(CorruptArtifactError, match="unreadable"):
+            verified_load(path)
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        # Corrupt zlib-free stored bytes: rewrite one byte near the end of
+        # an uncompressed archive (array data region).
+        path = tmp_path / "a.npz"
+        atomic_savez(path, {"x": np.zeros(64)})
+        raw = bytearray(path.read_bytes())
+        # flip a byte inside the stored x payload (before the central directory)
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptArtifactError):
+            verified_load(path)
+
+    def test_missing_file_is_plain_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            verified_load(tmp_path / "nope.npz")
+
+    def test_train_checkpoint_roundtrip(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        ck = TrainCheckpoint(
+            epoch=3,
+            model_state={"w": np.ones((2, 2))},
+            optimizer_state={"lr": np.asarray(0.1), "t": np.asarray(5)},
+            rng_state=np.random.default_rng(3).bit_generator.state,
+            history={"train_loss": [1.0, 0.5], "val_loss": [], "val_metric": [], "best_epoch": -1},
+            best_state={"w": np.zeros((2, 2))},
+            patience_left=2,
+            retries_used=1,
+            lr=0.1,
+            fingerprint={"seed": 0},
+        )
+        ck.save(path)
+        loaded = TrainCheckpoint.load(path)
+        assert loaded.epoch == 3
+        assert loaded.patience_left == 2
+        assert loaded.retries_used == 1
+        assert loaded.fingerprint == {"seed": 0}
+        assert states_equal(ck.model_state, loaded.model_state)
+        assert states_equal(ck.best_state, loaded.best_state)
+        assert loaded.rng_state == ck.rng_state
+
+
+class TestOptimizerState:
+    @pytest.mark.parametrize("optimizer", ["adam", "sgd"])
+    def test_roundtrip_continues_identically(self, optimizer):
+        x, y = small_data(n=64)
+        cfg = TrainConfig(epochs=2, batch_size=16, optimizer=optimizer, seed=1)
+        m1, m2 = make_model(), make_model()
+        opt1, opt2 = cfg.make_optimizer(m1), cfg.make_optimizer(m2)
+        bce = nn.BCEWithLogitsLoss()
+        for _ in range(3):
+            for m, opt in ((m1, opt1), (m2, opt2)):
+                m.zero_grad()
+                loss = bce(m(Tensor(x)), y)
+                loss.backward()
+                opt.step()
+        opt2.load_state_dict(opt1.state_dict())
+        m2.load_state_dict(m1.state_dict())
+        for m, opt in ((m1, opt1), (m2, opt2)):
+            m.zero_grad()
+            loss = bce(m(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert states_equal(m1.state_dict(), m2.state_dict())
+
+
+class TestTrainingResume:
+    @pytest.mark.parametrize("kill_after", [0, 2, 4])
+    def test_kill_and_resume_is_bit_identical(self, tmp_path, kill_after):
+        x, y = small_data()
+        xv, yv = small_data(n=40, seed=9)
+        cfg = TrainConfig(epochs=6, batch_size=32, seed=3)
+
+        reference = make_model()
+        h_ref = fit_classifier(reference, x, y, cfg, xv, yv)
+
+        ck = tmp_path / "ck.npz"
+        interrupted = make_model()
+        with pytest.raises(SimulatedCrash):
+            fit_classifier(
+                interrupted, x, y, cfg, xv, yv,
+                checkpoint_path=ck, on_epoch_end=KillSwitch(kill_after),
+            )
+        resumed = make_model()
+        h_res = fit_classifier(
+            resumed, x, y, cfg, xv, yv, checkpoint_path=ck, resume=ck,
+        )
+        assert states_equal(reference.state_dict(), resumed.state_dict())
+        assert h_ref == h_res
+
+    def test_resume_with_early_stopping(self, tmp_path):
+        x, y = small_data()
+        xv, yv = small_data(n=40, seed=9)
+        cfg = TrainConfig(epochs=10, batch_size=32, seed=3, early_stopping_patience=1)
+
+        reference = make_model()
+        h_ref = fit_classifier(reference, x, y, cfg, xv, yv)
+
+        ck = tmp_path / "ck.npz"
+        interrupted = make_model()
+        with pytest.raises(SimulatedCrash):
+            fit_classifier(
+                interrupted, x, y, cfg, xv, yv,
+                checkpoint_path=ck, on_epoch_end=KillSwitch(1),
+            )
+        resumed = make_model()
+        h_res = fit_classifier(resumed, x, y, cfg, xv, yv, resume=ck)
+        assert states_equal(reference.state_dict(), resumed.state_dict())
+        assert h_ref == h_res
+
+    def test_incompatible_checkpoint_rejected(self, tmp_path):
+        x, y = small_data()
+        ck = tmp_path / "ck.npz"
+        model = make_model()
+        fit_classifier(model, x, y, TrainConfig(epochs=1, batch_size=32, seed=3),
+                       checkpoint_path=ck)
+        other = make_model()
+        with pytest.raises(ValueError, match="incompatible"):
+            fit_classifier(other, x, y, TrainConfig(epochs=2, batch_size=32, seed=4),
+                           resume=ck)
+
+    def test_truncated_checkpoint_raises(self, tmp_path):
+        x, y = small_data()
+        ck = tmp_path / "ck.npz"
+        fit_classifier(make_model(), x, y,
+                       TrainConfig(epochs=1, batch_size=32, seed=3), checkpoint_path=ck)
+        truncate_file(ck, keep_fraction=0.3)
+        with pytest.raises(CorruptArtifactError):
+            fit_classifier(make_model(), x, y,
+                           TrainConfig(epochs=2, batch_size=32, seed=3), resume=ck)
+
+
+def bce_loss_fn():
+    bce = nn.BCEWithLogitsLoss()
+
+    def loss_fn(model, inputs, target):
+        return bce(model(Tensor(inputs[0])), target)
+
+    return loss_fn
+
+
+class TestDivergenceGuard:
+    def test_single_nan_batch_recovers_with_backoff(self):
+        x, y = small_data(n=64)
+        model = make_model()
+        fault = NanBatchFault(bce_loss_fn(), {3})
+        history = fit(
+            model, [x], y, fault, TrainConfig(epochs=3, batch_size=16, seed=0),
+            retry_policy=RetryPolicy(max_retries=2, lr_backoff=0.5),
+        )
+        assert history.n_epochs == 3
+        assert all(np.isfinite(v) for v in history.train_loss)
+
+    def test_persistent_nan_raises_diverged_with_history(self):
+        x, y = small_data(n=64)
+        model = make_model()
+        with pytest.raises(TrainingDiverged) as excinfo:
+            fit(
+                model, [x], y, NanBatchFault(bce_loss_fn(), "all"),
+                TrainConfig(epochs=3, batch_size=16, seed=0),
+                retry_policy=RetryPolicy(max_retries=2),
+            )
+        err = excinfo.value
+        assert isinstance(err, RuntimeError)
+        assert isinstance(err.history, History)
+        assert err.attempts == 2
+
+    def test_retry_decays_learning_rate(self):
+        policy = RetryPolicy(max_retries=3, lr_backoff=0.1, min_lr=1e-6)
+        assert policy.next_lr(1.0) == pytest.approx(0.1)
+        assert policy.next_lr(1e-6) == pytest.approx(1e-6)
+
+    def test_nan_gradient_is_caught(self):
+        # A loss that is finite but produces NaN gradients: multiply the
+        # logits by 0 after a NaN-producing op would be contrived; instead
+        # poison a parameter gradient via a hook-free check by injecting a
+        # NaN into the input of a single batch (propagates to grads).
+        x, y = small_data(n=48)
+        model = make_model()
+        fault = NanBatchFault(bce_loss_fn(), {0})
+        history = fit(model, [x], y, fault,
+                      TrainConfig(epochs=2, batch_size=16, seed=0))
+        assert history.n_epochs == 2
+
+
+class TestArtifactIntegrity:
+    def test_truncated_module_raises(self, tmp_path):
+        path = tmp_path / "m.npz"
+        model = make_model()
+        save_module(model, path)
+        truncate_file(path, keep_fraction=0.4)
+        with pytest.raises(CorruptArtifactError):
+            load_module(make_model(), path)
+
+    def test_module_roundtrip_still_exact(self, tmp_path):
+        path = tmp_path / "m.npz"
+        model = make_model(seed=11)
+        save_module(model, path)
+        other = load_module(make_model(seed=5), path)
+        assert states_equal(model.state_dict(), other.state_dict())
+
+    def test_legacy_archive_without_checksum_loads(self, tmp_path):
+        path = tmp_path / "legacy.npz"
+        model = make_model(seed=2)
+        np.savez(path, **model.state_dict())
+        other = load_module(make_model(seed=3), path)
+        assert states_equal(model.state_dict(), other.state_dict())

@@ -1,0 +1,215 @@
+"""Dataset-build fault isolation: quarantine, resampling, resumable builds."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import BuildConfig, DatasetBuilder, load_dataset, save_dataset
+from repro.datasets.io import _FIELDS
+from repro.runtime import (
+    BuildAborted,
+    CorruptArtifactError,
+    InjectedFault,
+    SimulatedCrash,
+    crash_on_nth_sample,
+    raise_on_nth_sample,
+    truncate_file,
+)
+
+
+def lc_config(n=12, seed=4):
+    return BuildConfig(n_ia=n, n_non_ia=n, seed=seed, render_images=False)
+
+
+def datasets_equal(a, b):
+    return all(np.array_equal(getattr(a, f), getattr(b, f)) for f in _FIELDS)
+
+
+class TestQuarantine:
+    def test_injected_fault_is_quarantined_and_resampled(self):
+        builder = DatasetBuilder(lc_config())
+        dataset = builder.build(fault_hook=raise_on_nth_sample(5))
+        report = builder.report
+        assert len(dataset) == 24
+        assert int(dataset.labels.sum()) == 12  # class balance preserved
+        assert report.n_quarantined == 1
+        rec = report.quarantined[0]
+        assert rec.error_type == "InjectedFault"
+        assert rec.slot == 5
+        assert rec.rng_state  # replayable seed state captured
+
+    def test_quarantined_build_differs_only_in_failed_slot_onward(self):
+        # Resampling advances the shared stream, so the dataset is still
+        # complete and valid even though draws after the fault differ.
+        builder = DatasetBuilder(lc_config())
+        dataset = builder.build(fault_hook=raise_on_nth_sample(5))
+        assert np.all(np.isfinite(dataset.true_flux))
+        assert np.all(dataset.redshifts > 0)
+
+    def test_repeated_failures_abort_with_report(self):
+        def always_fail(index, attempt):
+            raise InjectedFault("permanently broken")
+
+        builder = DatasetBuilder(lc_config(n=3))
+        with pytest.raises(BuildAborted) as excinfo:
+            builder.build(fault_hook=always_fail, max_sample_retries=2)
+        report = excinfo.value.report
+        assert report is not None
+        assert report.n_quarantined == 3  # initial + 2 retries on slot 0
+        assert report.n_built == 0
+
+    def test_report_json_roundtrip(self):
+        from repro.runtime import BuildReport
+
+        builder = DatasetBuilder(lc_config(n=4))
+        builder.build(fault_hook=raise_on_nth_sample(2))
+        restored = BuildReport.from_json(builder.report.to_json())
+        assert restored.n_quarantined == builder.report.n_quarantined
+        assert restored.quarantined[0].slot == builder.report.quarantined[0].slot
+
+
+class TestResumableBuild:
+    @pytest.mark.parametrize("kill_at", [3, 10, 23])
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path, kill_at):
+        reference = DatasetBuilder(lc_config()).build()
+        ck = tmp_path / "build.ck.npz"
+        with pytest.raises(SimulatedCrash):
+            DatasetBuilder(lc_config()).build(
+                checkpoint_path=ck, checkpoint_every=4,
+                fault_hook=crash_on_nth_sample(kill_at),
+            )
+        had_checkpoint = ck.exists()
+        builder = DatasetBuilder(lc_config())
+        resumed = builder.build(checkpoint_path=ck, checkpoint_every=4, resume=True)
+        assert datasets_equal(reference, resumed)
+        # A kill before the first checkpoint interval legitimately restarts.
+        assert builder.report.resumed == (1 if had_checkpoint else 0)
+        assert had_checkpoint == (kill_at >= 4)
+        assert builder.report.n_built == 24
+
+    def test_resume_without_checkpoint_path_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            DatasetBuilder(lc_config()).build(resume=True)
+
+    def test_resume_with_wrong_config_rejected(self, tmp_path):
+        ck = tmp_path / "build.ck.npz"
+        with pytest.raises(SimulatedCrash):
+            DatasetBuilder(lc_config(seed=4)).build(
+                checkpoint_path=ck, checkpoint_every=2,
+                fault_hook=crash_on_nth_sample(6),
+            )
+        with pytest.raises(ValueError, match="incompatible"):
+            DatasetBuilder(lc_config(seed=5)).build(checkpoint_path=ck, resume=True)
+
+    def test_resume_missing_checkpoint_starts_fresh(self, tmp_path):
+        ck = tmp_path / "never-written.npz"
+        builder = DatasetBuilder(lc_config())
+        dataset = builder.build(checkpoint_path=ck, checkpoint_every=50, resume=True)
+        assert len(dataset) == 24
+        assert builder.report.resumed == 0
+
+
+class TestDatasetIntegrity:
+    def test_truncated_dataset_raises_corrupt(self, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset(DatasetBuilder(lc_config(n=3)).build(), path)
+        truncate_file(path, keep_fraction=0.5)
+        with pytest.raises(CorruptArtifactError):
+            load_dataset(path)
+
+    def test_shape_validation_messages(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        n, v = 2, 20
+        arrays = {
+            "pairs": np.zeros((n, v, 2, 3, 3), dtype=np.float32),
+            "visit_mjd": np.zeros((n, v)),
+            "visit_band": np.zeros((n, v), dtype=np.int64),
+            "true_flux": np.zeros((n, v)),
+            "labels": np.zeros(n, dtype=np.int64),
+            "sn_types": np.array(["Ia", "IIP"]),
+            "redshifts": np.zeros(n),
+            "host_mag": np.zeros(n),
+            "sn_offset": np.zeros((n, 2)),
+            "peak_mjd": np.zeros(n),
+        }
+        bad = dict(arrays)
+        bad["visit_band"] = np.full((n, v), 7, dtype=np.int64)
+        np.savez(path, **bad)
+        with pytest.raises(ValueError, match="visit_band"):
+            load_dataset(path)
+
+        bad = dict(arrays)
+        bad["pairs"] = np.zeros((n, v, 2, 3, 4), dtype=np.float32)
+        np.savez(path, **bad)
+        with pytest.raises(ValueError, match="square"):
+            load_dataset(path)
+
+        bad = dict(arrays)
+        bad["labels"] = np.array([0, 2], dtype=np.int64)
+        np.savez(path, **bad)
+        with pytest.raises(ValueError, match="binary"):
+            load_dataset(path)
+
+        bad = dict(arrays)
+        bad["visit_mjd"] = np.zeros((n, v - 1))
+        np.savez(path, **bad)
+        with pytest.raises(ValueError, match="visit_mjd"):
+            load_dataset(path)
+
+
+class TestCLIFaultHandling:
+    def test_missing_dataset_exits_2(self, capsys):
+        code = main(["train-classifier", "--dataset", "/no/such/file.npz",
+                     "--out", "/tmp/never.npz"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # one-line message, not a traceback
+
+    def test_missing_classifier_exits_2(self, tmp_path, capsys):
+        ds = tmp_path / "ds.npz"
+        save_dataset(DatasetBuilder(lc_config(n=6)).build(), ds)
+        code = main(["evaluate", "--dataset", str(ds),
+                     "--classifier", str(tmp_path / "missing.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_dataset_exits_3(self, tmp_path, capsys):
+        ds = tmp_path / "ds.npz"
+        save_dataset(DatasetBuilder(lc_config(n=6)).build(), ds)
+        truncate_file(ds, keep_fraction=0.4)
+        code = main(["evaluate", "--dataset", str(ds),
+                     "--classifier", str(tmp_path / "clf.npz")])
+        assert code == 3
+        assert "corrupt artifact" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint(self, tmp_path, capsys):
+        code = main(["build-dataset", "--n-ia", "2", "--n-non-ia", "2",
+                     "--no-images", "--resume", "--out", str(tmp_path / "d.npz")])
+        assert code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_build_with_checkpoint_and_report(self, tmp_path, capsys):
+        out = tmp_path / "d.npz"
+        report = tmp_path / "report.json"
+        code = main([
+            "build-dataset", "--n-ia", "5", "--n-non-ia", "5", "--no-images",
+            "--out", str(out), "--checkpoint", str(tmp_path / "ck.npz"),
+            "--checkpoint-every", "3", "--report", str(report),
+        ])
+        assert code == 0
+        assert load_dataset(out).labels.sum() == 5
+        assert report.exists()
+
+    def test_train_resume_flag_roundtrip(self, tmp_path):
+        ds = tmp_path / "ds.npz"
+        save_dataset(DatasetBuilder(lc_config(n=20, seed=1)).build(), ds)
+        ck = tmp_path / "clf.ck.npz"
+        out = tmp_path / "clf.npz"
+        base = ["train-classifier", "--dataset", str(ds), "--units", "8",
+                "--seed", "1", "--out", str(out), "--checkpoint", str(ck)]
+        assert main(base + ["--epochs", "3"]) == 0
+        assert ck.exists()
+        # Resuming a finished-at-3-epochs run into a longer schedule picks
+        # up from the checkpoint instead of restarting.
+        assert main(base + ["--epochs", "3", "--resume"]) == 0
