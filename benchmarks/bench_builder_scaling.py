@@ -1,0 +1,151 @@
+"""Builder scaling — wall-clock speedup of the parallel dataset builder.
+
+The dataset build is the slowest stage of the whole pipeline (the paper
+renders 12,000 supernovae into host cutouts); version 2 of the builder
+gives every sample slot its own ``SeedSequence`` child so slots can be
+rendered concurrently across a process pool with bit-identical output.
+This benchmark measures the speedup of ``BuildConfig.workers`` on an
+imaging build and verifies the parallel dataset equals the serial one.
+
+Run directly for the acceptance-scale measurement (200 samples at the
+paper's 65x65 stamps, workers 1/2/4)::
+
+    PYTHONPATH=src python benchmarks/bench_builder_scaling.py
+
+Environment overrides:
+
+``REPRO_BENCH_BUILDER_SAMPLES``
+    Total samples of the __main__ run (default 200).
+``REPRO_BENCH_BUILDER_WORKERS``
+    Maximum worker count of the __main__ sweep (default 4).
+
+The pytest entry uses a scaled-down build and only asserts the speedup
+when the machine actually has the cores to show it; the bit-identity
+assertion always runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.datasets import BuildConfig, DatasetBuilder
+from repro.datasets.io import _FIELDS
+from repro.survey import ImagingConfig
+from repro.utils import format_table
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _datasets_equal(a, b) -> bool:
+    return all(np.array_equal(getattr(a, f), getattr(b, f)) for f in _FIELDS)
+
+
+def _timed_build(n_total: int, stamp_size: int, workers: int):
+    config = BuildConfig(
+        n_ia=n_total // 2,
+        n_non_ia=n_total - n_total // 2,
+        seed=2024,
+        catalog_size=2000,
+        imaging=ImagingConfig(stamp_size=stamp_size),
+        workers=workers,
+    )
+    start = time.perf_counter()
+    dataset = DatasetBuilder(config).build()
+    return dataset, time.perf_counter() - start
+
+
+def _scaling_table(n_total: int, stamp_size: int, worker_counts: list[int]):
+    """Build at each worker count; return rows and the datasets' parity."""
+    results = {}
+    for workers in worker_counts:
+        results[workers] = _timed_build(n_total, stamp_size, workers)
+    reference, serial_time = results[worker_counts[0]]
+    rows = []
+    identical = True
+    for workers, (dataset, elapsed) in results.items():
+        identical &= _datasets_equal(reference, dataset)
+        rows.append(
+            [
+                str(workers),
+                f"{elapsed:.1f}s",
+                f"{serial_time / elapsed:.2f}x",
+                f"{n_total / elapsed:.1f}/s",
+            ]
+        )
+    return rows, identical, results
+
+
+def test_builder_scaling():
+    """Parallel build is bit-identical; faster when cores are available."""
+    cores = os.cpu_count() or 1
+    workers = min(4, max(2, cores))
+    rows, identical, results = _scaling_table(
+        n_total=20, stamp_size=33, worker_counts=[1, workers]
+    )
+    print()
+    print(
+        format_table(
+            ["workers", "wall clock", "speedup", "samples/s"],
+            rows,
+            title=f"Builder scaling (20 samples, 33px stamps, {cores} cores)",
+        )
+    )
+    assert identical, "parallel dataset must be bit-identical to serial"
+    if cores >= 4:
+        _, serial_time = results[1]
+        _, parallel_time = results[workers]
+        assert parallel_time < serial_time, (
+            f"{workers} workers ({parallel_time:.1f}s) should beat serial "
+            f"({serial_time:.1f}s) on a {cores}-core machine"
+        )
+
+
+def main() -> int:
+    n_total = _env_int("REPRO_BENCH_BUILDER_SAMPLES", 200)
+    max_workers = _env_int("REPRO_BENCH_BUILDER_WORKERS", 4)
+    cores = os.cpu_count() or 1
+    worker_counts = [1]
+    w = 2
+    while w <= max_workers:
+        worker_counts.append(w)
+        w *= 2
+    rows, identical, results = _scaling_table(
+        n_total=n_total, stamp_size=65, worker_counts=worker_counts
+    )
+    print(
+        format_table(
+            ["workers", "wall clock", "speedup", "samples/s"],
+            rows,
+            title=(
+                f"Builder scaling ({n_total} samples, 65px stamps, "
+                f"{cores} cores available)"
+            ),
+        )
+    )
+    if not identical:
+        print("FAIL: parallel dataset differs from serial build")
+        return 1
+    print("all worker counts produced bit-identical datasets")
+    if cores < max_workers:
+        print(
+            f"note: only {cores} cores available; speedup at "
+            f"{max_workers} workers needs >= {max_workers} cores"
+        )
+        return 0
+    _, serial_time = results[1]
+    _, parallel_time = results[worker_counts[-1]]
+    speedup = serial_time / parallel_time
+    if speedup <= 2.0:
+        print(f"FAIL: expected >2x speedup at {worker_counts[-1]} workers, got {speedup:.2f}x")
+        return 1
+    print(f"OK: {speedup:.2f}x speedup at {worker_counts[-1]} workers")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,12 +1,13 @@
 """Synthetic dataset construction (paper Section 3)."""
 
-from .builder import BuildConfig, DatasetBuilder
+from .builder import BUILDER_VERSION, BuildConfig, DatasetBuilder
 from .io import load_dataset, save_dataset, validate_dataset_arrays
 from .sample import N_BANDS, SupernovaDataset
 from .snpcc import SNPCCConfig, SNPCCDataset, SNPCCSample, generate_snpcc
 from .splits import DatasetSplits, train_val_test_split
 
 __all__ = [
+    "BUILDER_VERSION",
     "BuildConfig",
     "DatasetBuilder",
     "SupernovaDataset",

@@ -15,12 +15,27 @@ Pipeline per sample:
 The result is a :class:`~repro.datasets.sample.SupernovaDataset` with
 equal numbers of SNIa and non-Ia samples by default (6,000 + 6,000 in the
 paper; configurable here because the imaging is CPU-bound).
+
+Seeding contract (builder version 2)
+------------------------------------
+Every sample slot draws from its own child generator derived from the
+config seed via ``np.random.SeedSequence``: attempt ``a`` of slot ``s``
+uses the child with spawn key ``(s, a)`` (the spawn-tree grandchild
+``SeedSequence(seed).spawn(...)`` would produce), and the Ia/non-Ia slot
+assignment is shuffled by a dedicated child stream.  Samples are
+therefore *order-independent*: rendering slots concurrently across a
+worker pool (``BuildConfig.workers > 1``), serially, or resuming from a
+partial checkpoint all produce bit-identical datasets.  This replaced
+the version-1 single shared RNG stream, so version-2 datasets differ
+sample-by-sample from version-1 datasets built with the same seed; the
+builder fingerprint carries the version so stale checkpoints are
+rejected instead of silently mixed.
 """
 
 from __future__ import annotations
 
-import copy
 import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -48,7 +63,16 @@ from ..survey import (
 )
 from .sample import N_BANDS, SupernovaDataset
 
-__all__ = ["BuildConfig", "DatasetBuilder"]
+__all__ = ["BUILDER_VERSION", "BuildConfig", "DatasetBuilder"]
+
+#: Version of the dataset-RNG contract baked into the builder fingerprint.
+#: Bumped to 2 when per-sample ``SeedSequence`` children replaced the
+#: single shared generator stream (parallel builds).
+BUILDER_VERSION = 2
+
+#: Spawn-key domain of the class-assignment shuffle stream; a 1-element
+#: key can never collide with the 2-element ``(slot, attempt)`` keys.
+_FLAGS_SPAWN_KEY = 0x5EED
 
 
 @dataclass
@@ -58,6 +82,12 @@ class BuildConfig:
     Defaults mirror the paper: 65x65 stamps, 4 epochs per band, 5 bands.
     ``n_ia`` / ``n_non_ia`` default small because stamp rendering is
     CPU-bound; the paper used 6,000 + 6,000.
+
+    ``workers`` selects how many processes render sample slots: ``1``
+    (the default) keeps everything in-process, ``N > 1`` fans slots out
+    over a :class:`~concurrent.futures.ProcessPoolExecutor`.  The
+    resulting dataset is bit-identical either way, so ``workers`` is a
+    throughput knob only and deliberately not part of the fingerprint.
     """
 
     n_ia: int = 300
@@ -71,12 +101,15 @@ class BuildConfig:
     conditions: ConditionsModel = field(default_factory=ConditionsModel)
     max_host_radius_fraction: float = 2.0
     render_images: bool = True
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_ia < 0 or self.n_non_ia < 0 or self.n_ia + self.n_non_ia == 0:
             raise ValueError("need a positive number of samples")
         if self.epochs_per_band <= 0:
             raise ValueError("epochs_per_band must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 _ARRAY_FIELDS = (
@@ -93,16 +126,49 @@ _ARRAY_FIELDS = (
 )
 
 
+@dataclass
+class _SlotResult:
+    """Outcome of rendering one sample slot (in-process or in a worker)."""
+
+    slot: int
+    data: dict[str, np.ndarray] | None
+    records: list[QuarantineRecord]
+    message: str = ""
+
+
+# Per-worker-process builder, constructed once by the pool initializer so
+# the catalogue / simulator setup cost is paid per worker, not per slot.
+_WORKER_BUILDER: "DatasetBuilder | None" = None
+
+
+def _init_worker(config: BuildConfig) -> None:
+    global _WORKER_BUILDER
+    _WORKER_BUILDER = DatasetBuilder(config)
+
+
+def _render_slot_task(
+    slot: int,
+    is_ia: bool,
+    max_retries: int,
+    fault_hook: Callable[[int, int], None] | None,
+) -> _SlotResult:
+    assert _WORKER_BUILDER is not None, "worker pool not initialised"
+    return _WORKER_BUILDER._render_slot(slot, is_ia, max_retries, fault_hook)
+
+
 class DatasetBuilder:
     """Build synthetic supernova datasets.
 
-    Builds are failure-isolated and resumable: an exception while
-    rendering one sample (PSF, WCS, noise, ...) quarantines that attempt
-    into :attr:`report` and resamples the slot instead of aborting the
-    whole CPU-bound run, and with ``checkpoint_path`` set the partial
-    build is snapshotted atomically every ``checkpoint_every`` samples so
-    a killed build continues from where it stopped (bit-identical to an
-    uninterrupted one).
+    Builds are failure-isolated, resumable and parallelisable: an
+    exception while rendering one sample (PSF, WCS, noise, ...)
+    quarantines that attempt into :attr:`report` and redraws the slot
+    from its next per-slot child seed instead of aborting the whole
+    CPU-bound run; with ``checkpoint_path`` set the partial build is
+    snapshotted atomically every ``checkpoint_every`` samples so a killed
+    build continues from the recorded set of completed slots; and with
+    ``BuildConfig.workers > 1`` slots are rendered concurrently across a
+    process pool.  All execution modes produce bit-identical datasets
+    because every ``(slot, attempt)`` owns an independent seed.
     """
 
     def __init__(self, config: BuildConfig | None = None) -> None:
@@ -119,6 +185,7 @@ class DatasetBuilder:
     def _fingerprint(self) -> dict:
         cfg = self.config
         return {
+            "version": BUILDER_VERSION,
             "n_ia": cfg.n_ia,
             "n_non_ia": cfg.n_non_ia,
             "epochs_per_band": cfg.epochs_per_band,
@@ -128,6 +195,49 @@ class DatasetBuilder:
             "render_images": cfg.render_images,
             "stamp_size": cfg.imaging.stamp_size if cfg.render_images else 1,
         }
+
+    # ------------------------------------------------------------------
+    # Deterministic per-slot seeding
+    # ------------------------------------------------------------------
+    def _slot_seed(self, slot: int, attempt: int) -> np.random.SeedSequence:
+        """Child seed of ``(slot, attempt)`` under the config seed.
+
+        Equivalent to spawning ``SeedSequence(seed)`` per slot and then
+        per attempt, but constructed statelessly from the spawn key so
+        any process can derive it without coordination.
+        """
+        return np.random.SeedSequence(self.config.seed, spawn_key=(slot, attempt))
+
+    def _class_flags(self) -> np.ndarray:
+        """Deterministic Ia/non-Ia assignment of the sample slots."""
+        cfg = self.config
+        flags = np.array([True] * cfg.n_ia + [False] * cfg.n_non_ia)
+        rng = np.random.default_rng(
+            np.random.SeedSequence(cfg.seed, spawn_key=(_FLAGS_SPAWN_KEY,))
+        )
+        rng.shuffle(flags)
+        return flags
+
+    def _allocate(self, n_total: int) -> dict[str, np.ndarray]:
+        cfg = self.config
+        n_visits = cfg.epochs_per_band * N_BANDS
+        # Light-curve-only datasets (render_images=False) keep 1x1 pair
+        # placeholders: classifier experiments need fluxes, not stamps.
+        size = cfg.imaging.stamp_size if cfg.render_images else 1
+        arrays = {
+            "pairs": np.zeros((n_total, n_visits, 2, size, size), dtype=np.float32),
+            "visit_mjd": np.zeros((n_total, n_visits)),
+            "visit_band": np.zeros((n_total, n_visits), dtype=np.int64),
+            "true_flux": np.zeros((n_total, n_visits)),
+            "labels": np.zeros(n_total, dtype=np.int64),
+            "sn_types": np.empty(n_total, dtype="U4"),
+            "redshifts": np.zeros(n_total),
+            "host_mag": np.zeros(n_total),
+            "sn_offset": np.zeros((n_total, 2)),
+            "peak_mjd": np.zeros(n_total),
+        }
+        arrays["sn_types"].fill("")
+        return arrays
 
     def build(
         self,
@@ -144,113 +254,226 @@ class DatasetBuilder:
         Parameters
         ----------
         checkpoint_path / checkpoint_every:
-            When both are set, the partial build (arrays, generator
-            state, quarantine report) is written atomically every
+            When both are set, the partial build (arrays, completed-slot
+            set, quarantine report) is written atomically every
             ``checkpoint_every`` completed samples.
         resume:
             Continue from ``checkpoint_path`` if it exists; the
             checkpoint must have been written by a builder with an
-            identical configuration.
+            identical configuration (``workers`` excluded — serial and
+            parallel builds share checkpoints).
         max_sample_retries:
-            How many times one sample slot may be resampled after
-            failures before the build aborts with
+            How many times one sample slot may be redrawn after failures
+            before the build aborts with
             :class:`~repro.runtime.errors.BuildAborted`.
         fault_hook:
             Optional ``hook(sample_index, attempt)`` called before each
-            build attempt; used by the fault-injection tests.
+            build attempt; used by the fault-injection tests.  With
+            ``workers > 1`` the hook is pickled into each worker task, so
+            it must be picklable and any internal state is per-slot.
         """
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed + 1)
         n_total = cfg.n_ia + cfg.n_non_ia
-        n_visits = cfg.epochs_per_band * N_BANDS
-        # Light-curve-only datasets (render_images=False) keep 1x1 pair
-        # placeholders: classifier experiments need fluxes, not stamps.
-        size = cfg.imaging.stamp_size if cfg.render_images else 1
-
-        arrays = {
-            "pairs": np.zeros((n_total, n_visits, 2, size, size), dtype=np.float32),
-            "visit_mjd": np.zeros((n_total, n_visits)),
-            "visit_band": np.zeros((n_total, n_visits), dtype=np.int64),
-            "true_flux": np.zeros((n_total, n_visits)),
-            "labels": np.zeros(n_total, dtype=np.int64),
-            "sn_types": np.empty(n_total, dtype="U4"),
-            "redshifts": np.zeros(n_total),
-            "host_mag": np.zeros(n_total),
-            "sn_offset": np.zeros((n_total, 2)),
-            "peak_mjd": np.zeros(n_total),
-        }
-        arrays["sn_types"].fill("")
-
-        class_flags = np.array([True] * cfg.n_ia + [False] * cfg.n_non_ia)
-        rng.shuffle(class_flags)
+        arrays = self._allocate(n_total)
+        class_flags = self._class_flags()
+        completed = np.zeros(n_total, dtype=bool)
         report = BuildReport(n_target=n_total)
-        start_index = 0
 
         if resume:
             if checkpoint_path is None:
                 raise ValueError("resume=True requires a checkpoint_path")
             if os.path.exists(checkpoint_path):
-                start_index, class_flags, report = self._load_build_checkpoint(
-                    checkpoint_path, arrays, rng
-                )
+                completed, report = self._load_build_checkpoint(checkpoint_path, arrays)
                 report.resumed += 1
                 if verbose:
-                    print(f"  resumed build at sample {start_index}/{n_total}")
-
-        for i in range(start_index, n_total):
-            is_ia = bool(class_flags[i])
-            attempt = 0
-            while True:
-                pre_state = copy.deepcopy(rng.bit_generator.state)
-                try:
-                    if fault_hook is not None:
-                        fault_hook(i, attempt)
-                    self._build_one(
-                        i,
-                        is_ia,
-                        rng,
-                        arrays["pairs"],
-                        arrays["visit_mjd"],
-                        arrays["visit_band"],
-                        arrays["true_flux"],
-                        arrays["labels"],
-                        arrays["sn_types"],
-                        arrays["redshifts"],
-                        arrays["host_mag"],
-                        arrays["sn_offset"],
-                        arrays["peak_mjd"],
+                    print(
+                        f"  resumed build with {int(completed.sum())}/{n_total} "
+                        f"slots complete"
                     )
-                    break
-                except Exception as exc:
-                    report.record(
-                        QuarantineRecord.from_exception(i, attempt, is_ia, exc, pre_state)
-                    )
-                    self._clear_slot(i, arrays)
-                    attempt += 1
-                    if attempt > max_sample_retries:
-                        self.report = report
-                        raise BuildAborted(
-                            f"sample slot {i} failed {attempt} consecutive attempts "
-                            f"(last: {type(exc).__name__}: {exc})",
-                            report=report,
-                        ) from exc
-                    if verbose:
-                        print(
-                            f"  quarantined sample {i} attempt {attempt - 1} "
-                            f"({type(exc).__name__}); resampling"
-                        )
-            report.n_built = i + 1
-            if (
-                checkpoint_path is not None
-                and checkpoint_every > 0
-                and (i + 1) % checkpoint_every == 0
-            ):
-                self._save_build_checkpoint(checkpoint_path, arrays, class_flags, rng, i + 1, report)
-            if verbose and (i + 1) % 50 == 0:
-                print(f"  built {i + 1}/{n_total} samples")
 
+        pending = [slot for slot in range(n_total) if not completed[slot]]
+        build_slots = (
+            self._build_serial if cfg.workers == 1 else self._build_parallel
+        )
+        build_slots(
+            pending,
+            class_flags,
+            arrays,
+            completed,
+            report,
+            max_sample_retries=max_sample_retries,
+            fault_hook=fault_hook,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            verbose=verbose,
+        )
+        report.quarantined.sort(key=lambda rec: (rec.slot, rec.attempt))
         self.report = report
         return SupernovaDataset(**arrays)
+
+    # ------------------------------------------------------------------
+    # Execution strategies (bit-identical by construction)
+    # ------------------------------------------------------------------
+    def _build_serial(
+        self,
+        pending: list[int],
+        class_flags: np.ndarray,
+        arrays: dict[str, np.ndarray],
+        completed: np.ndarray,
+        report: BuildReport,
+        *,
+        max_sample_retries: int,
+        fault_hook: Callable[[int, int], None] | None,
+        checkpoint_path: str | os.PathLike | None,
+        checkpoint_every: int,
+        verbose: bool,
+    ) -> None:
+        for slot in pending:
+            result = self._render_slot(
+                slot, bool(class_flags[slot]), max_sample_retries, fault_hook
+            )
+            self._complete_slot(result, arrays, completed, report, verbose)
+            self._maybe_checkpoint(
+                checkpoint_path, checkpoint_every, arrays, class_flags, completed, report
+            )
+            self._progress(completed, verbose)
+
+    def _build_parallel(
+        self,
+        pending: list[int],
+        class_flags: np.ndarray,
+        arrays: dict[str, np.ndarray],
+        completed: np.ndarray,
+        report: BuildReport,
+        *,
+        max_sample_retries: int,
+        fault_hook: Callable[[int, int], None] | None,
+        checkpoint_path: str | os.PathLike | None,
+        checkpoint_every: int,
+        verbose: bool,
+    ) -> None:
+        executor = ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            initializer=_init_worker,
+            initargs=(self.config,),
+        )
+        try:
+            futures = [
+                executor.submit(
+                    _render_slot_task,
+                    slot,
+                    bool(class_flags[slot]),
+                    max_sample_retries,
+                    fault_hook,
+                )
+                for slot in pending
+            ]
+            for future in as_completed(futures):
+                result = future.result()
+                self._complete_slot(result, arrays, completed, report, verbose)
+                self._maybe_checkpoint(
+                    checkpoint_path, checkpoint_every, arrays, class_flags, completed, report
+                )
+                self._progress(completed, verbose)
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def _render_slot(
+        self,
+        slot: int,
+        is_ia: bool,
+        max_retries: int,
+        fault_hook: Callable[[int, int], None] | None = None,
+    ) -> _SlotResult:
+        """Render one sample slot with its own deterministic seed chain.
+
+        Each attempt ``a`` draws from the independent ``(slot, a)`` child
+        generator, so retries never perturb other slots and the result is
+        identical no matter which process renders it or in what order.
+        """
+        arrays = self._allocate(1)
+        records: list[QuarantineRecord] = []
+        attempt = 0
+        while True:
+            rng = np.random.default_rng(self._slot_seed(slot, attempt))
+            try:
+                if fault_hook is not None:
+                    fault_hook(slot, attempt)
+                self._build_one(0, is_ia, rng, *(arrays[name] for name in _ARRAY_FIELDS))
+                return _SlotResult(
+                    slot, {name: arrays[name][0] for name in _ARRAY_FIELDS}, records
+                )
+            except Exception as exc:
+                seed_info = {"seed": self.config.seed, "spawn_key": [slot, attempt]}
+                records.append(
+                    QuarantineRecord.from_exception(slot, attempt, is_ia, exc, seed_info)
+                )
+                self._clear_slot(0, arrays)
+                attempt += 1
+                if attempt > max_retries:
+                    return _SlotResult(
+                        slot,
+                        None,
+                        records,
+                        message=(
+                            f"sample slot {slot} failed {attempt} consecutive attempts "
+                            f"(last: {type(exc).__name__}: {exc})"
+                        ),
+                    )
+
+    def _complete_slot(
+        self,
+        result: _SlotResult,
+        arrays: dict[str, np.ndarray],
+        completed: np.ndarray,
+        report: BuildReport,
+        verbose: bool,
+    ) -> None:
+        """Fold one slot outcome into the arrays and the report.
+
+        ``report.n_built`` always equals the number of completed slots —
+        the same invariant in serial, parallel and resumed builds, and in
+        the report carried by :class:`BuildAborted`.
+        """
+        for rec in result.records:
+            report.record(rec)
+            if verbose:
+                print(
+                    f"  quarantined sample {rec.slot} attempt {rec.attempt} "
+                    f"({rec.error_type}); redrawing"
+                )
+        if result.data is None:
+            report.n_built = int(completed.sum())
+            report.quarantined.sort(key=lambda rec: (rec.slot, rec.attempt))
+            self.report = report
+            raise BuildAborted(result.message, report=report)
+        for name in _ARRAY_FIELDS:
+            arrays[name][result.slot] = result.data[name]
+        completed[result.slot] = True
+        report.n_built = int(completed.sum())
+
+    def _maybe_checkpoint(
+        self,
+        checkpoint_path: str | os.PathLike | None,
+        checkpoint_every: int,
+        arrays: dict[str, np.ndarray],
+        class_flags: np.ndarray,
+        completed: np.ndarray,
+        report: BuildReport,
+    ) -> None:
+        if (
+            checkpoint_path is not None
+            and checkpoint_every > 0
+            and int(completed.sum()) % checkpoint_every == 0
+        ):
+            self._save_build_checkpoint(
+                checkpoint_path, arrays, class_flags, completed, report
+            )
+
+    def _progress(self, completed: np.ndarray, verbose: bool) -> None:
+        done = int(completed.sum())
+        if verbose and done % 50 == 0:
+            print(f"  built {done}/{len(completed)} samples")
 
     # ------------------------------------------------------------------
     # Fault isolation & checkpoint plumbing
@@ -266,16 +489,14 @@ class DatasetBuilder:
         path: str | os.PathLike,
         arrays: dict[str, np.ndarray],
         class_flags: np.ndarray,
-        rng: np.random.Generator,
-        next_index: int,
+        completed: np.ndarray,
         report: BuildReport,
     ) -> None:
         payload = dict(arrays)
         payload["class_flags"] = class_flags
+        payload["completed"] = completed
         payload["meta"] = pack_json(
             {
-                "next_index": next_index,
-                "rng_state": rng.bit_generator.state,
                 "report": report.to_dict(),
                 "fingerprint": self._fingerprint(),
             }
@@ -286,8 +507,7 @@ class DatasetBuilder:
         self,
         path: str | os.PathLike,
         arrays: dict[str, np.ndarray],
-        rng: np.random.Generator,
-    ) -> tuple[int, np.ndarray, BuildReport]:
+    ) -> tuple[np.ndarray, BuildReport]:
         data = verified_load(path)
         meta = unpack_json(data["meta"])
         if meta["fingerprint"] != self._fingerprint():
@@ -295,12 +515,14 @@ class DatasetBuilder:
                 f"build checkpoint {os.fspath(path)} was written with an incompatible "
                 f"configuration: {meta['fingerprint']} != {self._fingerprint()}"
             )
+        if not np.array_equal(data["class_flags"].astype(bool), self._class_flags()):
+            raise ValueError(
+                f"build checkpoint {os.fspath(path)} stores a class assignment that "
+                f"does not match the config seed"
+            )
         for name in _ARRAY_FIELDS:
             arrays[name][...] = data[name]
-        rng.bit_generator.state = meta["rng_state"]
-        return int(meta["next_index"]), data["class_flags"].astype(bool), BuildReport.from_dict(
-            meta["report"]
-        )
+        return data["completed"].astype(bool), BuildReport.from_dict(meta["report"])
 
     def _build_one(
         self,

@@ -16,6 +16,29 @@ from .sample import SupernovaDataset
 __all__ = ["DatasetSplits", "train_val_test_split"]
 
 
+def _allocate_counts(m: int, fractions: tuple[float, ...]) -> np.ndarray:
+    """Integer allocation of ``m`` items over ``fractions``, summing to ``m``.
+
+    Floor-plus-largest-remainder: each bucket gets the floor of its exact
+    share and leftovers go to the largest fractional parts (stable
+    order, so ties break deterministically).  Whenever ``m`` is at least
+    the number of buckets, every bucket is then guaranteed non-empty by
+    moving items from the fullest bucket — ``int(round(...))`` per bucket
+    (the previous scheme) could hand an entire small stratum to
+    train+val and leave the test slice empty.
+    """
+    exact = np.asarray(fractions, dtype=float) * m
+    counts = np.floor(exact).astype(int)
+    leftover = m - int(counts.sum())
+    for idx in np.argsort(-(exact - counts), kind="stable")[:leftover]:
+        counts[idx] += 1
+    if m >= counts.size:
+        while (counts == 0).any():
+            counts[int(np.argmax(counts))] -= 1
+            counts[int(np.argmin(counts))] += 1
+    return counts
+
+
 @dataclass(frozen=True)
 class DatasetSplits:
     """The three standard partitions of a dataset."""
@@ -41,7 +64,10 @@ def train_val_test_split(
     """Split samples into train/val/test (paper: 80/10/10).
 
     With ``stratify=True`` the Ia / non-Ia ratio is preserved in each
-    split, which keeps small validation sets usable.
+    split, which keeps small validation sets usable.  Per-stratum sizes
+    use floor-plus-remainder allocation, so every split is non-empty
+    whenever a stratum has at least three samples; datasets that cannot
+    yield three non-empty splits raise :class:`ValueError`.
     """
     if not 0 < train_fraction < 1 or not 0 < val_fraction < 1:
         raise ValueError("fractions must be in (0, 1)")
@@ -50,11 +76,11 @@ def train_val_test_split(
 
     rng = np.random.default_rng(seed)
     n = len(dataset)
+    fractions = (train_fraction, val_fraction, 1.0 - train_fraction - val_fraction)
 
     def partition(indices: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         shuffled = rng.permutation(indices)
-        n_train = int(round(train_fraction * len(shuffled)))
-        n_val = int(round(val_fraction * len(shuffled)))
+        n_train, n_val, _ = _allocate_counts(len(shuffled), fractions)
         return (
             shuffled[:n_train],
             shuffled[n_train : n_train + n_val],

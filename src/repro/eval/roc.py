@@ -14,6 +14,12 @@ import numpy as np
 
 __all__ = ["RocCurve", "roc_curve", "auc_score", "rank_auc"]
 
+# numpy 2.0 renamed ``np.trapz`` to ``np.trapezoid`` and later removed the
+# old name; pyproject supports numpy>=1.26, so resolve whichever spelling
+# this interpreter has at import time (both getattr defaults are lazy —
+# neither name may be referenced directly on the other major version).
+_trapezoid = getattr(np, "trapezoid", None) or getattr(np, "trapz")
+
 
 @dataclass(frozen=True)
 class RocCurve:
@@ -34,7 +40,7 @@ class RocCurve:
     @property
     def auc(self) -> float:
         """Area under the curve (trapezoidal)."""
-        return float(np.trapezoid(self.tpr, self.fpr))
+        return float(_trapezoid(self.tpr, self.fpr))
 
     def tpr_at_fpr(self, target_fpr: float) -> float:
         """Interpolated TPR at a given false-positive rate."""

@@ -27,6 +27,7 @@ from .checkpoint import (
 )
 from .errors import BuildAborted, CorruptArtifactError, TrainingDiverged
 from .faults import (
+    FailSlot,
     InjectedFault,
     KillSwitch,
     NanBatchFault,
@@ -58,6 +59,7 @@ __all__ = [
     "SimulatedCrash",
     "raise_on_nth_sample",
     "crash_on_nth_sample",
+    "FailSlot",
     "NanBatchFault",
     "KillSwitch",
     "truncate_file",

@@ -14,6 +14,14 @@ On top of those, :class:`TrainCheckpoint` packages everything
 :func:`repro.core.training.fit` needs to continue a run bit-identically:
 model state, optimizer state, generator state, history and the
 early-stopping bookkeeping.
+
+Dataset-build checkpoints (written by
+:class:`~repro.datasets.builder.DatasetBuilder` through the same
+primitives) record the *set of completed sample slots* rather than a
+scan index or generator state: under the per-sample seeding contract
+each slot derives its own ``SeedSequence`` child, so a resumed build —
+serial or parallel, in any completion order — only needs to know which
+slots are done to continue bit-identically.
 """
 
 from __future__ import annotations

@@ -7,6 +7,9 @@ workloads:
 
 * :func:`raise_on_nth_sample` — a builder ``fault_hook`` that makes one
   stamp render fail (exercises per-sample quarantine);
+* :class:`FailSlot` — a picklable ``fault_hook`` addressing one
+  ``(slot, attempt)`` pair, for parallel (``workers > 1``) builds where
+  hooks are shipped into worker processes;
 * :class:`NanBatchFault` — wraps a training ``loss_fn`` and poisons the
   inputs of chosen batches with NaN (exercises the divergence guard);
 * :func:`truncate_file` — chops bytes off an artifact on disk
@@ -30,6 +33,7 @@ __all__ = [
     "SimulatedCrash",
     "raise_on_nth_sample",
     "crash_on_nth_sample",
+    "FailSlot",
     "NanBatchFault",
     "KillSwitch",
     "truncate_file",
@@ -64,6 +68,34 @@ def raise_on_nth_sample(n: int, exc: type[BaseException] = InjectedFault) -> Cal
 def crash_on_nth_sample(n: int) -> Callable[[int, int], None]:
     """Builder ``fault_hook`` simulating a process kill before sample ``n``."""
     return raise_on_nth_sample(n, exc=SimulatedCrash)
+
+
+class FailSlot:
+    """Builder ``fault_hook`` failing one specific sample slot.
+
+    Unlike the closure-based injectors, instances are picklable, so this
+    is the hook of choice for ``workers > 1`` builds where the hook
+    travels into worker processes.  Addressing is by ``(slot, attempt)``
+    rather than a global call counter — exactly the per-slot retry
+    semantics of the version-2 seeding contract: attempts
+    ``0 .. fail_attempts-1`` of ``slot`` raise ``exc``, every other call
+    passes.
+    """
+
+    def __init__(
+        self,
+        slot: int,
+        fail_attempts: int = 1,
+        exc: type[BaseException] = InjectedFault,
+    ) -> None:
+        self.slot = slot
+        self.fail_attempts = fail_attempts
+        self.exc = exc
+
+    def __call__(self, slot: int, attempt: int) -> None:
+        """Raise the configured exception on the targeted attempts."""
+        if slot == self.slot and attempt < self.fail_attempts:
+            raise self.exc(f"injected fault at sample {slot} (attempt {attempt})")
 
 
 class NanBatchFault:

@@ -3,8 +3,14 @@
 A :class:`BuildReport` is produced by every
 :meth:`~repro.datasets.builder.DatasetBuilder.build` call.  Each failed
 sample attempt becomes a :class:`QuarantineRecord` carrying the slot,
-class, error and the generator state at the start of the attempt (as a
-JSON string), so any quarantined draw can be replayed in isolation.
+class, error and the seed descriptor of the attempt (as a JSON string:
+``{"seed": ..., "spawn_key": [slot, attempt]}`` under the version-2
+per-sample seeding contract), so any quarantined draw can be replayed in
+isolation by reconstructing that ``SeedSequence`` child.
+
+``BuildReport.n_built`` always counts *completed sample slots* — the
+invariant holds for serial, parallel and resumed builds alike, including
+the report attached to a :class:`~repro.runtime.errors.BuildAborted`.
 """
 
 from __future__ import annotations
@@ -45,7 +51,10 @@ class QuarantineRecord:
 class BuildReport:
     """Aggregate outcome of one dataset build (possibly across resumes)."""
 
+    #: Sample slots requested by the build configuration.
     n_target: int = 0
+    #: Sample slots completed so far (monotone; equals ``n_target`` on
+    #: success, and the true completed count on :class:`BuildAborted`).
     n_built: int = 0
     quarantined: list[QuarantineRecord] = field(default_factory=list)
     resumed: int = 0

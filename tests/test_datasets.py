@@ -191,6 +191,37 @@ class TestSplits:
         with pytest.raises(ValueError):
             train_val_test_split(ds, train_fraction=0.98, val_fraction=0.01)
 
+    @pytest.mark.parametrize("n_per_class", [3, 5, 7, 9])
+    def test_small_odd_strata_keep_every_split_nonempty(self, n_per_class):
+        # Regression: per-stratum int(round(...)) could hand the whole
+        # stratum to train+val (e.g. 7 -> round(5.6)=6 train, round(0.7)=1
+        # val, 0 test); floor-plus-remainder must leave all three splits
+        # non-empty whenever each stratum has >= 3 samples.
+        config = BuildConfig(
+            n_ia=n_per_class, n_non_ia=n_per_class, seed=2,
+            render_images=False, catalog_size=40,
+        )
+        ds = DatasetBuilder(config).build()
+        splits = train_val_test_split(ds, seed=0, stratify=True)
+        assert min(len(splits.train), len(splits.val), len(splits.test)) >= 1
+        assert len(splits.train) + len(splits.val) + len(splits.test) == len(ds)
+        # Each split keeps both classes when every stratum has >= 3 samples.
+        for part in (splits.train, splits.val, splits.test):
+            assert part.labels.min() == 0 and part.labels.max() == 1
+
+    def test_allocation_tracks_fractions(self):
+        from repro.datasets.splits import _allocate_counts
+
+        counts = _allocate_counts(7, (0.8, 0.1, 0.1))
+        assert counts.tolist() == [5, 1, 1]
+        counts = _allocate_counts(120, (0.8, 0.1, 0.1))
+        assert counts.tolist() == [96, 12, 12]
+        counts = _allocate_counts(3, (0.8, 0.1, 0.1))
+        assert counts.tolist() == [1, 1, 1]
+        # Too small for three buckets: empty buckets survive (the caller
+        # raises its "too small" error).
+        assert _allocate_counts(2, (0.98, 0.01, 0.01)).min() == 0
+
 
 class TestIO:
     def test_roundtrip(self, tiny_image_dataset, tmp_path):

@@ -74,6 +74,42 @@ class TestRocCurve:
             roc_curve(np.array([0, 1]), np.array([0.1, 0.2])).tpr_at_fpr(1.5)
 
 
+class TestTrapezoidShim:
+    """Regression: ``np.trapezoid`` exists only on numpy >= 2.0 while
+    ``np.trapz`` exists only on numpy < 2.0 (removed in 2.x); the module
+    must bind whichever spelling the interpreter has."""
+
+    labels = np.array([0, 0, 1, 1, 0, 1])
+    scores = np.array([0.1, 0.4, 0.35, 0.8, 0.5, 0.7])
+
+    def test_shim_is_bound_and_consistent(self):
+        import repro.eval.roc as roc_mod
+
+        assert callable(roc_mod._trapezoid)
+        assert auc_score(self.labels, self.scores) == pytest.approx(
+            rank_auc(self.labels, self.scores)
+        )
+
+    def test_module_works_with_numpy1_spelling(self, monkeypatch):
+        # Emulate numpy 1.x: only ``trapz`` exists. The module must still
+        # import and produce the same AUC.
+        import importlib
+
+        import repro.eval.roc as roc_mod
+
+        expected = roc_mod.auc_score(self.labels, self.scores)
+        trap = roc_mod._trapezoid
+        monkeypatch.setattr(np, "trapz", trap, raising=False)
+        monkeypatch.delattr(np, "trapezoid", raising=False)
+        try:
+            reloaded = importlib.reload(roc_mod)
+            assert reloaded._trapezoid is trap
+            assert reloaded.auc_score(self.labels, self.scores) == pytest.approx(expected)
+        finally:
+            monkeypatch.undo()
+            importlib.reload(roc_mod)
+
+
 class TestAucInvariants:
     @settings(max_examples=50, deadline=None)
     @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=2**31))

@@ -1,0 +1,191 @@
+"""Parallel dataset builds: per-sample seeding, worker quarantine, resume.
+
+The version-2 seeding contract gives every ``(slot, attempt)`` its own
+``SeedSequence`` child, so serial, parallel and resumed builds must all
+produce bit-identical datasets; these tests pin that acceptance
+criterion plus the failure paths (worker-side quarantine, abort
+accounting, checkpoint interchange between worker counts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import BuildConfig, DatasetBuilder, load_dataset
+from repro.datasets.io import _FIELDS
+from repro.runtime import (
+    BuildAborted,
+    FailSlot,
+    SimulatedCrash,
+    crash_on_nth_sample,
+)
+from repro.survey import ImagingConfig
+
+
+def lc_config(n=6, seed=3, workers=1):
+    return BuildConfig(
+        n_ia=n, n_non_ia=n, seed=seed, render_images=False,
+        catalog_size=100, workers=workers,
+    )
+
+
+def image_config(workers=1):
+    return BuildConfig(
+        n_ia=2, n_non_ia=2, seed=5, catalog_size=50,
+        imaging=ImagingConfig(stamp_size=21), workers=workers,
+    )
+
+
+def datasets_equal(a, b):
+    return all(np.array_equal(getattr(a, f), getattr(b, f)) for f in _FIELDS)
+
+
+class TestConfig:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            BuildConfig(n_ia=1, n_non_ia=1, workers=0)
+
+    def test_workers_not_in_fingerprint(self):
+        # Serial and parallel builders share checkpoints.
+        serial = DatasetBuilder(lc_config(workers=1))._fingerprint()
+        parallel = DatasetBuilder(lc_config(workers=3))._fingerprint()
+        assert serial == parallel
+        assert serial["version"] == 2
+
+
+class TestBitIdenticalParity:
+    def test_lightcurve_parallel_matches_serial(self):
+        serial = DatasetBuilder(lc_config(workers=1)).build()
+        parallel = DatasetBuilder(lc_config(workers=2)).build()
+        assert datasets_equal(serial, parallel)
+
+    def test_imaging_parallel_matches_serial(self):
+        serial = DatasetBuilder(image_config(workers=1)).build()
+        parallel = DatasetBuilder(image_config(workers=2)).build()
+        assert datasets_equal(serial, parallel)
+
+    def test_serial_rebuild_is_deterministic(self):
+        assert datasets_equal(
+            DatasetBuilder(lc_config()).build(), DatasetBuilder(lc_config()).build()
+        )
+
+    def test_quarantine_is_slot_local(self):
+        # A failed attempt redraws only its own slot: every other slot is
+        # bit-identical to the fault-free build.
+        clean = DatasetBuilder(lc_config()).build()
+        builder = DatasetBuilder(lc_config())
+        faulted = builder.build(fault_hook=FailSlot(3))
+        assert builder.report.n_quarantined == 1
+        others = [i for i in range(len(clean)) if i != 3]
+        for name in _FIELDS:
+            np.testing.assert_array_equal(
+                getattr(clean, name)[others], getattr(faulted, name)[others]
+            )
+        assert not np.array_equal(clean.redshifts[3], faulted.redshifts[3])
+
+
+class TestWorkerQuarantine:
+    def test_child_failure_quarantines_single_slot(self):
+        builder = DatasetBuilder(lc_config(workers=2))
+        dataset = builder.build(fault_hook=FailSlot(3))
+        report = builder.report
+        assert len(dataset) == 12
+        assert int(dataset.labels.sum()) == 6
+        assert report.n_built == 12
+        assert report.n_quarantined == 1
+        assert report.quarantined[0].slot == 3
+        assert report.quarantined[0].rng_state  # replayable seed descriptor
+
+    def test_parallel_report_matches_serial(self):
+        serial = DatasetBuilder(lc_config(workers=1))
+        parallel = DatasetBuilder(lc_config(workers=2))
+        ds_serial = serial.build(fault_hook=FailSlot(4, fail_attempts=2))
+        ds_parallel = parallel.build(fault_hook=FailSlot(4, fail_attempts=2))
+        assert datasets_equal(ds_serial, ds_parallel)
+        assert serial.report.to_dict() == parallel.report.to_dict()
+
+    def test_parallel_abort_carries_consistent_report(self):
+        builder = DatasetBuilder(lc_config(workers=2))
+        with pytest.raises(BuildAborted) as excinfo:
+            builder.build(
+                fault_hook=FailSlot(2, fail_attempts=99), max_sample_retries=2
+            )
+        report = excinfo.value.report
+        assert report is not None
+        assert report.n_quarantined == 3  # initial + 2 retries on slot 2
+        assert all(rec.slot == 2 for rec in report.quarantined)
+        assert 0 <= report.n_built < report.n_target
+
+
+class TestParallelCheckpointResume:
+    def test_crash_and_resume_parallel(self, tmp_path):
+        reference = DatasetBuilder(lc_config()).build()
+        ck = tmp_path / "build.ck.npz"
+        with pytest.raises(SimulatedCrash):
+            DatasetBuilder(lc_config(workers=2)).build(
+                checkpoint_path=ck, checkpoint_every=2,
+                fault_hook=FailSlot(7, exc=SimulatedCrash),
+            )
+        builder = DatasetBuilder(lc_config(workers=2))
+        resumed = builder.build(checkpoint_path=ck, checkpoint_every=2, resume=True)
+        assert datasets_equal(reference, resumed)
+        assert builder.report.n_built == 12
+
+    def test_serial_checkpoint_resumes_under_workers(self, tmp_path):
+        reference = DatasetBuilder(lc_config()).build()
+        ck = tmp_path / "build.ck.npz"
+        with pytest.raises(SimulatedCrash):
+            DatasetBuilder(lc_config()).build(
+                checkpoint_path=ck, checkpoint_every=3,
+                fault_hook=crash_on_nth_sample(8),
+            )
+        assert ck.exists()
+        builder = DatasetBuilder(lc_config(workers=2))
+        resumed = builder.build(checkpoint_path=ck, resume=True)
+        assert datasets_equal(reference, resumed)
+        assert builder.report.resumed == 1
+        assert builder.report.n_built == 12
+
+    def test_abort_after_resume_counts_completed_slots(self, tmp_path):
+        # Satellite bugfix: the report attached to BuildAborted must count
+        # completed slots consistently across resume boundaries.
+        ck = tmp_path / "build.ck.npz"
+        with pytest.raises(SimulatedCrash):
+            DatasetBuilder(lc_config()).build(
+                checkpoint_path=ck, checkpoint_every=3,
+                fault_hook=crash_on_nth_sample(7),
+            )
+        builder = DatasetBuilder(lc_config())
+        with pytest.raises(BuildAborted) as excinfo:
+            builder.build(
+                checkpoint_path=ck, resume=True,
+                fault_hook=FailSlot(9, fail_attempts=99), max_sample_retries=2,
+            )
+        report = excinfo.value.report
+        assert report.resumed == 1
+        assert report.n_built == 9  # slots 0..8 complete (6 restored + 3 rebuilt)
+        assert report.n_quarantined == 3
+
+    def test_version1_checkpoint_rejected(self, tmp_path):
+        # A stale fingerprint (e.g. the version-1 shared-stream scheme)
+        # must be refused rather than silently mixed into a v2 build.
+        from repro.runtime import atomic_savez, pack_json
+
+        builder = DatasetBuilder(lc_config())
+        fp = builder._fingerprint()
+        fp["version"] = 1
+        ck = tmp_path / "old.ck.npz"
+        atomic_savez(ck, {"meta": pack_json({"fingerprint": fp, "report": {}})})
+        with pytest.raises(ValueError, match="incompatible"):
+            builder.build(checkpoint_path=ck, resume=True)
+
+
+class TestCLIWorkers:
+    def test_build_dataset_workers_flag(self, tmp_path):
+        serial_out = tmp_path / "serial.npz"
+        parallel_out = tmp_path / "parallel.npz"
+        base = ["build-dataset", "--n-ia", "3", "--n-non-ia", "3", "--no-images",
+                "--seed", "11"]
+        assert main(base + ["--out", str(serial_out)]) == 0
+        assert main(base + ["--workers", "2", "--out", str(parallel_out)]) == 0
+        assert datasets_equal(load_dataset(serial_out), load_dataset(parallel_out))
