@@ -25,6 +25,9 @@ Subpackages
 ``repro.runtime``
     Resilience runtime: atomic checkpoints, resume, divergence guards,
     per-sample fault isolation and fault injection.
+``repro.serve``
+    Hardened inference: input validation/repair, band masking with
+    prior imputation, degradation-flagged predictions.
 """
 
 from . import (
@@ -38,6 +41,7 @@ from . import (
     nn,
     photometry,
     runtime,
+    serve,
     survey,
     utils,
 )
@@ -56,6 +60,7 @@ __all__ = [
     "baselines",
     "eval",
     "runtime",
+    "serve",
     "utils",
     "__version__",
 ]

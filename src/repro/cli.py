@@ -1,11 +1,19 @@
 """Command-line interface.
 
-Four subcommands cover the full workflow::
+Five subcommands cover the full workflow::
 
     python -m repro.cli build-dataset --n-ia 100 --n-non-ia 100 --out ds.npz
     python -m repro.cli train-flux-cnn --dataset ds.npz --out cnn.npz
     python -m repro.cli train-classifier --dataset ds.npz --out clf.npz
     python -m repro.cli evaluate --dataset ds.npz --classifier clf.npz
+    python -m repro.cli classify --model model_dir/ --dataset ds.npz
+
+``classify`` is the degradation-tolerant serving path: it loads a
+pipeline directory written by
+:meth:`~repro.core.pipeline.SupernovaPipeline.save` and streams one JSON
+result per sample, masking and imputing missing or damaged bands instead
+of crashing.  Degraded-but-served traffic exits ``0``; ``--strict``
+refuses it with exit code ``2`` instead.
 
 Datasets are ``.npz`` archives written by :mod:`repro.datasets.io`;
 models are ``.npz`` state dicts written by :mod:`repro.nn.serialization`.
@@ -118,6 +126,27 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--classifier", required=True)
     ev.add_argument("--epochs-used", type=int, default=1)
     ev.add_argument("--units", type=int, default=100)
+
+    cl = sub.add_parser(
+        "classify", help="serve degradation-tolerant per-sample predictions"
+    )
+    cl.add_argument(
+        "--model", required=True, metavar="DIR",
+        help="pipeline directory written by SupernovaPipeline.save",
+    )
+    cl.add_argument("--dataset", required=True, help="input .npz dataset")
+    cl.add_argument(
+        "--strict", action="store_true",
+        help="refuse degraded samples (exit 2) instead of masking them",
+    )
+    cl.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSONL result stream here instead of stdout",
+    )
+    cl.add_argument(
+        "--batch-size", type=int, default=64, metavar="N",
+        help="samples per inference batch (results stream per batch)",
+    )
     return parser
 
 
@@ -238,11 +267,40 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from .serve import InferenceEngine
+
+    engine = InferenceEngine.from_directory(args.model)
+    dataset = load_dataset(args.dataset, require_finite=args.strict)
+    n_degraded = 0
+    confidences = []
+    sink = open(args.out, "w") if args.out else sys.stdout
+    try:
+        for result in engine.stream(
+            dataset, batch_size=args.batch_size, strict=args.strict
+        ):
+            n_degraded += result.degraded
+            confidences.append(result.confidence)
+            print(result.to_json(), file=sink, flush=args.out is None)
+    finally:
+        if args.out:
+            sink.close()
+    print(
+        f"served {len(confidences)} sample(s), {n_degraded} degraded, "
+        f"mean confidence {float(np.mean(confidences)):.3f}"
+        if confidences
+        else "served 0 samples",
+        file=sys.stderr,
+    )
+    return 0
+
+
 _COMMANDS = {
     "build-dataset": _cmd_build,
     "train-flux-cnn": _cmd_train_cnn,
     "train-classifier": _cmd_train_classifier,
     "evaluate": _cmd_evaluate,
+    "classify": _cmd_classify,
 }
 
 

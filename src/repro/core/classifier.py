@@ -66,8 +66,24 @@ class LightCurveClassifier(nn.Module):
             )
         return self.network(features).reshape(-1)
 
-    def predict_proba(self, features: np.ndarray, batch_size: int = 4096) -> np.ndarray:
-        """P(SNIa) for a NumPy feature matrix."""
+    def predict_proba(
+        self, features: np.ndarray, batch_size: int = 4096, check_finite: bool = True
+    ) -> np.ndarray:
+        """P(SNIa) for a NumPy feature matrix.
+
+        With ``check_finite`` (the default) non-finite features are
+        rejected with a descriptive error instead of silently producing
+        garbage probabilities; :class:`repro.serve.InferenceEngine` masks
+        and imputes degraded inputs before they reach this point.
+        """
+        features = np.asarray(features)
+        if check_finite and features.size and not np.isfinite(features).all():
+            bad_rows = np.flatnonzero(~np.isfinite(features).all(axis=tuple(range(1, features.ndim))))
+            raise ValueError(
+                f"features contain non-finite values in {bad_rows.size} row(s) "
+                f"(first: {bad_rows[:5].tolist()}); use repro.serve.InferenceEngine "
+                "to serve degraded inputs"
+            )
         was_training = self.training
         self.eval()
         outputs = []

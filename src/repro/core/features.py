@@ -24,6 +24,7 @@ from ..photometry import signed_log10
 __all__ = [
     "DATE_SCALE_DAYS",
     "features_from_arrays",
+    "masked_features_from_arrays",
     "ground_truth_features",
     "windowed_epoch_features",
     "dataset_windowed_features",
@@ -88,6 +89,86 @@ def features_from_arrays(
     d_blocks = d_centered.reshape(-1, n_sel, N_BANDS)
     for k in range(n_sel):
         blocks.append(signed_log10(f_blocks[:, k]))
+        blocks.append(d_blocks[:, k])
+    return np.concatenate(blocks, axis=1).astype(np.float32)
+
+
+def masked_features_from_arrays(
+    flux: np.ndarray,
+    mjd: np.ndarray,
+    usable: np.ndarray,
+    epochs: int | list[int] = 1,
+    n_epochs_total: int | None = None,
+    prior_flux_feature: np.ndarray | None = None,
+) -> np.ndarray:
+    """Classifier features for samples with missing or rejected visits.
+
+    Degraded-input counterpart of :func:`features_from_arrays`: ``usable``
+    is an (N, V) boolean mask marking visits whose flux estimate can be
+    trusted.  Masked entries never touch the arithmetic — their flux and
+    date values may be NaN —
+
+    * the flux feature of a masked visit is imputed from
+      ``prior_flux_feature``, the per-band mean signed-log flux of the
+      training set (zeros — "no detection" — when omitted);
+    * the date features are centred on the mean date of the *usable*
+      visits only, and masked dates sit at 0, the centre of the window.
+
+    A sample with no usable visit at all degenerates to the pure prior
+    vector, so downstream scores fall back to the training-set base rate
+    instead of NaN.  Returns the (N, 10 * len(epochs)) float32 matrix.
+    """
+    flux = np.asarray(flux, dtype=float)
+    mjd = np.asarray(mjd, dtype=float)
+    usable = np.asarray(usable, dtype=bool)
+    if flux.shape != mjd.shape or flux.ndim != 2:
+        raise ValueError("flux and mjd must both be (N, V)")
+    if usable.shape != flux.shape:
+        raise ValueError(
+            f"usable mask shape {usable.shape} does not match flux {flux.shape}"
+        )
+    n_visits = flux.shape[1]
+    total = n_epochs_total or n_visits // N_BANDS
+    if total * N_BANDS != n_visits:
+        raise ValueError(f"visit axis {n_visits} is not {total} epochs x {N_BANDS} bands")
+    if prior_flux_feature is None:
+        prior_flux_feature = np.zeros(N_BANDS)
+    prior_flux_feature = np.asarray(prior_flux_feature, dtype=float)
+    if prior_flux_feature.shape != (N_BANDS,):
+        raise ValueError(f"prior_flux_feature must be ({N_BANDS},)")
+
+    epoch_list = list(range(epochs)) if isinstance(epochs, int) else list(epochs)
+    if not epoch_list:
+        raise ValueError("need at least one epoch")
+    for e in epoch_list:
+        if not 0 <= e < total:
+            raise IndexError(f"epoch {e} out of range [0, {total})")
+
+    visit_idx = np.concatenate(
+        [np.arange(e * N_BANDS, (e + 1) * N_BANDS) for e in epoch_list]
+    )
+    f = flux[:, visit_idx]
+    d = mjd[:, visit_idx]
+    m = usable[:, visit_idx]
+
+    # Per-band prior for every selected visit (epoch-major layout).
+    prior = prior_flux_feature[visit_idx % N_BANDS]
+    f_safe = np.where(m, f, 0.0)  # keep NaN/Inf of masked entries out of the math
+    d_safe = np.where(m, d, 0.0)
+    f_feat = np.where(m, signed_log10(f_safe), prior[None, :])
+
+    # Centre dates on the usable visits only; masked dates sit at 0.
+    n_usable = m.sum(axis=1, keepdims=True)
+    d_sum = d_safe.sum(axis=1, keepdims=True)
+    d_mean = np.divide(d_sum, n_usable, out=np.zeros_like(d_sum), where=n_usable > 0)
+    d_feat = np.where(m, (d_safe - d_mean) / DATE_SCALE_DAYS, 0.0)
+
+    blocks = []
+    n_sel = len(epoch_list)
+    f_blocks = f_feat.reshape(-1, n_sel, N_BANDS)
+    d_blocks = d_feat.reshape(-1, n_sel, N_BANDS)
+    for k in range(n_sel):
+        blocks.append(f_blocks[:, k])
         blocks.append(d_blocks[:, k])
     return np.concatenate(blocks, axis=1).astype(np.float32)
 

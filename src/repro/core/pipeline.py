@@ -28,15 +28,35 @@ from .flux_cnn import BandwiseCNN
 from .joint import JointModel
 from .training import History, TrainConfig, fit, fit_classifier, fit_regressor
 
-__all__ = ["SupernovaPipeline", "scaled_dates", "epoch_visit_indices"]
+__all__ = ["SupernovaPipeline", "scaled_dates", "epoch_visit_indices", "MANIFEST_NAME"]
+
+#: Architecture manifest written next to the weight archives by ``save``.
+MANIFEST_NAME = "manifest.json"
+_MANIFEST_VERSION = 1
 
 
 def epoch_visit_indices(dataset: SupernovaDataset, epochs: int | list[int]) -> np.ndarray:
-    """Visit indices covering the requested epochs (epoch-major layout)."""
+    """Visit indices covering the requested epochs (epoch-major layout).
+
+    ``epochs`` is either an epoch count (uses the first ``epochs``) or an
+    explicit list of epoch indices; both are validated up front against
+    the dataset's epoch range so a bad request fails with a descriptive
+    message instead of an opaque indexing error downstream.
+    """
     epoch_list = list(range(epochs)) if isinstance(epochs, int) else list(epochs)
     if not epoch_list:
         raise ValueError("need at least one epoch")
-    return np.concatenate([dataset.epoch_slice(e) for e in epoch_list])
+    total = dataset.n_epochs
+    for e in epoch_list:
+        if not isinstance(e, (int, np.integer)):
+            raise TypeError(f"epoch indices must be integers, got {e!r}")
+    bad = [int(e) for e in epoch_list if not 0 <= e < total]
+    if bad:
+        raise IndexError(
+            f"epoch indices {bad} out of range [0, {total}) for a dataset "
+            f"with {total} epochs"
+        )
+    return np.concatenate([dataset.epoch_slice(int(e)) for e in epoch_list])
 
 
 def scaled_dates(mjd: np.ndarray) -> np.ndarray:
@@ -287,9 +307,12 @@ class SupernovaPipeline:
     def save(self, directory: str) -> None:
         """Write all fitted components as ``.npz`` state dicts.
 
-        Creates ``flux_cnn.npz``, ``classifier.npz`` and, if fine-tuned,
-        ``joint.npz`` inside ``directory``.
+        Creates ``flux_cnn.npz``, ``classifier.npz``, if fine-tuned
+        ``joint.npz``, and a ``manifest.json`` recording the architecture
+        hyper-parameters so :meth:`load` can rebuild the pipeline without
+        the caller re-supplying them.
         """
+        import json
         import os
 
         from ..nn import save_module
@@ -299,31 +322,118 @@ class SupernovaPipeline:
         save_module(self.classifier, os.path.join(directory, "classifier.npz"))
         if self.joint is not None:
             save_module(self.joint, os.path.join(directory, "joint.npz"))
+        manifest = {
+            "format_version": _MANIFEST_VERSION,
+            "input_size": self.input_size,
+            "units": self.units,
+            "epochs_used": self.epochs_used,
+            "has_joint": self.joint is not None,
+        }
+        tmp = os.path.join(directory, MANIFEST_NAME + ".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(manifest, handle, indent=2)
+        os.replace(tmp, os.path.join(directory, MANIFEST_NAME))
+
+    @staticmethod
+    def read_manifest(directory: str) -> dict | None:
+        """Parse and validate ``manifest.json``; ``None`` for legacy dirs.
+
+        Raises :class:`~repro.runtime.errors.CorruptArtifactError` when a
+        manifest exists but is unreadable, from an unknown format version,
+        or missing/mistyping required fields.
+        """
+        import json
+        import os
+
+        from ..runtime import CorruptArtifactError
+
+        path = os.path.join(directory, MANIFEST_NAME)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CorruptArtifactError(path, f"unreadable manifest: {exc}") from exc
+        if not isinstance(manifest, dict):
+            raise CorruptArtifactError(path, "manifest must be a JSON object")
+        version = manifest.get("format_version")
+        if version != _MANIFEST_VERSION:
+            raise CorruptArtifactError(
+                path, f"unsupported manifest format_version {version!r} "
+                f"(this build reads version {_MANIFEST_VERSION})"
+            )
+        for key in ("input_size", "units", "epochs_used"):
+            value = manifest.get(key)
+            if not isinstance(value, int) or value <= 0:
+                raise CorruptArtifactError(
+                    path, f"manifest field {key!r} must be a positive integer, "
+                    f"got {value!r}"
+                )
+        return manifest
 
     @classmethod
     def load(
         cls,
         directory: str,
-        input_size: int = 60,
-        units: int = 100,
-        epochs_used: int = 1,
+        input_size: int | None = None,
+        units: int | None = None,
+        epochs_used: int | None = None,
     ) -> "SupernovaPipeline":
         """Rebuild a pipeline saved by :meth:`save`.
 
-        The architecture hyper-parameters must match the saved run (they
-        are not stored in the archives).
+        Architecture hyper-parameters come from the directory's
+        ``manifest.json``; explicitly passed values are cross-checked
+        against it and a conflict raises
+        :class:`~repro.runtime.errors.CorruptArtifactError` (the directory
+        does not hold what the caller expects).  Directories written
+        before the manifest existed still load — pass the original
+        hyper-parameters as before (defaults: 60 / 100 / 1).  Weight
+        archives that do not fit the declared architecture are likewise
+        reported as corrupt artifacts.
         """
         import os
 
         from ..nn import load_module
+        from ..runtime import CorruptArtifactError
+
+        manifest = cls.read_manifest(directory)
+        if manifest is not None:
+            requested = {
+                "input_size": input_size, "units": units, "epochs_used": epochs_used,
+            }
+            for key, value in requested.items():
+                if value is not None and value != manifest[key]:
+                    raise CorruptArtifactError(
+                        os.path.join(directory, MANIFEST_NAME),
+                        f"requested {key}={value} but the saved run used "
+                        f"{key}={manifest[key]}",
+                    )
+            input_size = manifest["input_size"]
+            units = manifest["units"]
+            epochs_used = manifest["epochs_used"]
+        else:
+            input_size = 60 if input_size is None else input_size
+            units = 100 if units is None else units
+            epochs_used = 1 if epochs_used is None else epochs_used
 
         pipe = cls(input_size=input_size, units=units, epochs_used=epochs_used)
-        load_module(pipe.cnn, os.path.join(directory, "flux_cnn.npz"))
-        load_module(pipe.classifier, os.path.join(directory, "classifier.npz"))
         joint_path = os.path.join(directory, "joint.npz")
-        if os.path.exists(joint_path):
-            pipe.joint = JointModel.from_pretrained(pipe.cnn, pipe.classifier)
-            load_module(pipe.joint, joint_path)
+        if manifest is not None and manifest.get("has_joint") and not os.path.exists(joint_path):
+            raise CorruptArtifactError(
+                joint_path, "manifest declares a fine-tuned joint model but "
+                "joint.npz is missing"
+            )
+        try:
+            load_module(pipe.cnn, os.path.join(directory, "flux_cnn.npz"))
+            load_module(pipe.classifier, os.path.join(directory, "classifier.npz"))
+            if os.path.exists(joint_path):
+                pipe.joint = JointModel.from_pretrained(pipe.cnn, pipe.classifier)
+                load_module(pipe.joint, joint_path)
+        except (KeyError, ValueError) as exc:
+            raise CorruptArtifactError(
+                directory, f"weights do not match the declared architecture: {exc}"
+            ) from exc
         return pipe
 
     def evaluate_auc(

@@ -27,11 +27,16 @@ from .checkpoint import (
 )
 from .errors import BuildAborted, CorruptArtifactError, TrainingDiverged
 from .faults import (
+    DropBand,
     FailSlot,
     InjectedFault,
+    InputCorruption,
     KillSwitch,
+    NaNPixels,
     NanBatchFault,
+    SaturateRegion,
     SimulatedCrash,
+    TruncateCutout,
     crash_on_nth_sample,
     raise_on_nth_sample,
     truncate_file,
@@ -63,4 +68,9 @@ __all__ = [
     "NanBatchFault",
     "KillSwitch",
     "truncate_file",
+    "InputCorruption",
+    "DropBand",
+    "NaNPixels",
+    "SaturateRegion",
+    "TruncateCutout",
 ]

@@ -13,7 +13,11 @@ workloads:
 * :class:`NanBatchFault` — wraps a training ``loss_fn`` and poisons the
   inputs of chosen batches with NaN (exercises the divergence guard);
 * :func:`truncate_file` — chops bytes off an artifact on disk
-  (exercises checksum / corrupt-artifact detection).
+  (exercises checksum / corrupt-artifact detection);
+* :class:`InputCorruption` subclasses (:class:`DropBand`,
+  :class:`NaNPixels`, :class:`SaturateRegion`, :class:`TruncateCutout`)
+  — degrade stamp-pair batches the way real survey traffic does
+  (exercises the :mod:`repro.serve` degraded-input path).
 
 :class:`SimulatedCrash` deliberately subclasses :class:`BaseException`
 so it sails through the per-sample ``except Exception`` quarantine in
@@ -37,6 +41,11 @@ __all__ = [
     "NanBatchFault",
     "KillSwitch",
     "truncate_file",
+    "InputCorruption",
+    "DropBand",
+    "NaNPixels",
+    "SaturateRegion",
+    "TruncateCutout",
 ]
 
 
@@ -141,6 +150,147 @@ class KillSwitch:
         """Raise :class:`SimulatedCrash` when the target epoch finishes."""
         if epoch >= self.after_epoch:
             raise SimulatedCrash(f"simulated kill after epoch {epoch}")
+
+
+class InputCorruption:
+    """Base class for deterministic, picklable input corruptors.
+
+    An input corruption maps a batch of stamp-pair arrays
+    ``(N, V, 2, S, S)`` to a degraded *copy* — the model of a survey
+    feed with missing visits, detector defects, or half-transferred
+    cutouts.  Randomised corruptors draw per-sample streams from
+    ``SeedSequence(seed, spawn_key=(sample,))``, so the damage done to
+    sample ``i`` is independent of batch composition and reproduces
+    exactly — the same contract as the builder's per-slot seeding.
+
+    Subclasses implement :meth:`corrupt_sample` on one ``(V, 2, S, S)``
+    sample; instances hold only plain attributes so they pickle cleanly
+    into worker processes.
+    """
+
+    def __call__(self, pairs: np.ndarray) -> np.ndarray:
+        """Return a corrupted float copy of the ``(N, V, 2, S, S)`` batch."""
+        pairs = np.asarray(pairs)
+        if pairs.ndim != 5 or pairs.shape[2] != 2:
+            raise ValueError(f"expected (N, V, 2, S, S) pairs, got {pairs.shape}")
+        out = pairs.astype(np.float32, copy=True)
+        for i in range(out.shape[0]):
+            self.corrupt_sample(out[i], i)
+        return out
+
+    def corrupt_sample(self, sample: np.ndarray, index: int) -> None:
+        """Degrade one ``(V, 2, S, S)`` sample in place."""
+        raise NotImplementedError
+
+    def _rng(self, index: int) -> np.random.Generator:
+        """Per-sample generator (subclasses with randomness set ``seed``)."""
+        return np.random.default_rng(
+            np.random.SeedSequence(getattr(self, "seed", 0), spawn_key=(index,))
+        )
+
+
+class DropBand(InputCorruption):
+    """Blank out whole bands, as when a filter's visit never arrived.
+
+    ``bands`` is a band index or list of indices (0=g .. 4=y); every
+    visit of those bands (optionally restricted to ``epochs``) becomes
+    all-NaN in both the reference and observation channel — the serve
+    layer must recognise the visit as missing and mask it.
+    """
+
+    def __init__(self, bands: int | list[int], epochs: list[int] | None = None,
+                 n_bands: int = 5) -> None:
+        self.bands = [bands] if isinstance(bands, int) else list(bands)
+        self.epochs = None if epochs is None else list(epochs)
+        self.n_bands = n_bands
+        if any(not 0 <= b < n_bands for b in self.bands):
+            raise ValueError(f"band indices must be in [0, {n_bands})")
+
+    def corrupt_sample(self, sample: np.ndarray, index: int) -> None:
+        """NaN every visit of the dropped bands."""
+        n_epochs = sample.shape[0] // self.n_bands
+        epochs = range(n_epochs) if self.epochs is None else self.epochs
+        for e in epochs:
+            for b in self.bands:
+                sample[e * self.n_bands + b] = np.nan
+
+
+class NaNPixels(InputCorruption):
+    """Scatter NaN pixels across the stamps (bad columns, masked pixels).
+
+    ``fraction`` of all pixels of every visit is replaced with NaN, the
+    positions drawn from the per-sample stream.  Small fractions are
+    repairable by median inpainting; past the engine's repair budget the
+    affected visits are rejected outright.
+    """
+
+    def __init__(self, fraction: float, seed: int = 0) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        self.fraction = fraction
+        self.seed = seed
+
+    def corrupt_sample(self, sample: np.ndarray, index: int) -> None:
+        """NaN a deterministic random subset of each channel's pixels."""
+        rng = self._rng(index)
+        n_pix = sample.shape[-2] * sample.shape[-1]
+        n_bad = int(round(self.fraction * n_pix))
+        if n_bad == 0:
+            return
+        for visit in range(sample.shape[0]):
+            for channel in range(sample.shape[1]):
+                flat = sample[visit, channel].reshape(-1)
+                flat[rng.choice(n_pix, size=n_bad, replace=False)] = np.nan
+
+
+class SaturateRegion(InputCorruption):
+    """Clamp a square region of every observation stamp to full well.
+
+    Emulates a bright star bleeding into the cutout: a ``size`` x
+    ``size`` block at a per-sample random position is set to ``level``
+    (which the serve layer's saturation threshold must catch — the
+    values are finite, so a plain NaN check would serve them as real
+    flux).
+    """
+
+    def __init__(self, size: int, level: float = 30000.0, seed: int = 0) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.level = level
+        self.seed = seed
+
+    def corrupt_sample(self, sample: np.ndarray, index: int) -> None:
+        """Saturate one block per observation stamp."""
+        rng = self._rng(index)
+        side = sample.shape[-1]
+        size = min(self.size, side)
+        for visit in range(sample.shape[0]):
+            row = int(rng.integers(0, side - size + 1))
+            col = int(rng.integers(0, side - size + 1))
+            sample[visit, 1, row : row + size, col : col + size] = self.level
+
+
+class TruncateCutout(InputCorruption):
+    """NaN the trailing rows of every stamp (half-transferred cutout).
+
+    A cutout service that dies mid-stream delivers the leading
+    ``1 - fraction`` of each image; the missing remainder arrives as
+    NaN rows.  Severities beyond the repair budget knock the whole visit
+    out.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        self.fraction = fraction
+
+    def corrupt_sample(self, sample: np.ndarray, index: int) -> None:
+        """Blank the last ``fraction`` of rows in both channels."""
+        side = sample.shape[-2]
+        n_rows = int(round(self.fraction * side))
+        if n_rows:
+            sample[:, :, side - n_rows :, :] = np.nan
 
 
 def truncate_file(path: str | os.PathLike, keep_fraction: float = 0.5) -> int:

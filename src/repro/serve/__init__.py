@@ -1,0 +1,39 @@
+"""Hardened inference for production serving (degraded-input tolerance).
+
+The training stack assumes clean (reference, observation) pairs in all
+five bands; real survey traffic does not oblige.  This package wraps the
+fitted :class:`~repro.core.pipeline.SupernovaPipeline` in an
+:class:`InferenceEngine` that validates, repairs, masks and — when all
+else fails — imputes, so every sample comes back as a
+:class:`PredictionResult` instead of a traceback:
+
+* :mod:`repro.serve.validation` — per-visit :class:`InputDiagnostics`
+  (shape / dtype / finite-pixel / saturation checks), median inpainting
+  and cosmic-ray sigma-clipping;
+* :mod:`repro.serve.engine` — band masking over the light-curve feature
+  vector, per-band :class:`FluxPrior` imputation, confidence downgrades
+  and the strict-mode :class:`DegradedInputError` contract.
+"""
+
+from .engine import DegradedInputError, FluxPrior, InferenceEngine, PredictionResult
+from .validation import (
+    DEFAULT_SATURATION_LEVEL,
+    InputDiagnostics,
+    RepairConfig,
+    clip_difference_outliers,
+    diagnose_and_repair,
+    inpaint_bad_pixels,
+)
+
+__all__ = [
+    "InferenceEngine",
+    "PredictionResult",
+    "FluxPrior",
+    "DegradedInputError",
+    "InputDiagnostics",
+    "RepairConfig",
+    "diagnose_and_repair",
+    "inpaint_bad_pixels",
+    "clip_difference_outliers",
+    "DEFAULT_SATURATION_LEVEL",
+]

@@ -1,0 +1,372 @@
+"""Hardened inference: classify degraded samples instead of crashing.
+
+:class:`InferenceEngine` wraps a fitted
+:class:`~repro.core.pipeline.SupernovaPipeline` with the serving
+contract a survey feed needs:
+
+1. every incoming sample is validated per visit (shape, dtype, finite
+   pixels, saturation) and lightly damaged visits are repaired
+   (:mod:`repro.serve.validation`);
+2. visits that are missing or beyond repair are *masked*: their slots in
+   the 10-dimensional light-curve feature are imputed from the
+   training-set per-band flux prior and excluded from date centring
+   (:func:`repro.core.features.masked_features_from_arrays`);
+3. every sample comes back as a :class:`PredictionResult` — probability,
+   degradation flag, usable bands, confidence downgrade — and degraded
+   inputs *never raise* unless ``strict`` mode asks them to.
+
+Classification runs the two-stage path (band-wise CNN magnitudes into
+the light-curve classifier): unlike the joint network, its feature seam
+is exactly where missing bands can be masked and imputed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..core.features import masked_features_from_arrays
+from ..core.pipeline import SupernovaPipeline
+from ..datasets import N_BANDS, SupernovaDataset
+from ..photometry import GRIZY, signed_log10
+from .validation import InputDiagnostics, RepairConfig, diagnose_and_repair
+
+__all__ = ["FluxPrior", "PredictionResult", "DegradedInputError", "InferenceEngine"]
+
+PRIOR_FILE = "flux_prior.json"
+
+
+class DegradedInputError(ValueError):
+    """Raised in strict mode when a sample could not be served clean."""
+
+
+@dataclass
+class FluxPrior:
+    """Per-band flux prior used to impute masked feature slots.
+
+    ``flux_feature`` holds the training-set mean *signed-log* flux of
+    each band — the value a masked band's flux slot takes so the
+    classifier sees "a typical detection" instead of garbage.  The
+    neutral prior (all zeros) means "no detection".
+    """
+
+    flux_feature: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.flux_feature = np.asarray(self.flux_feature, dtype=float)
+        if self.flux_feature.shape != (N_BANDS,):
+            raise ValueError(f"flux_feature must be ({N_BANDS},)")
+        if not np.isfinite(self.flux_feature).all():
+            raise ValueError("flux prior must be finite")
+
+    @classmethod
+    def neutral(cls) -> "FluxPrior":
+        """The no-information prior: signed-log flux 0 in every band."""
+        return cls(np.zeros(N_BANDS))
+
+    @classmethod
+    def from_dataset(cls, dataset: SupernovaDataset) -> "FluxPrior":
+        """Mean signed-log true flux per band over a training dataset."""
+        feature = signed_log10(dataset.true_flux)
+        means = np.zeros(N_BANDS)
+        for b in range(N_BANDS):
+            sel = dataset.visit_band == b
+            if sel.any():
+                means[b] = float(feature[sel].mean())
+        return cls(means)
+
+    def save(self, directory: str | os.PathLike) -> None:
+        """Write the prior as ``flux_prior.json`` inside a model dir."""
+        payload = {
+            "bands": [band.name for band in GRIZY],
+            "flux_feature": self.flux_feature.tolist(),
+        }
+        path = os.path.join(os.fspath(directory), PRIOR_FILE)
+        with open(path + ".tmp", "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(path + ".tmp", path)
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike) -> "FluxPrior | None":
+        """Read ``flux_prior.json`` from a model dir; ``None`` if absent."""
+        path = os.path.join(os.fspath(directory), PRIOR_FILE)
+        if not os.path.exists(path):
+            return None
+        from ..runtime import CorruptArtifactError
+
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            return cls(np.asarray(payload["flux_feature"], dtype=float))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise CorruptArtifactError(path, f"unreadable flux prior: {exc}") from exc
+
+
+@dataclass
+class PredictionResult:
+    """One served sample: probability plus how much to trust it.
+
+    Attributes
+    ----------
+    index:
+        Sample position in the request batch.
+    probability:
+        P(SNIa) from the classifier over the (possibly imputed) features.
+    degraded:
+        True when any used visit was repaired or rejected.
+    usable_bands:
+        Names of bands with at least one usable visit among the epochs
+        served; empty means the score is pure prior.
+    confidence:
+        1.0 for a pristine sample, scaled down by the fraction of visits
+        masked and the damage repaired in the kept ones (see
+        :meth:`InferenceEngine._confidence`); 0.0 when everything was
+        masked.
+    diagnostics:
+        Per-visit findings for every non-clean visit.
+    """
+
+    index: int
+    probability: float
+    degraded: bool
+    usable_bands: list[str]
+    confidence: float
+    diagnostics: list[InputDiagnostics] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (one line of the classify stream)."""
+        return {
+            "index": self.index,
+            "probability": round(self.probability, 6),
+            "degraded": self.degraded,
+            "usable_bands": self.usable_bands,
+            "confidence": round(self.confidence, 4),
+            "n_repaired_visits": sum(1 for d in self.diagnostics if d.repaired),
+            "n_rejected_visits": sum(1 for d in self.diagnostics if d.rejected),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self) -> str:
+        """Compact single-line JSON for streaming output."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+
+class InferenceEngine:
+    """Degradation-tolerant classification over a fitted pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        A :class:`SupernovaPipeline` with (at least) stages 1-2 fitted.
+    prior:
+        Per-band flux prior for imputing masked feature slots; defaults
+        to the neutral (no-detection) prior.
+    repair:
+        Validation/repair thresholds (:class:`RepairConfig`).
+    strict:
+        When True, any degradation raises :class:`DegradedInputError`
+        instead of serving a flagged result.  Per-call ``strict``
+        arguments override this default.
+    """
+
+    def __init__(
+        self,
+        pipeline: SupernovaPipeline,
+        prior: FluxPrior | None = None,
+        repair: RepairConfig | None = None,
+        strict: bool = False,
+    ) -> None:
+        self.pipeline = pipeline
+        self.prior = prior or FluxPrior.neutral()
+        self.repair = repair or RepairConfig()
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_directory(
+        cls,
+        directory: str,
+        repair: RepairConfig | None = None,
+        strict: bool = False,
+    ) -> "InferenceEngine":
+        """Build an engine from a :meth:`SupernovaPipeline.save` directory.
+
+        Reads the architecture manifest and, when present, the
+        ``flux_prior.json`` written by :meth:`save`; raises
+        :class:`~repro.runtime.errors.CorruptArtifactError` on truncated
+        or inconsistent artifacts.
+        """
+        pipeline = SupernovaPipeline.load(directory)
+        prior = FluxPrior.load(directory)
+        return cls(pipeline, prior=prior, repair=repair, strict=strict)
+
+    def save(self, directory: str) -> None:
+        """Persist the wrapped pipeline plus the flux prior."""
+        self.pipeline.save(directory)
+        self.prior.save(directory)
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @property
+    def _n_used_visits(self) -> int:
+        return self.pipeline.epochs_used * N_BANDS
+
+    def _validate_batch(self, pairs: np.ndarray, mjd: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch-level shape/dtype checks; bad requests always raise."""
+        pairs = np.asarray(pairs)
+        mjd = np.asarray(mjd)
+        if pairs.ndim != 5 or pairs.shape[2] != 2:
+            raise ValueError(
+                f"expected (N, V, 2, S, S) stamp pairs, got shape {pairs.shape}"
+            )
+        if pairs.shape[3] != pairs.shape[4]:
+            raise ValueError(
+                f"stamps must be square, got {pairs.shape[3]}x{pairs.shape[4]}"
+            )
+        if not np.issubdtype(pairs.dtype, np.number):
+            raise ValueError(f"pairs must be numeric, got dtype {pairs.dtype}")
+        if mjd.shape != pairs.shape[:2]:
+            raise ValueError(
+                f"visit_mjd shape {mjd.shape} does not match pairs {pairs.shape[:2]}"
+            )
+        used = self._n_used_visits
+        if pairs.shape[1] < used:
+            raise ValueError(
+                f"pipeline serves {self.pipeline.epochs_used} epoch(s) = {used} "
+                f"visits, but samples carry only {pairs.shape[1]}"
+            )
+        if pairs.shape[1] % N_BANDS != 0:
+            raise ValueError(
+                f"visit count {pairs.shape[1]} is not a multiple of {N_BANDS} bands"
+            )
+        if pairs.shape[-1] < self.pipeline.input_size:
+            raise ValueError(
+                f"stamps of size {pairs.shape[-1]} are smaller than the CNN "
+                f"input size {self.pipeline.input_size}"
+            )
+        return (
+            pairs[:, :used].astype(np.float32, copy=False),
+            np.asarray(mjd[:, :used], dtype=float),
+        )
+
+    def _confidence(self, usable: np.ndarray, diags: list[InputDiagnostics]) -> float:
+        """Confidence downgrade: coverage times residual repair damage."""
+        coverage = float(usable.mean()) if usable.size else 0.0
+        repaired = [d for d in diags if d.repaired and not d.rejected]
+        damage = float(np.mean([d.bad_fraction for d in repaired])) if repaired else 0.0
+        return round(coverage * (1.0 - damage), 6)
+
+    def classify_arrays(
+        self,
+        pairs: np.ndarray,
+        mjd: np.ndarray,
+        strict: bool | None = None,
+        start_index: int = 0,
+    ) -> list[PredictionResult]:
+        """Serve a batch of raw ``(N, V, 2, S, S)`` pairs and ``(N, V)`` dates.
+
+        Only the pipeline's first ``epochs_used`` epochs are consumed.
+        Returns one :class:`PredictionResult` per sample; degraded
+        samples are flagged, not raised — except in strict mode, where
+        the first degradation aborts with :class:`DegradedInputError`.
+        """
+        strict = self.strict if strict is None else strict
+        pairs, mjd = self._validate_batch(pairs, mjd)
+        n, used = pairs.shape[0], self._n_used_visits
+
+        usable = np.zeros((n, used), dtype=bool)
+        repaired_pairs = np.zeros_like(pairs)
+        all_diags: list[list[InputDiagnostics]] = []
+        for i in range(n):
+            diags: list[InputDiagnostics] = []
+            for v in range(used):
+                repaired, diag = diagnose_and_repair(pairs[i, v], v, self.repair)
+                if np.isfinite(mjd[i, v]):
+                    usable[i, v] = not diag.rejected
+                elif not diag.rejected:
+                    diag.rejected = True
+                    diag.repaired = False
+                    diag.reason = "non-finite observation date"
+                if usable[i, v]:
+                    repaired_pairs[i, v] = repaired
+                if not diag.clean:
+                    diags.append(diag)
+            if strict and diags:
+                worst = diags[0]
+                raise DegradedInputError(
+                    f"sample {start_index + i} is degraded (visit {worst.visit}, "
+                    f"band {worst.band}: {worst.reason or 'repaired input'}); "
+                    "re-run without --strict to serve it with masking"
+                )
+            all_diags.append(diags)
+
+        # Batched CNN magnitudes for the usable visits only.
+        flux = np.zeros((n, used))
+        flat_idx = np.flatnonzero(usable.reshape(-1))
+        if flat_idx.size:
+            stamp = pairs.shape[-1]
+            flat_pairs = repaired_pairs.reshape(-1, 2, stamp, stamp)[flat_idx]
+            mags = self.pipeline.cnn.predict(flat_pairs)
+            flux.reshape(-1)[flat_idx] = 10.0 ** (-0.4 * (mags - 27.0))
+
+        features = masked_features_from_arrays(
+            flux,
+            mjd,
+            usable,
+            self.pipeline.epochs_used,
+            self.pipeline.epochs_used,
+            prior_flux_feature=self.prior.flux_feature,
+        )
+        probs = self.pipeline.classifier.predict_proba(features)
+
+        results = []
+        for i in range(n):
+            present = {int(v) % N_BANDS for v in np.flatnonzero(usable[i])}
+            bands = [band.name for band in GRIZY if band.index in present]
+            results.append(
+                PredictionResult(
+                    index=start_index + i,
+                    probability=float(probs[i]),
+                    degraded=bool(all_diags[i]),
+                    usable_bands=bands,
+                    confidence=self._confidence(usable[i], all_diags[i]),
+                    diagnostics=all_diags[i],
+                )
+            )
+        return results
+
+    def classify(
+        self, dataset: SupernovaDataset, strict: bool | None = None
+    ) -> list[PredictionResult]:
+        """Serve every sample of a dataset (see :meth:`classify_arrays`)."""
+        return self.classify_arrays(dataset.pairs, dataset.visit_mjd, strict=strict)
+
+    def stream(
+        self,
+        dataset: SupernovaDataset,
+        batch_size: int = 64,
+        strict: bool | None = None,
+    ) -> Iterator[PredictionResult]:
+        """Yield :class:`PredictionResult` objects batch by batch.
+
+        The classify CLI consumes this to emit per-sample JSON lines as
+        soon as each batch clears the CNN, rather than after the whole
+        dataset.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        for start in range(0, len(dataset), batch_size):
+            stop = min(start + batch_size, len(dataset))
+            yield from self.classify_arrays(
+                dataset.pairs[start:stop],
+                dataset.visit_mjd[start:stop],
+                strict=strict,
+                start_index=start,
+            )

@@ -1,0 +1,234 @@
+"""Per-visit input validation and repair for the serving path.
+
+A production classifier sees cutouts the training loop never does:
+missing visits, NaN and saturated pixels, cosmic-ray hits, and images
+whose tail rows never arrived.  This module turns one (reference,
+observation) stamp pair into a :class:`InputDiagnostics` verdict and,
+where the damage is below the repair budget, a cleaned copy:
+
+* non-finite and saturated pixels are *inpainted* with the median of
+  their finite neighbourhood (falling back to the channel median);
+* sharp outliers on the difference image — cosmic-ray morphology, high
+  above the robust noise but unsupported by their neighbours the way a
+  PSF-spread source would be — are sigma-clipped back to the local
+  background.
+
+Visits whose bad-pixel fraction exceeds the budget, or that are missing
+outright (all-NaN channel, non-finite date), are marked *rejected*; the
+engine masks them out of the feature vector instead of serving garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..photometry import GRIZY
+
+__all__ = [
+    "InputDiagnostics",
+    "RepairConfig",
+    "diagnose_and_repair",
+    "inpaint_bad_pixels",
+    "clip_difference_outliers",
+    "DEFAULT_SATURATION_LEVEL",
+]
+
+#: Counts level treated as full well when the caller does not override it.
+DEFAULT_SATURATION_LEVEL = 30000.0
+
+
+@dataclass
+class RepairConfig:
+    """Knobs of the validate-and-repair stage.
+
+    Attributes
+    ----------
+    saturation_level:
+        Pixels at or above this count are treated as saturated.
+    max_repair_fraction:
+        Largest fraction of bad (non-finite + saturated) pixels per
+        channel that inpainting may bridge; beyond it the visit is
+        rejected and masked instead.
+    clip_sigma:
+        Difference-image pixels more than this many robust sigmas above
+        the median are outlier candidates.
+    clip_support_ratio:
+        An outlier candidate is clipped only when its 3x3 neighbourhood
+        median stays below this fraction of its own value — a PSF-spread
+        real source keeps neighbour support well above it, an isolated
+        cosmic-ray pixel does not.
+    inpaint_window:
+        Half-width of the neighbourhood used for median inpainting.
+    """
+
+    saturation_level: float = DEFAULT_SATURATION_LEVEL
+    max_repair_fraction: float = 0.25
+    clip_sigma: float = 10.0
+    clip_support_ratio: float = 0.2
+    inpaint_window: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_repair_fraction <= 1.0:
+            raise ValueError("max_repair_fraction must be in [0, 1]")
+        if self.clip_sigma <= 0 or self.inpaint_window < 1:
+            raise ValueError("clip_sigma must be positive and inpaint_window >= 1")
+
+
+@dataclass
+class InputDiagnostics:
+    """What validation found (and fixed) in one visit's stamp pair.
+
+    ``bad_fraction`` is the pre-repair fraction of unusable pixels over
+    both channels; ``repaired`` means the visit was cleaned and kept,
+    ``rejected`` that it was masked out of the feature vector.
+    """
+
+    visit: int
+    band: str
+    n_pixels: int
+    n_nonfinite: int = 0
+    n_saturated: int = 0
+    n_clipped: int = 0
+    bad_fraction: float = 0.0
+    repaired: bool = False
+    rejected: bool = False
+    reason: str = ""
+
+    @property
+    def clean(self) -> bool:
+        """True when the visit needed no intervention at all."""
+        return not (self.repaired or self.rejected)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by the classify CLI stream)."""
+        return {
+            "visit": self.visit,
+            "band": self.band,
+            "n_nonfinite": self.n_nonfinite,
+            "n_saturated": self.n_saturated,
+            "n_clipped": self.n_clipped,
+            "bad_fraction": round(self.bad_fraction, 6),
+            "repaired": self.repaired,
+            "rejected": self.rejected,
+            "reason": self.reason,
+        }
+
+
+def inpaint_bad_pixels(
+    image: np.ndarray, bad: np.ndarray, window: int = 2
+) -> np.ndarray:
+    """Replace flagged pixels with the median of their good neighbours.
+
+    Works in place on a float copy and returns it.  Each bad pixel takes
+    the median of the good pixels inside a ``(2*window+1)`` square around
+    it; pixels with no good neighbour fall back to the image's global
+    good-pixel median (0 when nothing survives).
+    """
+    out = np.asarray(image, dtype=np.float32).copy()
+    bad = np.asarray(bad, dtype=bool)
+    if not bad.any():
+        return out
+    good = ~bad
+    fallback = float(np.median(out[good])) if good.any() else 0.0
+    rows, cols = np.nonzero(bad)
+    side = out.shape[-1]
+    for r, c in zip(rows, cols):
+        r0, r1 = max(0, r - window), min(side, r + window + 1)
+        c0, c1 = max(0, c - window), min(side, c + window + 1)
+        patch = out[r0:r1, c0:c1]
+        patch_good = good[r0:r1, c0:c1]
+        out[r, c] = float(np.median(patch[patch_good])) if patch_good.any() else fallback
+    return out
+
+
+def clip_difference_outliers(
+    reference: np.ndarray, observation: np.ndarray, config: RepairConfig
+) -> tuple[np.ndarray, int]:
+    """Sigma-clip cosmic-ray-like pixels off the observation stamp.
+
+    Outliers are found on the *difference* image (observation minus
+    reference): a pixel must sit ``clip_sigma`` robust sigmas above the
+    median difference **and** lack neighbourhood support (see
+    :class:`RepairConfig.clip_support_ratio`), which spares the
+    PSF-spread supernova itself.  Clipped pixels are pulled back to the
+    reference plus the local median difference.  Returns the repaired
+    observation and the number of clipped pixels.
+    """
+    diff = observation - reference
+    med = float(np.median(diff))
+    sigma = 1.4826 * float(np.median(np.abs(diff - med)))
+    if sigma <= 0:
+        return observation.copy(), 0
+    local = ndimage.median_filter(diff, size=3, mode="nearest")
+    excess = diff - med
+    candidates = excess > config.clip_sigma * sigma
+    unsupported = (local - med) < config.clip_support_ratio * excess
+    outliers = candidates & unsupported
+    n = int(outliers.sum())
+    repaired = observation.copy()
+    if n:
+        repaired[outliers] = reference[outliers] + local[outliers]
+    return repaired, n
+
+
+def diagnose_and_repair(
+    pair: np.ndarray, visit: int, config: RepairConfig | None = None
+) -> tuple[np.ndarray, InputDiagnostics]:
+    """Validate one ``(2, S, S)`` stamp pair; repair or reject it.
+
+    Returns ``(repaired_pair, diagnostics)``.  The repaired pair is
+    always finite when the visit was kept; when ``rejected`` its content
+    is unspecified and the caller must mask the visit.
+    """
+    config = config or RepairConfig()
+    pair = np.asarray(pair, dtype=np.float32)
+    band = GRIZY[visit % len(GRIZY)].name
+    n_pixels = int(pair[0].size)
+    diag = InputDiagnostics(visit=visit, band=band, n_pixels=n_pixels)
+
+    finite = np.isfinite(pair)
+    saturated = finite & (pair >= config.saturation_level)
+    bad = ~finite | saturated
+    diag.n_nonfinite = int((~finite).sum())
+    diag.n_saturated = int(saturated.sum())
+    diag.bad_fraction = float(bad.sum() / pair.size)
+
+    # A channel with nothing usable in it means the visit never arrived.
+    for channel in range(2):
+        if bad[channel].all():
+            diag.rejected = True
+            diag.reason = (
+                "reference" if channel == 0 else "observation"
+            ) + " channel entirely unusable (missing visit)"
+            return pair, diag
+    if diag.bad_fraction > config.max_repair_fraction:
+        diag.rejected = True
+        diag.reason = (
+            f"bad-pixel fraction {diag.bad_fraction:.3f} exceeds repair "
+            f"budget {config.max_repair_fraction:.3f}"
+        )
+        return pair, diag
+
+    repaired = pair
+    if bad.any():
+        repaired = np.stack(
+            [
+                inpaint_bad_pixels(pair[ch], bad[ch], window=config.inpaint_window)
+                for ch in range(2)
+            ]
+        )
+        diag.repaired = True
+        diag.reason = "inpainted non-finite/saturated pixels"
+
+    obs, n_clipped = clip_difference_outliers(repaired[0], repaired[1], config)
+    if n_clipped:
+        repaired = np.stack([repaired[0], obs])
+        diag.n_clipped = n_clipped
+        diag.repaired = True
+        diag.reason = (diag.reason + "; " if diag.reason else "") + (
+            f"sigma-clipped {n_clipped} difference outlier(s)"
+        )
+    return repaired, diag

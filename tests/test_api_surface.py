@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.eval",
     "repro.utils",
     "repro.runtime",
+    "repro.serve",
 ]
 
 

@@ -83,3 +83,126 @@ class TestWorkflow:
             "--out", str(tmp_path / "cnn.npz"),
         ])
         assert code == 2
+
+
+@pytest.mark.faults
+class TestClassify:
+    """The degradation-tolerant serving command and its failure paths."""
+
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        """(model_dir, clean_dataset_path, dataset) for the classify tests."""
+        from repro.core import SupernovaPipeline
+        from repro.datasets import BuildConfig, DatasetBuilder, save_dataset
+        from repro.serve import FluxPrior, InferenceEngine
+        from repro.survey import ImagingConfig
+
+        root = tmp_path_factory.mktemp("classify")
+        config = BuildConfig(
+            n_ia=5, n_non_ia=5, seed=23, catalog_size=60,
+            imaging=ImagingConfig(stamp_size=41),
+        )
+        dataset = DatasetBuilder(config).build()
+        dataset_path = root / "ds.npz"
+        save_dataset(dataset, dataset_path)
+        pipe = SupernovaPipeline(input_size=36, units=8, epochs_used=1, seed=0)
+        engine = InferenceEngine(pipe, prior=FluxPrior.from_dataset(dataset))
+        model_dir = root / "model"
+        engine.save(str(model_dir))
+        return model_dir, dataset_path, dataset
+
+    def _degraded_dataset_path(self, served, tmp_path):
+        """The clean dataset with band r dropped from every sample."""
+        from dataclasses import replace
+
+        from repro.datasets import save_dataset
+        from repro.runtime import DropBand
+
+        _, _, dataset = served
+        degraded = replace(dataset, pairs=DropBand(1)(dataset.pairs))
+        path = tmp_path / "degraded.npz"
+        save_dataset(degraded, path)
+        return path
+
+    def test_clean_dataset_streams_json(self, served, tmp_path, capsys):
+        import json
+
+        model_dir, dataset_path, dataset = served
+        out = tmp_path / "results.jsonl"
+        code = main([
+            "classify", "--model", str(model_dir),
+            "--dataset", str(dataset_path), "--out", str(out),
+        ])
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == len(dataset)
+        first = json.loads(lines[0])
+        assert first["degraded"] is False and first["confidence"] == 1.0
+        assert "0 degraded" in capsys.readouterr().err
+
+    def test_dropped_band_served_leniently(self, served, tmp_path, capsys):
+        import json
+
+        model_dir, _, _ = served
+        degraded_path = self._degraded_dataset_path(served, tmp_path)
+        out = tmp_path / "degraded.jsonl"
+        code = main([
+            "classify", "--model", str(model_dir),
+            "--dataset", str(degraded_path), "--out", str(out),
+        ])
+        assert code == 0  # degraded-but-served
+        for line in out.read_text().splitlines():
+            payload = json.loads(line)
+            assert payload["degraded"] is True
+            assert "r" not in payload["usable_bands"]
+            assert payload["confidence"] < 1.0
+
+    def test_dropped_band_refused_in_strict_mode(self, served, tmp_path, capsys):
+        model_dir, _, _ = served
+        degraded_path = self._degraded_dataset_path(served, tmp_path)
+        code = main([
+            "classify", "--model", str(model_dir),
+            "--dataset", str(degraded_path), "--strict",
+        ])
+        assert code == 2
+        assert "non-finite" in capsys.readouterr().err
+
+    def test_truncated_model_dir_exits_3(self, served, tmp_path, capsys):
+        import shutil
+
+        from repro.runtime import truncate_file
+
+        model_dir, dataset_path, _ = served
+        broken = tmp_path / "broken_model"
+        shutil.copytree(model_dir, broken)
+        truncate_file(broken / "flux_cnn.npz", keep_fraction=0.3)
+        code = main([
+            "classify", "--model", str(broken), "--dataset", str(dataset_path),
+        ])
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_dataset_exits_2(self, served, tmp_path, capsys):
+        from repro.runtime import atomic_savez
+
+        model_dir, _, _ = served
+        bad = tmp_path / "malformed.npz"
+        arrays = {
+            name: np.zeros(3)
+            for name in (
+                "pairs", "visit_mjd", "visit_band", "true_flux", "labels",
+                "sn_types", "redshifts", "host_mag", "sn_offset", "peak_mjd",
+            )
+        }
+        atomic_savez(bad, arrays)
+        code = main(["classify", "--model", str(model_dir), "--dataset", str(bad)])
+        assert code == 2
+        assert "pairs" in capsys.readouterr().err
+
+    def test_missing_dataset_exits_2(self, served, capsys):
+        model_dir, _, _ = served
+        code = main([
+            "classify", "--model", str(model_dir),
+            "--dataset", str(model_dir / "nope.npz"),
+        ])
+        assert code == 2

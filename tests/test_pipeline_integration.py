@@ -154,6 +154,16 @@ class TestPipelineIntegration:
         with pytest.raises(ValueError):
             epoch_visit_indices(splits.test, [])
 
+    def test_epoch_visit_indices_validates_range(self, splits):
+        with pytest.raises(IndexError, match=r"out of range \[0, 4\)"):
+            epoch_visit_indices(splits.test, [0, 7])
+        with pytest.raises(IndexError, match="out of range"):
+            epoch_visit_indices(splits.test, [-1])
+        with pytest.raises(IndexError, match="out of range"):
+            epoch_visit_indices(splits.test, 9)
+        with pytest.raises(TypeError, match="integers"):
+            epoch_visit_indices(splits.test, [1.5])
+
     def test_joint_inputs_windowed_shapes(self, splits):
         pipe = SupernovaPipeline(input_size=36, units=8, epochs_used=1, seed=7)
         pairs, dates, labels = pipe._joint_inputs(splits.test, windowed=True)
@@ -192,6 +202,85 @@ class TestPipelineIntegration:
             rtol=1e-5,
         )
         assert loaded.joint is not None
+
+    def test_save_writes_manifest(self, splits, tmp_path):
+        import json
+
+        pipe = SupernovaPipeline(input_size=36, units=16, epochs_used=2, seed=12)
+        pipe.save(str(tmp_path))
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest == {
+            "format_version": 1,
+            "input_size": 36,
+            "units": 16,
+            "epochs_used": 2,
+            "has_joint": False,
+        }
+
+    def test_load_restores_architecture_from_manifest(self, splits, tmp_path):
+        pipe = SupernovaPipeline(input_size=36, units=16, epochs_used=1, seed=13)
+        pipe.save(str(tmp_path))
+        loaded = SupernovaPipeline.load(str(tmp_path))  # no kwargs needed
+        assert loaded.input_size == 36
+        assert loaded.units == 16
+        assert loaded.epochs_used == 1
+
+    def test_load_rejects_conflicting_kwargs(self, splits, tmp_path):
+        from repro.runtime import CorruptArtifactError
+
+        pipe = SupernovaPipeline(input_size=36, units=16, epochs_used=1, seed=14)
+        pipe.save(str(tmp_path))
+        with pytest.raises(CorruptArtifactError, match="units=99"):
+            SupernovaPipeline.load(str(tmp_path), units=99)
+
+    def test_load_manifest_less_dir_uses_kwargs(self, splits, tmp_path):
+        pipe = SupernovaPipeline(input_size=36, units=16, epochs_used=1, seed=15)
+        pipe.save(str(tmp_path))
+        (tmp_path / "manifest.json").unlink()  # legacy directory
+        loaded = SupernovaPipeline.load(str(tmp_path), input_size=36, units=16)
+        assert loaded.units == 16
+
+    def test_load_rejects_bad_manifest(self, splits, tmp_path):
+        from repro.runtime import CorruptArtifactError
+
+        pipe = SupernovaPipeline(input_size=36, units=16, epochs_used=1, seed=16)
+        pipe.save(str(tmp_path))
+        (tmp_path / "manifest.json").write_text("{broken")
+        with pytest.raises(CorruptArtifactError, match="unreadable manifest"):
+            SupernovaPipeline.load(str(tmp_path))
+        (tmp_path / "manifest.json").write_text('{"format_version": 99}')
+        with pytest.raises(CorruptArtifactError, match="format_version"):
+            SupernovaPipeline.load(str(tmp_path))
+        (tmp_path / "manifest.json").write_text(
+            '{"format_version": 1, "input_size": -3, "units": 16, "epochs_used": 1}'
+        )
+        with pytest.raises(CorruptArtifactError, match="input_size"):
+            SupernovaPipeline.load(str(tmp_path))
+
+    def test_load_rejects_weights_manifest_mismatch(self, splits, tmp_path):
+        import json
+
+        from repro.runtime import CorruptArtifactError
+
+        pipe = SupernovaPipeline(input_size=36, units=16, epochs_used=1, seed=17)
+        pipe.save(str(tmp_path))
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["units"] = 32  # lie about the stored architecture
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CorruptArtifactError, match="declared architecture"):
+            SupernovaPipeline.load(str(tmp_path))
+
+    def test_load_rejects_missing_declared_joint(self, splits, tmp_path):
+        from repro.runtime import CorruptArtifactError
+
+        pipe = SupernovaPipeline(input_size=36, units=16, epochs_used=1, seed=18)
+        pipe.fine_tune(
+            splits.train, splits.val, TrainConfig(epochs=1, batch_size=8, seed=19)
+        )
+        pipe.save(str(tmp_path))
+        (tmp_path / "joint.npz").unlink()
+        with pytest.raises(CorruptArtifactError, match="joint.npz is missing"):
+            SupernovaPipeline.load(str(tmp_path))
 
     def test_nan_inputs_raise(self):
         x = np.full((32, 10), np.nan, dtype=np.float32)
