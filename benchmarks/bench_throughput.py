@@ -1,0 +1,298 @@
+"""Hot-path throughput benchmark — the repo's tracked perf trajectory.
+
+The ROADMAP's north star is a production-scale system that "runs as fast
+as the hardware allows"; this benchmark pins that claim to numbers.  It
+measures the three serving/training hot paths:
+
+* ``train_steps_per_s`` — full forward + backward + Adam step of the
+  band-wise flux CNN (batch 64);
+* ``cnn_predict_samples_per_s`` — inference over raw ``(N, 2, S, S)``
+  stamp pairs through :meth:`BandwiseCNN.predict`;
+* ``classify_arrays_samples_per_s`` — end-to-end serving throughput of
+  :meth:`InferenceEngine.classify_arrays` (validate/repair + CNN +
+  features + classifier) on clean traffic.
+
+Results are written to ``BENCH_throughput.json`` at the repo root (one
+section per mode, so the committed file carries both the ``full``
+acceptance numbers and the tiny ``smoke`` CI point).  The perf-timer
+breakdown of the classify section rides along for drill-down.
+
+Run the acceptance-scale measurement::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+
+CI smoke mode with the regression guard (fails when any metric drops
+more than ``--tolerance`` below the committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.core import SupernovaPipeline
+from repro.core.flux_cnn import BandwiseCNN
+from repro.perf import instrument as perf
+from repro.serve import FluxPrior, InferenceEngine
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_throughput.json")
+
+#: Metrics tracked by the regression guard (all are rates: higher = better).
+TRACKED_METRICS = (
+    "train_steps_per_s",
+    "cnn_predict_samples_per_s",
+    "classify_arrays_samples_per_s",
+)
+
+
+def _synth_pairs(
+    n: int, stamp: int, rng: np.random.Generator, visits: int | None = None
+) -> np.ndarray:
+    """Clean synthetic (reference, observation) stamps with a point source."""
+    shape = (n, 2, stamp, stamp) if visits is None else (n, visits, 2, stamp, stamp)
+    pairs = rng.normal(0.0, 30.0, size=shape).astype(np.float32)
+    # A faint PSF-ish blob on the observation channel keeps the difference
+    # image non-trivial for the sigma-clip stage.
+    yy, xx = np.mgrid[0:stamp, 0:stamp]
+    blob = 200.0 * np.exp(
+        -((yy - stamp // 2) ** 2 + (xx - stamp // 2) ** 2) / (2 * 2.5**2)
+    ).astype(np.float32)
+    pairs[..., 1, :, :] += blob
+    return pairs
+
+
+def _timeit(fn, repeats: int) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs (1 warmup)."""
+    fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def bench_train_steps(
+    input_size: int, steps: int, batch: int, repeats: int, seed: int = 0
+) -> float:
+    """Forward + backward + Adam steps per second on the flux CNN."""
+    rng = np.random.default_rng(seed)
+    cnn = BandwiseCNN(input_size=input_size, rng=rng)
+    cnn.train()
+    pairs = _synth_pairs(batch, input_size, rng)
+    mags = rng.uniform(20.0, 25.0, size=batch).astype(np.float32)
+    optimizer = nn.Adam(cnn.parameters(), lr=1e-4)
+    loss_fn = nn.MSELoss()
+    x = nn.Tensor(pairs)
+    y = nn.Tensor(mags)
+
+    def run() -> None:
+        for _ in range(steps):
+            optimizer.zero_grad()
+            loss = loss_fn(cnn.forward(x), y)
+            loss.backward()
+            optimizer.step()
+
+    elapsed = _timeit(run, repeats)
+    return steps / elapsed
+
+
+def bench_cnn_predict(
+    input_size: int, n: int, repeats: int, seed: int = 1
+) -> float:
+    """Raw CNN inference throughput in stamp pairs per second."""
+    rng = np.random.default_rng(seed)
+    cnn = BandwiseCNN(input_size=input_size, rng=rng)
+    cnn.eval()
+    pairs = _synth_pairs(n, input_size, rng)
+    elapsed = _timeit(lambda: cnn.predict(pairs), repeats)
+    return n / elapsed
+
+
+def bench_classify(
+    input_size: int, stamp: int, n: int, batch: int, repeats: int, seed: int = 2
+) -> tuple[float, dict]:
+    """End-to-end serving throughput in samples per second.
+
+    Also returns the perf-timer breakdown of one instrumented pass.
+    """
+    rng = np.random.default_rng(seed)
+    pipeline = SupernovaPipeline(input_size=input_size, epochs_used=1, seed=seed)
+    pipeline.cnn.eval()
+    pipeline.classifier.eval()
+    engine = InferenceEngine(pipeline, prior=FluxPrior.neutral())
+    visits = engine._n_used_visits
+    pairs = _synth_pairs(n, stamp, rng, visits=visits)
+    mjd = (57000.0 + np.arange(n * visits).reshape(n, visits) * 0.01).astype(
+        np.float64
+    )
+
+    def run() -> None:
+        for start in range(0, n, batch):
+            engine.classify_arrays(
+                pairs[start : start + batch], mjd[start : start + batch]
+            )
+
+    elapsed = _timeit(run, repeats)
+
+    perf.reset()
+    perf.enable()
+    try:
+        run()
+        timers = perf.report()
+    finally:
+        perf.disable()
+        perf.reset()
+    return n / elapsed, timers
+
+
+def run_benchmark(smoke: bool) -> dict:
+    """Measure all tracked metrics; returns the JSON-ready section."""
+    if smoke:
+        config = {
+            "input_size": 36,
+            "stamp": 40,
+            "train_steps": 3,
+            "train_batch": 16,
+            "predict_n": 64,
+            "classify_n": 32,
+            "classify_batch": 16,
+            "repeats": 2,
+        }
+    else:
+        config = {
+            "input_size": 60,
+            "stamp": 60,
+            "train_steps": 10,
+            "train_batch": 64,
+            "predict_n": 256,
+            "classify_n": 192,
+            "classify_batch": 64,
+            "repeats": 3,
+        }
+
+    train_rate = bench_train_steps(
+        config["input_size"],
+        config["train_steps"],
+        config["train_batch"],
+        config["repeats"],
+    )
+    print(f"train:    {train_rate:8.2f} steps/s  (batch {config['train_batch']})")
+    predict_rate = bench_cnn_predict(
+        config["input_size"], config["predict_n"], config["repeats"]
+    )
+    print(f"predict:  {predict_rate:8.2f} pairs/s")
+    classify_rate, timers = bench_classify(
+        config["input_size"],
+        config["stamp"],
+        config["classify_n"],
+        config["classify_batch"],
+        config["repeats"],
+    )
+    print(f"classify: {classify_rate:8.2f} samples/s (batch {config['classify_batch']})")
+
+    return {
+        "config": config,
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "metrics": {
+            "train_steps_per_s": round(train_rate, 2),
+            "cnn_predict_samples_per_s": round(predict_rate, 2),
+            "classify_arrays_samples_per_s": round(classify_rate, 2),
+        },
+        "timers": timers.get("timers", {}),
+    }
+
+
+def check_regression(section: dict, baseline_section: dict, tolerance: float) -> list[str]:
+    """Names of metrics that regressed more than ``tolerance`` vs baseline."""
+    failures = []
+    base_metrics = baseline_section.get("metrics", {})
+    for name in TRACKED_METRICS:
+        base = base_metrics.get(name)
+        current = section["metrics"].get(name)
+        if base is None or current is None:
+            continue
+        floor = base * (1.0 - tolerance)
+        status = "OK" if current >= floor else "REGRESSION"
+        print(
+            f"  {name}: {current:.2f} vs baseline {base:.2f} "
+            f"(floor {floor:.2f}) {status}"
+        )
+        if current < floor:
+            failures.append(name)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on a throughput regression vs the committed baseline",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30, metavar="FRAC",
+        help="allowed fractional drop per metric before --check fails (default 0.30)",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_BASELINE, metavar="PATH",
+        help="benchmark JSON to read the baseline from and write results to",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="measure (and --check) without updating the JSON",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"mode: {mode} (numpy {np.__version__})")
+    section = run_benchmark(args.smoke)
+
+    document: dict = {}
+    if os.path.exists(args.out):
+        with open(args.out) as handle:
+            document = json.load(handle)
+
+    failures: list[str] = []
+    if args.check:
+        baseline_section = document.get(mode)
+        if baseline_section is None:
+            print(f"no committed '{mode}' baseline in {args.out}; nothing to check")
+        else:
+            print(f"regression check vs {args.out} (tolerance {args.tolerance:.0%}):")
+            failures = check_regression(section, baseline_section, args.tolerance)
+
+    if not args.no_write and not failures:
+        document[mode] = section
+        tmp = args.out + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, args.out)
+        print(f"wrote {args.out} [{mode}]")
+
+    if failures:
+        print(f"FAIL: regression in {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

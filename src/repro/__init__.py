@@ -28,6 +28,9 @@ Subpackages
 ``repro.serve``
     Hardened inference: input validation/repair, band masking with
     prior imputation, degradation-flagged predictions.
+``repro.perf``
+    Performance instrumentation: scoped timers, op counters, JSON
+    reports driving the ``BENCH_*`` throughput trajectory.
 """
 
 from . import (
@@ -39,6 +42,7 @@ from . import (
     eval,
     lightcurves,
     nn,
+    perf,
     photometry,
     runtime,
     serve,
@@ -61,6 +65,7 @@ __all__ = [
     "eval",
     "runtime",
     "serve",
+    "perf",
     "utils",
     "__version__",
 ]

@@ -125,7 +125,7 @@ class RecurrentClassifier(nn.Module):
             for start in range(0, len(sequences), batch_size):
                 logits = self.forward(Tensor(sequences[start : start + batch_size]))
                 outputs.append(logits.sigmoid().numpy())
-        return np.concatenate(outputs) if outputs else np.empty(0)
+        return np.concatenate(outputs) if outputs else np.empty(0, dtype=np.float32)
 
 
 def sequence_features(features_flat: np.ndarray, n_epochs: int) -> np.ndarray:

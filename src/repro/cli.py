@@ -147,6 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=64, metavar="N",
         help="samples per inference batch (results stream per batch)",
     )
+    cl.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="classify batches on N threads (BLAS releases the GIL); "
+        "results still stream in order",
+    )
     return parser
 
 
@@ -277,7 +282,10 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     sink = open(args.out, "w") if args.out else sys.stdout
     try:
         for result in engine.stream(
-            dataset, batch_size=args.batch_size, strict=args.strict
+            dataset,
+            batch_size=args.batch_size,
+            strict=args.strict,
+            workers=args.workers,
         ):
             n_degraded += result.degraded
             confidences.append(result.confidence)

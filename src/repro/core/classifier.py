@@ -93,4 +93,4 @@ class LightCurveClassifier(nn.Module):
                 outputs.append(logits.sigmoid().numpy())
         if was_training:
             self.train()
-        return np.concatenate(outputs) if outputs else np.empty(0)
+        return np.concatenate(outputs) if outputs else np.empty(0, dtype=np.float32)

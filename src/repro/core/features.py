@@ -35,6 +35,14 @@ DATE_SCALE_DAYS = 50.0
 FLUX_FEATURE_DIM = 2  # (flux, date) per band per epoch
 
 
+def _as_float(a: np.ndarray) -> np.ndarray:
+    """Floating view of ``a``: float32/float64 pass through untouched
+    (the serving path stays single-precision end to end), anything else
+    is cast to float64."""
+    a = np.asarray(a)
+    return a if np.issubdtype(a.dtype, np.floating) else a.astype(float)
+
+
 def features_from_arrays(
     flux: np.ndarray,
     mjd: np.ndarray,
@@ -60,8 +68,8 @@ def features_from_arrays(
     (N, 10 * len(epochs)) float32 feature matrix: for each requested
     epoch, 5 signed-log fluxes followed by 5 scaled dates.
     """
-    flux = np.asarray(flux, dtype=float)
-    mjd = np.asarray(mjd, dtype=float)
+    flux = _as_float(flux)
+    mjd = _as_float(mjd)
     if flux.shape != mjd.shape or flux.ndim != 2:
         raise ValueError("flux and mjd must both be (N, V)")
     n_visits = flux.shape[1]
@@ -118,8 +126,8 @@ def masked_features_from_arrays(
     vector, so downstream scores fall back to the training-set base rate
     instead of NaN.  Returns the (N, 10 * len(epochs)) float32 matrix.
     """
-    flux = np.asarray(flux, dtype=float)
-    mjd = np.asarray(mjd, dtype=float)
+    flux = _as_float(flux)
+    mjd = _as_float(mjd)
     usable = np.asarray(usable, dtype=bool)
     if flux.shape != mjd.shape or flux.ndim != 2:
         raise ValueError("flux and mjd must both be (N, V)")
@@ -151,8 +159,9 @@ def masked_features_from_arrays(
     d = mjd[:, visit_idx]
     m = usable[:, visit_idx]
 
-    # Per-band prior for every selected visit (epoch-major layout).
-    prior = prior_flux_feature[visit_idx % N_BANDS]
+    # Per-band prior for every selected visit (epoch-major layout),
+    # matched to the flux dtype so imputation never upcasts the batch.
+    prior = prior_flux_feature[visit_idx % N_BANDS].astype(flux.dtype)
     f_safe = np.where(m, f, 0.0)  # keep NaN/Inf of masked entries out of the math
     d_safe = np.where(m, d, 0.0)
     f_feat = np.where(m, signed_log10(f_safe), prior[None, :])

@@ -128,7 +128,7 @@ class BandwiseCNN(nn.Module):
                 outputs.append(self.forward(chunk).numpy())
         if was_training:
             self.train()
-        return np.concatenate(outputs) if outputs else np.empty(0)
+        return np.concatenate(outputs) if outputs else np.empty(0, dtype=np.float32)
 
 
 class PerBandCNNEnsemble(nn.Module):

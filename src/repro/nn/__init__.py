@@ -40,7 +40,16 @@ from .module import Module, ModuleList, Parameter, Sequential
 from .ops import avg_pool2d, conv2d, max_pool2d
 from .optim import SGD, Adam, Optimizer, StepLR, clip_grad_norm
 from .serialization import load_module, save_module
-from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    float64_preserved,
+    is_grad_enabled,
+    no_grad,
+    preserve_float64,
+    stack,
+)
 
 __all__ = [
     "functional",
@@ -51,6 +60,8 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "preserve_float64",
+    "float64_preserved",
     "Module",
     "ModuleList",
     "Parameter",

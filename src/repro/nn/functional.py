@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "relu",
@@ -59,6 +59,18 @@ def prelu(x: Tensor, alpha: Tensor) -> Tensor:
         alpha_view = alpha_data.reshape(1, -1, 1, 1)
     else:
         alpha_view = alpha_data
+
+    if not (is_grad_enabled() and (x.requires_grad or alpha.requires_grad)):
+        # Inference fast paths (no graph, no mask temporary).  With every
+        # slope <= 1 — true at init (0.25) and for any trained slope that
+        # stayed a leak — ``max(x, alpha * x)`` equals the branchy form
+        # exactly, in two array passes.
+        if np.all(alpha_data <= 1.0):
+            out = x.data * alpha_view
+            np.maximum(out, x.data, out=out)
+            return Tensor(out)
+        return Tensor(np.where(x.data > 0, x.data, alpha_view * x.data))
+
     pos = x.data > 0
     out_data = np.where(pos, x.data, alpha_view * x.data).astype(x.data.dtype)
 

@@ -12,7 +12,7 @@ from . import functional as F
 from . import init
 from .module import Module, Parameter
 from .ops import avg_pool2d, conv2d, max_pool2d
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "Linear",
@@ -134,6 +134,16 @@ class _BatchNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         axes, shape = self._axes_and_shape(x)
+        if not self.training and not (
+            is_grad_enabled() and (self.gamma.requires_grad or self.beta.requires_grad)
+        ):
+            # Inference fast path: fold the whole affine normalisation
+            # into one per-channel multiply-add (no graph, 1 temporary).
+            scale = self.gamma.data / np.sqrt(self.running_var + self.eps)
+            shift = self.beta.data - self.running_mean * scale
+            out = x.data * scale.reshape(shape)
+            out += shift.reshape(shape)
+            return Tensor(out)
         if self.training:
             mean = x.data.mean(axis=axes)
             var = x.data.var(axis=axes)

@@ -5,16 +5,55 @@ The band-wise CNN of the paper (Fig. 7) is built from 5x5 convolutions and
 :class:`repro.nn.tensor.Tensor` using an ``im2col`` formulation: the input
 is expanded into a column matrix so that convolution becomes a single
 matrix multiplication, which NumPy executes through BLAS.
+
+Hot-path layout
+---------------
+The column matrix is materialised in the *natural* ``(N, C·KH·KW,
+OH·OW)`` order of the sliding-window view — the copy then reads the
+padded input as ``KH·KW`` shifted images (near-sequential) instead of
+gathering one patch row per output pixel, and the GEMM
+``weight (C_out, C·KH·KW) @ cols`` writes straight into the ``NCHW``
+output buffer via ``out=``, with the bias added in place.  This removes
+both full transposed copies of the previous formulation.  During
+inference (no autograd recording) the column matrix additionally comes
+from a shape-keyed, thread-local workspace cache, so steady-state
+batches allocate only their output.
 """
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
-from .tensor import Tensor
+from ..perf.instrument import timed as _timed
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = ["conv2d", "max_pool2d", "avg_pool2d", "pad2d"]
+
+#: Workspaces are per-thread (the serving thread pool runs conv2d
+#: concurrently) and capped so pathological shape churn cannot hoard
+#: memory.
+_MAX_WORKSPACES = 32
+
+_workspaces = threading.local()
+
+
+def _workspace(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    """A reusable scratch array for this thread, keyed by shape and dtype."""
+    cache: dict | None = getattr(_workspaces, "cache", None)
+    if cache is None:
+        cache = {}
+        _workspaces.cache = cache
+    key = (shape, np.dtype(dtype).str)
+    buf = cache.get(key)
+    if buf is None:
+        if len(cache) >= _MAX_WORKSPACES:
+            cache.clear()
+        buf = np.empty(shape, dtype=dtype)
+        cache[key] = buf
+    return buf
 
 
 def _im2col(
@@ -94,44 +133,68 @@ def conv2d(
             f"input has {x.shape[1]} channels but weight expects {in_channels}"
         )
 
-    x_padded = pad2d(x.data, padding)
-    batch = x_padded.shape[0]
-    cols = _im2col(x_padded, kernel_h, kernel_w, stride)
-    out_h, out_w = cols.shape[4], cols.shape[5]
-    # (N, out_h, out_w, C*KH*KW)
-    col_matrix = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
-        batch * out_h * out_w, in_channels * kernel_h * kernel_w
-    )
-    w_matrix = weight.data.reshape(out_channels, -1)
-    out = col_matrix @ w_matrix.T
-    if bias is not None:
-        out = out + bias.data
-    out_data = out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
-    out_data = np.ascontiguousarray(out_data)
+    with _timed("nn.conv2d"):
+        x_padded = pad2d(x.data, padding)
+        batch = x_padded.shape[0]
+        cols = _im2col(x_padded, kernel_h, kernel_w, stride)
+        out_h, out_w = cols.shape[4], cols.shape[5]
+        k_dim = in_channels * kernel_h * kernel_w
+        n_loc = out_h * out_w
+        out_dtype = np.result_type(x.data.dtype, weight.data.dtype)
 
-    padded_shape = x_padded.shape
+        requires = is_grad_enabled() and (
+            x.requires_grad
+            or weight.requires_grad
+            or (bias is not None and bias.requires_grad)
+        )
+        if requires:
+            # The column matrix is captured by the backward closure and
+            # must outlive this call.
+            col_matrix = np.empty((batch, k_dim, n_loc), dtype=out_dtype)
+        else:
+            col_matrix = _workspace((batch, k_dim, n_loc), out_dtype)
+        np.copyto(
+            col_matrix.reshape(batch, in_channels, kernel_h, kernel_w, out_h, out_w),
+            cols,
+        )
 
-    def backward(grad: np.ndarray) -> None:
-        # grad: (N, C_out, out_h, out_w) -> (N*out_h*out_w, C_out)
-        grad_matrix = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
-        if weight.requires_grad:
-            dw = grad_matrix.T @ col_matrix
-            weight._accumulate(dw.reshape(weight.shape))
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad_matrix.sum(axis=0))
-        if x.requires_grad:
-            dcols = grad_matrix @ w_matrix  # (N*oh*ow, C*KH*KW)
-            dcols = dcols.reshape(batch, out_h, out_w, in_channels, kernel_h, kernel_w)
-            dcols = dcols.transpose(0, 3, 4, 5, 1, 2)
-            dx_padded = _col2im(dcols, padded_shape, kernel_h, kernel_w, stride)
-            if padding:
-                dx = dx_padded[:, :, padding:-padding, padding:-padding]
-            else:
-                dx = dx_padded
-            x._accumulate(dx)
+        w_matrix = weight.data.reshape(out_channels, k_dim)
+        w_gemm = w_matrix if w_matrix.dtype == out_dtype else w_matrix.astype(out_dtype)
+        out_data = np.empty((batch, out_channels, n_loc), dtype=out_dtype)
+        np.matmul(w_gemm, col_matrix, out=out_data)
+        if bias is not None:
+            out_data += bias.data.reshape(1, out_channels, 1)
+        out_data = out_data.reshape(batch, out_channels, out_h, out_w)
 
-    parents = (x, weight) if bias is None else (x, weight, bias)
-    return Tensor._make(out_data, parents, backward)
+        padded_shape = x_padded.shape
+
+        def backward(grad: np.ndarray) -> None:
+            grad3 = grad.reshape(batch, out_channels, n_loc)
+            if weight.requires_grad:
+                # dw[o, k] = sum_{n, l} grad[n, o, l] * cols[n, k, l]
+                dw = np.matmul(grad3, col_matrix.transpose(0, 2, 1)).sum(axis=0)
+                weight._accumulate(dw.reshape(weight.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad3.sum(axis=(0, 2)))
+            if x.requires_grad:
+                dcols = np.matmul(w_matrix.T, grad3)  # (N, C*KH*KW, OH*OW)
+                dx_padded = _col2im(
+                    dcols.reshape(
+                        batch, in_channels, kernel_h, kernel_w, out_h, out_w
+                    ),
+                    padded_shape,
+                    kernel_h,
+                    kernel_w,
+                    stride,
+                )
+                if padding:
+                    dx = dx_padded[:, :, padding:-padding, padding:-padding]
+                else:
+                    dx = dx_padded
+                x._accumulate(dx)
+
+        parents = (x, weight) if bias is None else (x, weight, bias)
+        return Tensor._make(out_data, parents, backward)
 
 
 def max_pool2d(x: Tensor, kernel_size: int = 2, stride: int | None = None) -> Tensor:
@@ -152,6 +215,19 @@ def max_pool2d(x: Tensor, kernel_size: int = 2, stride: int | None = None) -> Te
         raise ValueError(f"pooling window {kernel_size} too large for input {x.shape}")
 
     cols = _im2col(x.data, kernel_size, kernel_size, stride)
+    if not (is_grad_enabled() and x.requires_grad):
+        # Inference fast path: accumulate the window max with one
+        # in-place ``maximum`` per tap — each ``cols[:, :, i, j]`` is a
+        # strided view of the input, so nothing is materialised and the
+        # reduction runs as k*k sequential passes instead of one
+        # cache-hostile 6-D reduction.
+        out = cols[:, :, 0, 0].copy()
+        for i in range(kernel_size):
+            for j in range(kernel_size):
+                if i or j:
+                    np.maximum(out, cols[:, :, i, j], out=out)
+        return Tensor(out)
+
     # (N, C, K, K, oh, ow) -> (N, C, oh, ow, K*K)
     windows = cols.transpose(0, 1, 4, 5, 2, 3).reshape(
         batch, channels, out_h, out_w, kernel_size * kernel_size

@@ -2,6 +2,13 @@
 
 Adam is the default for the paper's experiments; SGD with momentum is
 provided for the from-scratch baseline of Fig. 12 and for ablations.
+
+Both optimisers update parameters **in place** through per-parameter
+scratch buffers, so a training step allocates no per-step temporaries
+once warm.  The arithmetic keeps the exact operation order (and
+two-operand commutations, which are bitwise-neutral in IEEE-754) of the
+original out-of-place formulation, so checkpoints and resumed runs stay
+bit-identical with earlier revisions.
 """
 
 from __future__ import annotations
@@ -10,6 +17,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..perf.instrument import timed as _timed
 from .module import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam", "StepLR", "clip_grad_norm"]
@@ -29,6 +37,18 @@ class Optimizer:
     def zero_grad(self) -> None:
         for param in self.parameters:
             param.zero_grad()
+
+    def _scratch(self, index: int, slot: int = 0) -> np.ndarray:
+        """Lazily allocated per-parameter scratch buffer (``slot`` selects
+        between independent buffers live at the same time)."""
+        buffers = self.__dict__.setdefault("_scratch_buffers", {})
+        key = (index, slot)
+        buf = buffers.get(key)
+        param = self.parameters[index]
+        if buf is None or buf.shape != param.data.shape or buf.dtype != param.data.dtype:
+            buf = np.empty_like(param.data)
+            buffers[key] = buf
+        return buf
 
     def step(self) -> None:
         raise NotImplementedError
@@ -58,19 +78,25 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for param, velocity in zip(self.parameters, self._velocity):
-            if param.grad is None:
-                continue
-            grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            if self.momentum:
-                velocity *= self.momentum
-                velocity += grad
-                update = velocity
-            else:
-                update = grad
-            param.data = param.data - self.lr * update
+        with _timed("nn.optim.step"):
+            for i, (param, velocity) in enumerate(zip(self.parameters, self._velocity)):
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if self.weight_decay:
+                    scratch = self._scratch(i)
+                    np.multiply(param.data, self.weight_decay, out=scratch)
+                    scratch += grad  # == grad + wd * param (addition commutes)
+                    grad = scratch
+                if self.momentum:
+                    velocity *= self.momentum
+                    velocity += grad
+                    update = velocity
+                else:
+                    update = grad
+                step_buf = self._scratch(i, slot=1)
+                np.multiply(update, self.lr, out=step_buf)
+                param.data -= step_buf
 
     def state_dict(self) -> dict[str, np.ndarray]:
         """Learning rate plus per-parameter momentum buffers."""
@@ -106,22 +132,36 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
-        self._t += 1
-        bias1 = 1.0 - self.beta1**self._t
-        bias2 = 1.0 - self.beta2**self._t
-        for param, m, v in zip(self.parameters, self._m, self._v):
-            if param.grad is None:
-                continue
-            grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        with _timed("nn.optim.step"):
+            self._t += 1
+            bias1 = 1.0 - self.beta1**self._t
+            bias2 = 1.0 - self.beta2**self._t
+            for i, (param, m, v) in enumerate(zip(self.parameters, self._m, self._v)):
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if self.weight_decay:
+                    decayed = self._scratch(i)
+                    np.multiply(param.data, self.weight_decay, out=decayed)
+                    decayed += grad  # == grad + wd * param (addition commutes)
+                    grad = decayed
+                work = self._scratch(i, slot=1)
+                m *= self.beta1
+                np.multiply(grad, 1.0 - self.beta1, out=work)
+                m += work
+                v *= self.beta2
+                np.multiply(grad, 1.0 - self.beta2, out=work)
+                work *= grad  # == ((1 - beta2) * grad) * grad, original order
+                v += work
+                # update = lr * (m / bias1) / (sqrt(v / bias2) + eps)
+                denom = self._scratch(i, slot=2)
+                np.divide(v, bias2, out=denom)
+                np.sqrt(denom, out=denom)
+                denom += self.eps
+                np.divide(m, bias1, out=work)
+                work *= self.lr
+                work /= denom
+                param.data -= work
 
     def state_dict(self) -> dict[str, np.ndarray]:
         """Learning rate, step counter and per-parameter moment buffers."""

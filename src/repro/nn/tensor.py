@@ -14,13 +14,35 @@ gradient "unbroadcasting".
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "preserve_float64",
+    "float64_preserved",
+]
 
-_GRAD_ENABLED: bool = True
+class _TensorFlags(threading.local):
+    """Per-thread autograd/dtype mode flags.
+
+    Thread-local (like ``torch.no_grad``) so that inference threads —
+    e.g. ``InferenceEngine.stream(workers=N)`` calling ``predict()``
+    concurrently — cannot tear the enter/exit save-restore of a shared
+    flag and leave graph recording disabled for the whole process.
+    """
+
+    def __init__(self) -> None:
+        self.grad_enabled = True
+        self.keep_float64 = False
+
+
+_FLAGS = _TensorFlags()
 
 
 class no_grad:
@@ -28,23 +50,49 @@ class no_grad:
 
     Mirrors ``torch.no_grad()``: inside the block, operations on tensors
     produce result tensors with ``requires_grad=False`` and no parents, so
-    inference does not accumulate a computation graph.
+    inference does not accumulate a computation graph.  The flag is
+    thread-local; entering in one thread does not affect the others.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = _FLAGS.grad_enabled
+        _FLAGS.grad_enabled = False
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _FLAGS.grad_enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    return _FLAGS.grad_enabled
+
+
+class preserve_float64:
+    """Context manager that opts out of the float32 dtype policy.
+
+    By default every :class:`Tensor` stores float32 — including float64
+    inputs, which are *downcast* so that a stray float64 array can never
+    silently promote a whole forward pass to double precision and halve
+    GEMM throughput.  Inside this context float64 arrays keep their
+    dtype, which the numerical-gradient test helpers rely on::
+
+        with preserve_float64():
+            t = Tensor(np.zeros(3, dtype=np.float64))  # stays float64
+    """
+
+    def __enter__(self) -> "preserve_float64":
+        self._previous = _FLAGS.keep_float64
+        _FLAGS.keep_float64 = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _FLAGS.keep_float64 = self._previous
+
+
+def float64_preserved() -> bool:
+    """Whether :class:`Tensor` currently keeps float64 inputs as float64."""
+    return _FLAGS.keep_float64
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -73,12 +121,17 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload.  Floating point data is stored as ``float32``
-        by default (``float64`` inputs are preserved), matching the
-        precision the paper's GPU framework would have used.
+        Array-like payload.  Data is stored as ``float32`` — the
+        precision the paper's GPU framework would have used — and
+        float64 inputs are *downcast* so mixed-precision GEMMs cannot
+        sneak into the hot path.  Wrap construction in
+        :class:`preserve_float64` to keep float64 end to end (numerical
+        gradient checks), or pass ``dtype`` explicitly.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
+    dtype:
+        Explicit storage dtype, bypassing the float32 policy.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
@@ -90,17 +143,21 @@ class Tensor:
         _parents: Sequence["Tensor"] = (),
         _backward: Callable[[np.ndarray], None] | None = None,
         name: str | None = None,
+        dtype: np.dtype | type | None = None,
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
         arr = np.asarray(data)
-        if arr.dtype not in (np.float32, np.float64):
+        if dtype is not None:
+            if arr.dtype != np.dtype(dtype):
+                arr = arr.astype(dtype)
+        elif arr.dtype != np.float32 and not (arr.dtype == np.float64 and _FLAGS.keep_float64):
             arr = arr.astype(np.float32)
         self.data: np.ndarray = arr
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
-        self._parents: tuple[Tensor, ...] = tuple(_parents) if _GRAD_ENABLED else ()
-        self._backward = _backward if _GRAD_ENABLED else None
+        self.requires_grad = bool(requires_grad) and _FLAGS.grad_enabled
+        self._parents: tuple[Tensor, ...] = tuple(_parents) if _FLAGS.grad_enabled else ()
+        self._backward = _backward if _FLAGS.grad_enabled else None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -155,7 +212,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create a result node, recording provenance if grad is enabled."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _FLAGS.grad_enabled and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)

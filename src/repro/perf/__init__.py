@@ -1,0 +1,36 @@
+"""Performance instrumentation: scoped timers, op counters, JSON reports.
+
+Off by default and near-free while off; see
+:mod:`repro.perf.instrument` for the contract.  The kernels
+(:mod:`repro.nn.ops`), the training loop (:mod:`repro.core.training`)
+and the serving engine (:mod:`repro.serve.engine`) are pre-instrumented
+with the region names reported by ``benchmarks/bench_throughput.py``.
+"""
+
+from .instrument import (
+    collecting,
+    count,
+    disable,
+    enable,
+    enabled,
+    iter_timers,
+    report,
+    reset,
+    timed,
+    timed_fn,
+    write_report,
+)
+
+__all__ = [
+    "collecting",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "iter_timers",
+    "report",
+    "reset",
+    "timed",
+    "timed_fn",
+    "write_report",
+]

@@ -1,0 +1,210 @@
+"""Scoped timers and operation counters for the hot paths.
+
+The subsystem is **off by default** and costs almost nothing while off:
+``timed`` hands back a shared no-op context manager and ``count`` is a
+single boolean check.  Enabling it (globally via :func:`enable` or
+scoped via ``collecting()``) turns every instrumented region into an
+entry of a process-wide registry — wall-clock total, call count, and
+whatever unit counters the region reports (samples, batches, GEMM
+calls) — which :func:`report` returns as a plain dict and
+:func:`write_report` emits as JSON for the ``BENCH_*`` trajectory.
+
+Typical usage::
+
+    from repro import perf
+
+    with perf.collecting():
+        engine.classify_arrays(pairs, mjd)
+    perf.write_report("perf.json")
+
+Instrumenting a region::
+
+    with perf.timed("serve.repair"):
+        ...                       # no-op unless collection is enabled
+    perf.count("serve.samples", n)
+
+Threading: counters and timers update under a lock only when enabled,
+so instrumented library code stays safe to call from the serving thread
+pool.  Timings of concurrent scopes add up (they measure occupancy, not
+wall clock).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable, Iterator
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "collecting",
+    "timed",
+    "count",
+    "reset",
+    "report",
+    "write_report",
+]
+
+_LOCK = threading.Lock()
+_ENABLED: bool = False
+
+#: name -> [calls, total_seconds]
+_TIMERS: dict[str, list[float]] = {}
+#: name -> running total
+_COUNTERS: dict[str, float] = {}
+
+
+def enable() -> None:
+    """Turn collection on globally (idempotent)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn collection off globally; recorded data is kept until :func:`reset`."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether instrumented regions currently record anything."""
+    return _ENABLED
+
+
+def reset() -> None:
+    """Drop all recorded timers and counters."""
+    with _LOCK:
+        _TIMERS.clear()
+        _COUNTERS.clear()
+
+
+class _NullScope:
+    """The do-nothing scope handed out while collection is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _TimedScope:
+    """One live timing region; records on exit."""
+
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimedScope":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        with _LOCK:
+            entry = _TIMERS.setdefault(self.name, [0, 0.0])
+            entry[0] += 1
+            entry[1] += elapsed
+
+
+def timed(name: str) -> _TimedScope | _NullScope:
+    """Context manager timing a named region (no-op while disabled)."""
+    if not _ENABLED:
+        return _NULL_SCOPE
+    return _TimedScope(name)
+
+
+def timed_fn(name: str | None = None) -> Callable:
+    """Decorator form of :func:`timed`; defaults to the function's name."""
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        def wrapper(*args: object, **kwargs: object) -> object:
+            if not _ENABLED:
+                return fn(*args, **kwargs)
+            with _TimedScope(label):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__qualname__ = fn.__qualname__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate
+
+
+def count(name: str, n: float = 1) -> None:
+    """Add ``n`` to a named counter (no-op while disabled)."""
+    if not _ENABLED:
+        return
+    with _LOCK:
+        _COUNTERS[name] = _COUNTERS.get(name, 0) + n
+
+
+class collecting:
+    """Context manager enabling collection for the duration of a block.
+
+    Restores the previous enabled state on exit, so nesting and use
+    around code that itself toggles the flag are safe.
+    """
+
+    def __enter__(self) -> "collecting":
+        self._previous = _ENABLED
+        enable()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _ENABLED
+        _ENABLED = self._previous
+
+
+def report() -> dict:
+    """Snapshot of everything recorded so far.
+
+    Returns ``{"timers": {name: {"calls", "total_s", "mean_s"}},
+    "counters": {name: total}}``; rates between a timer and a matching
+    counter are the consumer's business (see ``bench_throughput.py``).
+    """
+    with _LOCK:
+        timers = {
+            name: {
+                "calls": int(calls),
+                "total_s": total,
+                "mean_s": total / calls if calls else 0.0,
+            }
+            for name, (calls, total) in sorted(_TIMERS.items())
+        }
+        counters = {name: _COUNTERS[name] for name in sorted(_COUNTERS)}
+    return {"timers": timers, "counters": counters}
+
+
+def write_report(path: str | os.PathLike) -> dict:
+    """Write :func:`report` as indented JSON (atomically); returns it."""
+    data = report()
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return data
+
+
+def iter_timers() -> Iterator[tuple[str, int, float]]:
+    """Yield ``(name, calls, total_seconds)`` for every recorded timer."""
+    with _LOCK:
+        snapshot = [(name, int(c), t) for name, (c, t) in _TIMERS.items()]
+    yield from snapshot

@@ -46,8 +46,14 @@ def mag_to_flux(mag: float | np.ndarray, zero_point: float = ZERO_POINT) -> floa
 
 
 def signed_log10(x: np.ndarray) -> np.ndarray:
-    """The paper's dynamic-range compression ``sgn(x) log10(|x| + 1)``."""
-    x = np.asarray(x, dtype=float)
+    """The paper's dynamic-range compression ``sgn(x) log10(|x| + 1)``.
+
+    Floating inputs keep their precision (float32 stays float32 on the
+    serving hot path); anything else is computed in float64.
+    """
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.floating):
+        x = x.astype(float)
     return np.sign(x) * np.log10(np.abs(x) + 1.0)
 
 

@@ -22,6 +22,7 @@ from .validation import (
     RepairConfig,
     clip_difference_outliers,
     diagnose_and_repair,
+    diagnose_and_repair_batch,
     inpaint_bad_pixels,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "InputDiagnostics",
     "RepairConfig",
     "diagnose_and_repair",
+    "diagnose_and_repair_batch",
     "inpaint_bad_pixels",
     "clip_difference_outliers",
     "DEFAULT_SATURATION_LEVEL",

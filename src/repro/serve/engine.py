@@ -32,8 +32,10 @@ import numpy as np
 from ..core.features import masked_features_from_arrays
 from ..core.pipeline import SupernovaPipeline
 from ..datasets import N_BANDS, SupernovaDataset
+from ..perf.instrument import count as _count
+from ..perf.instrument import timed as _timed
 from ..photometry import GRIZY, signed_log10
-from .validation import InputDiagnostics, RepairConfig, diagnose_and_repair
+from .validation import InputDiagnostics, RepairConfig, diagnose_and_repair_batch
 
 __all__ = ["FluxPrior", "PredictionResult", "DegradedInputError", "InferenceEngine"]
 
@@ -253,7 +255,9 @@ class InferenceEngine:
             )
         return (
             pairs[:, :used].astype(np.float32, copy=False),
-            np.asarray(mjd[:, :used], dtype=float),
+            # float32 keeps the whole serving path single-precision; MJD
+            # rounding (<0.01 day) is far below the 50-day feature scale.
+            np.asarray(mjd[:, :used]).astype(np.float32, copy=False),
         )
 
     def _confidence(self, usable: np.ndarray, diags: list[InputDiagnostics]) -> float:
@@ -280,24 +284,29 @@ class InferenceEngine:
         strict = self.strict if strict is None else strict
         pairs, mjd = self._validate_batch(pairs, mjd)
         n, used = pairs.shape[0], self._n_used_visits
+        stamp = pairs.shape[-1]
+        _count("serve.samples", n)
 
-        usable = np.zeros((n, used), dtype=bool)
-        repaired_pairs = np.zeros_like(pairs)
+        # Validate/repair every visit of the batch in one vectorised pass
+        # over the flattened (N*V) visit axis.
+        with _timed("serve.repair"):
+            flat_pairs = np.ascontiguousarray(pairs.reshape(n * used, 2, stamp, stamp))
+            visit_ids = np.tile(np.arange(used), n)
+            repaired_flat, flat_diags, kept = diagnose_and_repair_batch(
+                flat_pairs, visit_ids, self.repair
+            )
+        mjd_ok = np.isfinite(mjd)
+        usable = kept.reshape(n, used) & mjd_ok
+        for i, v in zip(*np.nonzero(~mjd_ok)):
+            diag = flat_diags[i * used + v]
+            if not diag.rejected:
+                diag.rejected = True
+                diag.repaired = False
+                diag.reason = "non-finite observation date"
+
         all_diags: list[list[InputDiagnostics]] = []
         for i in range(n):
-            diags: list[InputDiagnostics] = []
-            for v in range(used):
-                repaired, diag = diagnose_and_repair(pairs[i, v], v, self.repair)
-                if np.isfinite(mjd[i, v]):
-                    usable[i, v] = not diag.rejected
-                elif not diag.rejected:
-                    diag.rejected = True
-                    diag.repaired = False
-                    diag.reason = "non-finite observation date"
-                if usable[i, v]:
-                    repaired_pairs[i, v] = repaired
-                if not diag.clean:
-                    diags.append(diag)
+            diags = [d for d in flat_diags[i * used : (i + 1) * used] if not d.clean]
             if strict and diags:
                 worst = diags[0]
                 raise DegradedInputError(
@@ -308,23 +317,23 @@ class InferenceEngine:
             all_diags.append(diags)
 
         # Batched CNN magnitudes for the usable visits only.
-        flux = np.zeros((n, used))
+        flux = np.zeros((n, used), dtype=np.float32)
         flat_idx = np.flatnonzero(usable.reshape(-1))
         if flat_idx.size:
-            stamp = pairs.shape[-1]
-            flat_pairs = repaired_pairs.reshape(-1, 2, stamp, stamp)[flat_idx]
-            mags = self.pipeline.cnn.predict(flat_pairs)
+            with _timed("serve.cnn"):
+                mags = self.pipeline.cnn.predict(repaired_flat[flat_idx])
             flux.reshape(-1)[flat_idx] = 10.0 ** (-0.4 * (mags - 27.0))
 
-        features = masked_features_from_arrays(
-            flux,
-            mjd,
-            usable,
-            self.pipeline.epochs_used,
-            self.pipeline.epochs_used,
-            prior_flux_feature=self.prior.flux_feature,
-        )
-        probs = self.pipeline.classifier.predict_proba(features)
+        with _timed("serve.features"):
+            features = masked_features_from_arrays(
+                flux,
+                mjd,
+                usable,
+                self.pipeline.epochs_used,
+                self.pipeline.epochs_used,
+                prior_flux_feature=self.prior.flux_feature,
+            )
+            probs = self.pipeline.classifier.predict_proba(features)
 
         results = []
         for i in range(n):
@@ -353,20 +362,50 @@ class InferenceEngine:
         dataset: SupernovaDataset,
         batch_size: int = 64,
         strict: bool | None = None,
+        workers: int = 1,
     ) -> Iterator[PredictionResult]:
         """Yield :class:`PredictionResult` objects batch by batch.
 
         The classify CLI consumes this to emit per-sample JSON lines as
         soon as each batch clears the CNN, rather than after the whole
         dataset.
+
+        With ``workers > 1`` micro-batches are classified on a thread
+        pool — the BLAS GEMMs behind the CNN release the GIL, so batches
+        genuinely overlap — while results still stream in request order.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        for start in range(0, len(dataset), batch_size):
-            stop = min(start + batch_size, len(dataset))
-            yield from self.classify_arrays(
-                dataset.pairs[start:stop],
-                dataset.visit_mjd[start:stop],
-                strict=strict,
-                start_index=start,
-            )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        starts = range(0, len(dataset), batch_size)
+        if workers == 1:
+            for start in starts:
+                stop = min(start + batch_size, len(dataset))
+                yield from self.classify_arrays(
+                    dataset.pairs[start:stop],
+                    dataset.visit_mjd[start:stop],
+                    strict=strict,
+                    start_index=start,
+                )
+            return
+
+        # Pin eval mode up front: predict() toggles train/eval on the
+        # shared modules, which must not race across worker threads.
+        self.pipeline.cnn.eval()
+        self.pipeline.classifier.eval()
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    self.classify_arrays,
+                    dataset.pairs[start : start + batch_size],
+                    dataset.visit_mjd[start : start + batch_size],
+                    strict,
+                    start,
+                )
+                for start in starts
+            ]
+            for future in futures:
+                yield from future.result()

@@ -31,6 +31,7 @@ __all__ = [
     "InputDiagnostics",
     "RepairConfig",
     "diagnose_and_repair",
+    "diagnose_and_repair_batch",
     "inpaint_bad_pixels",
     "clip_difference_outliers",
     "DEFAULT_SATURATION_LEVEL",
@@ -232,3 +233,115 @@ def diagnose_and_repair(
             f"sigma-clipped {n_clipped} difference outlier(s)"
         )
     return repaired, diag
+
+
+def diagnose_and_repair_batch(
+    pairs: np.ndarray, visits: np.ndarray, config: RepairConfig | None = None
+) -> tuple[np.ndarray, list[InputDiagnostics], np.ndarray]:
+    """Vectorised :func:`diagnose_and_repair` over a flat visit batch.
+
+    ``pairs`` is ``(M, 2, S, S)`` — the serving engine's ``(N, V)`` axes
+    flattened — and ``visits`` the ``(M,)`` visit index of each pair.
+    Returns ``(repaired, diagnostics, kept)``: the float32 repaired
+    pairs (rejected entries keep their original content), one
+    :class:`InputDiagnostics` per pair, and the boolean keep mask.
+
+    The result matches the per-visit loop bit for bit: diagnosis masks
+    and sigma-clipping are computed with whole-batch array ops (the
+    median filter runs with a size-1 footprint on the batch axis, so no
+    statistic crosses visits), while the rare flagged visits are
+    inpainted through the same :func:`inpaint_bad_pixels` the scalar
+    path uses.
+    """
+    config = config or RepairConfig()
+    pairs = np.asarray(pairs, dtype=np.float32)
+    if pairs.ndim != 4 or pairs.shape[1] != 2:
+        raise ValueError(f"expected (M, 2, S, S) pairs, got shape {pairs.shape}")
+    visits = np.asarray(visits)
+    if visits.shape != (pairs.shape[0],):
+        raise ValueError(
+            f"visits shape {visits.shape} does not match batch {pairs.shape[0]}"
+        )
+    m = pairs.shape[0]
+    n_pixels = int(pairs[0, 0].size)
+    pair_size = 2 * n_pixels
+
+    finite = np.isfinite(pairs)
+    saturated = finite & (pairs >= config.saturation_level)
+    bad = ~finite | saturated
+    n_nonfinite = (~finite).sum(axis=(1, 2, 3))
+    n_saturated = saturated.sum(axis=(1, 2, 3))
+    bad_count = bad.sum(axis=(1, 2, 3))
+    bad_fraction = bad_count / pair_size
+    channel_dead = bad.all(axis=(2, 3))  # (M, 2)
+    missing = channel_dead.any(axis=1)
+    over_budget = ~missing & (bad_fraction > config.max_repair_fraction)
+    kept = ~missing & ~over_budget
+
+    repaired = pairs.copy()
+    inpainted = kept & (bad_count > 0)
+    for i in np.flatnonzero(inpainted):
+        for channel in range(2):
+            repaired[i, channel] = inpaint_bad_pixels(
+                pairs[i, channel], bad[i, channel], window=config.inpaint_window
+            )
+
+    # Batched sigma-clip of every kept visit (see clip_difference_outliers).
+    n_clipped = np.zeros(m, dtype=np.int64)
+    kept_idx = np.flatnonzero(kept)
+    if kept_idx.size:
+        reference = repaired[kept_idx, 0]
+        observation = repaired[kept_idx, 1]
+        diff = observation - reference
+        med = np.median(diff, axis=(1, 2))
+        mad = np.median(np.abs(diff - med[:, None, None]), axis=(1, 2))
+        sigma = 1.4826 * mad.astype(np.float64)
+        local = ndimage.median_filter(diff, size=(1, 3, 3), mode="nearest")
+        excess = diff - med[:, None, None]
+        # Threshold rounded to float32 exactly as the scalar comparison does.
+        threshold = (config.clip_sigma * sigma).astype(np.float32)
+        candidates = excess > threshold[:, None, None]
+        unsupported = (local - med[:, None, None]) < np.float32(
+            config.clip_support_ratio
+        ) * excess
+        outliers = candidates & unsupported & (sigma > 0)[:, None, None]
+        counts = outliers.sum(axis=(1, 2))
+        if counts.any():
+            observation[outliers] = reference[outliers] + local[outliers]
+            repaired[kept_idx, 1] = observation
+        n_clipped[kept_idx] = counts
+
+    n_bands = len(GRIZY)
+    diags: list[InputDiagnostics] = []
+    for i in range(m):
+        diag = InputDiagnostics(
+            visit=int(visits[i]),
+            band=GRIZY[int(visits[i]) % n_bands].name,
+            n_pixels=n_pixels,
+            n_nonfinite=int(n_nonfinite[i]),
+            n_saturated=int(n_saturated[i]),
+            bad_fraction=float(bad_fraction[i]),
+        )
+        if missing[i]:
+            diag.rejected = True
+            diag.reason = (
+                "reference" if channel_dead[i, 0] else "observation"
+            ) + " channel entirely unusable (missing visit)"
+        elif over_budget[i]:
+            diag.rejected = True
+            diag.reason = (
+                f"bad-pixel fraction {diag.bad_fraction:.3f} exceeds repair "
+                f"budget {config.max_repair_fraction:.3f}"
+            )
+        else:
+            if inpainted[i]:
+                diag.repaired = True
+                diag.reason = "inpainted non-finite/saturated pixels"
+            if n_clipped[i]:
+                diag.n_clipped = int(n_clipped[i])
+                diag.repaired = True
+                diag.reason = (diag.reason + "; " if diag.reason else "") + (
+                    f"sigma-clipped {diag.n_clipped} difference outlier(s)"
+                )
+        diags.append(diag)
+    return repaired, diags, kept

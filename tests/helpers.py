@@ -6,7 +6,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.nn import Tensor
+from repro.nn import Tensor, preserve_float64
 
 
 def numerical_grad(
@@ -37,18 +37,21 @@ def check_gradient(
     """Assert autograd gradient of ``build(x).sum()`` matches finite differences.
 
     ``build`` must map a Tensor to a Tensor using only repro.nn operations.
-    The input is evaluated in float64 for a tight numerical comparison.
+    The whole comparison runs under :class:`repro.nn.preserve_float64`
+    (the documented opt-out of the float32 dtype policy) so finite
+    differences stay numerically tight.
     """
     x = np.asarray(x, dtype=np.float64)
 
-    tensor = Tensor(x.copy(), requires_grad=True)
-    out = build(tensor)
-    out.sum().backward()
-    analytic = tensor.grad
+    with preserve_float64():
+        tensor = Tensor(x.copy(), requires_grad=True)
+        out = build(tensor)
+        out.sum().backward()
+        analytic = tensor.grad
 
-    def scalar_fn(arr: np.ndarray) -> float:
-        t = Tensor(arr.copy())
-        return float(build(t).numpy().sum())
+        def scalar_fn(arr: np.ndarray) -> float:
+            t = Tensor(arr.copy())
+            return float(build(t).numpy().sum())
 
-    numeric = numerical_grad(scalar_fn, x)
+        numeric = numerical_grad(scalar_fn, x)
     np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

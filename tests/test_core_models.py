@@ -69,6 +69,12 @@ class TestBandwiseCNN:
         # Freshly initialised network outputs near MAG_CENTER.
         assert np.all(np.abs(out - 24.5) < 10.0)
 
+    def test_empty_input_keeps_float32_contract(self):
+        cnn = BandwiseCNN(input_size=36, rng=RNG)
+        out = cnn.predict(np.empty((0, 2, 36, 36), dtype=np.float32))
+        assert out.shape == (0,)
+        assert out.dtype == np.float32
+
     def test_paper_channel_progression(self):
         cnn = BandwiseCNN(input_size=60, rng=RNG)
         convs = [m for m in cnn.convs if isinstance(m, nn.Conv2d)]

@@ -18,8 +18,9 @@ finite_arrays = st.integers(min_value=1, max_value=6).flatmap(
 
 
 def _grad_of(fn, x: np.ndarray) -> np.ndarray:
-    t = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
-    fn(t).sum().backward()
+    with nn.preserve_float64():
+        t = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+        fn(t).sum().backward()
     return t.grad
 
 
@@ -71,9 +72,10 @@ class TestAutogradIdentities:
     @given(finite_arrays)
     def test_detach_blocks_gradient(self, xs):
         x = np.array(xs)
-        t = Tensor(x, requires_grad=True)
-        out = t * Tensor(t.detach().numpy())  # second factor is a constant
-        out.sum().backward()
+        with nn.preserve_float64():
+            t = Tensor(x, requires_grad=True)
+            out = t * Tensor(t.detach().numpy())  # second factor is a constant
+            out.sum().backward()
         np.testing.assert_allclose(t.grad, x, rtol=1e-6)
 
 

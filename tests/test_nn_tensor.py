@@ -4,7 +4,7 @@ against central finite differences."""
 import numpy as np
 import pytest
 
-from repro.nn import Tensor, as_tensor, concat, no_grad, stack
+from repro.nn import Tensor, as_tensor, concat, no_grad, preserve_float64, stack
 
 from .helpers import check_gradient
 
@@ -16,8 +16,19 @@ class TestBasics:
         t = Tensor([1, 2, 3])
         assert t.dtype == np.float32
 
-    def test_float64_preserved(self):
+    def test_float64_downcast_by_default(self):
         t = Tensor(np.array([1.0, 2.0], dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_float64_preserved_under_context(self):
+        with preserve_float64():
+            t = Tensor(np.array([1.0, 2.0], dtype=np.float64))
+        assert t.dtype == np.float64
+        # Policy is restored on exit.
+        assert Tensor(np.array([1.0], dtype=np.float64)).dtype == np.float32
+
+    def test_explicit_dtype_wins(self):
+        t = Tensor(np.array([1.0, 2.0], dtype=np.float64), dtype=np.float64)
         assert t.dtype == np.float64
 
     def test_shape_ndim_size(self):
@@ -268,3 +279,31 @@ class TestGraphMechanics:
         t = Tensor([3.0], requires_grad=True)
         (t * t).sum().backward()
         np.testing.assert_allclose(t.grad, [6.0])
+
+
+def test_no_grad_is_thread_local():
+    """A worker thread's no_grad must not disable recording elsewhere
+    (concurrent ``predict()`` calls under ``stream(workers=N)``)."""
+    import threading
+
+    from repro.nn.tensor import is_grad_enabled, no_grad
+
+    entered = threading.Event()
+    release = threading.Event()
+
+    def worker():
+        with no_grad():
+            entered.set()
+            release.wait(timeout=5.0)
+
+    t = threading.Thread(target=worker)
+    t.start()
+    try:
+        assert entered.wait(timeout=5.0)
+        assert is_grad_enabled()
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        assert (x * 2).requires_grad
+    finally:
+        release.set()
+        t.join()
+    assert is_grad_enabled()

@@ -1,0 +1,107 @@
+"""Unit tests for the repro.perf instrumentation subsystem."""
+
+import json
+import time
+
+import pytest
+
+from repro.perf import (
+    collecting,
+    count,
+    disable,
+    enable,
+    enabled,
+    report,
+    reset,
+    timed,
+    timed_fn,
+    write_report,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    disable()
+    reset()
+    yield
+    disable()
+    reset()
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not enabled()
+
+    def test_timed_is_noop_when_disabled(self):
+        with timed("x"):
+            pass
+        count("y", 3)
+        payload = report()
+        assert payload["timers"] == {}
+        assert payload["counters"] == {}
+
+    def test_disabled_scope_is_shared_singleton(self):
+        # Near-zero overhead when off: no per-call allocation.
+        assert timed("a") is timed("b")
+
+
+class TestEnabled:
+    def test_timers_accumulate_calls_and_time(self):
+        enable()
+        for _ in range(3):
+            with timed("stage"):
+                time.sleep(0.001)
+        payload = report()
+        stage = payload["timers"]["stage"]
+        assert stage["calls"] == 3
+        assert stage["total_s"] >= 0.003
+        assert stage["mean_s"] == pytest.approx(stage["total_s"] / 3)
+
+    def test_counters_sum(self):
+        enable()
+        count("samples", 5)
+        count("samples", 7)
+        count("batches")
+        payload = report()
+        assert payload["counters"]["samples"] == 12
+        assert payload["counters"]["batches"] == 1
+
+    def test_timed_fn_decorator(self):
+        @timed_fn("wrapped")
+        def add(a, b):
+            return a + b
+
+        enable()
+        assert add(2, 3) == 5
+        assert report()["timers"]["wrapped"]["calls"] == 1
+
+    def test_reset_clears_everything(self):
+        enable()
+        with timed("x"):
+            pass
+        count("y")
+        reset()
+        payload = report()
+        assert payload["timers"] == {} and payload["counters"] == {}
+
+
+class TestCollecting:
+    def test_collecting_enables_then_restores(self):
+        assert not enabled()
+        with collecting():
+            assert enabled()
+            with timed("inner"):
+                pass
+        assert not enabled()
+        assert report()["timers"]["inner"]["calls"] == 1
+
+    def test_write_report_is_valid_json(self, tmp_path):
+        with collecting():
+            with timed("op"):
+                pass
+            count("n", 4)
+        path = tmp_path / "perf.json"
+        write_report(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["timers"]["op"]["calls"] == 1
+        assert payload["counters"]["n"] == 4
