@@ -119,13 +119,8 @@ def bench_cnn_predict(
     return n / elapsed
 
 
-def bench_classify(
-    input_size: int, stamp: int, n: int, batch: int, repeats: int, seed: int = 2
-) -> tuple[float, dict]:
-    """End-to-end serving throughput in samples per second.
-
-    Also returns the perf-timer breakdown of one instrumented pass.
-    """
+def _classify_workload(input_size: int, stamp: int, n: int, batch: int, seed: int):
+    """Build the end-to-end serving workload; returns its ``run()`` closure."""
     rng = np.random.default_rng(seed)
     pipeline = SupernovaPipeline(input_size=input_size, epochs_used=1, seed=seed)
     pipeline.cnn.eval()
@@ -137,12 +132,27 @@ def bench_classify(
         np.float64
     )
 
-    def run() -> None:
+    def run() -> list:
+        results = []
         for start in range(0, n, batch):
-            engine.classify_arrays(
-                pairs[start : start + batch], mjd[start : start + batch]
+            results.extend(
+                engine.classify_arrays(
+                    pairs[start : start + batch], mjd[start : start + batch]
+                )
             )
+        return results
 
+    return run
+
+
+def bench_classify(
+    input_size: int, stamp: int, n: int, batch: int, repeats: int, seed: int = 2
+) -> tuple[float, dict]:
+    """End-to-end serving throughput in samples per second.
+
+    Also returns the perf-timer breakdown of one instrumented pass.
+    """
+    run = _classify_workload(input_size, stamp, n, batch, seed)
     elapsed = _timeit(run, repeats)
 
     perf.reset()
@@ -154,6 +164,128 @@ def bench_classify(
         perf.disable()
         perf.reset()
     return n / elapsed, timers
+
+
+def bench_telemetry(
+    input_size: int, stamp: int, n: int, batch: int, repeats: int, seed: int = 3
+) -> tuple[dict, list[str]]:
+    """Telemetry overhead smoke on the classify hot path.
+
+    The interesting regression class is the *disabled* path silently
+    growing a cost — a session leaking active after ``stop()``, or the
+    ``obs.active()`` check turning into real work.  Wall-clock A/B
+    timing of that path is hopeless on shared runners (CPU frequency
+    drift alone exceeds any honest gate), so the gate is deterministic:
+
+    1. no session is active before or leaked after the enabled rounds;
+    2. classify outputs are bit-identical with telemetry off and on;
+    3. the disabled hook itself — ``obs.active()`` plus the branch,
+       the *entire* cost classify pays when telemetry is off — is
+       microbenchmarked and its per-batch cost must stay under 2% of
+       the measured per-batch classify time;
+    4. enabled rounds emit at least one event per served sample.
+
+    Off/on rounds still interleave and the enabled overhead is reported
+    informationally (median of paired per-round ratios, robust to
+    drift); absolute throughput stays gated by ``--check``.
+    """
+    import statistics
+    import tempfile
+
+    from repro import obs
+
+    run = _classify_workload(input_size, stamp, n, batch, seed)
+    rounds = max(2 * repeats, 4)
+    failures: list[str] = []
+
+    if obs.active() is not None:
+        failures.append("a telemetry session was already active before the bench")
+
+    for _ in range(2):  # warm caches, allocator and BLAS threads
+        run()
+
+    times_off: list[float] = []
+    times_on: list[float] = []
+    n_events = 0
+    results_off = results_on = None
+    with tempfile.TemporaryDirectory() as tmp:
+        for index in range(rounds):
+            start = time.perf_counter()
+            results_off = run()
+            times_off.append(time.perf_counter() - start)
+
+            round_dir = os.path.join(tmp, f"round{index}")
+            obs.start(round_dir, command="bench-telemetry")
+            try:
+                start = time.perf_counter()
+                results_on = run()
+                times_on.append(time.perf_counter() - start)
+            finally:
+                obs.stop()
+            n_events += sum(
+                1 for _ in obs.read_events(os.path.join(round_dir, obs.EVENTS_FILE))
+            )
+
+    if obs.active() is not None:
+        failures.append("telemetry session leaked: obs.active() is not None after stop()")
+
+    mismatched = [
+        i
+        for i, (a, b) in enumerate(zip(results_off, results_on))
+        if a.probability != b.probability or a.degraded != b.degraded
+    ]
+    if mismatched:
+        failures.append(
+            f"telemetry changed classify outputs for samples {mismatched[:5]}"
+        )
+
+    # The whole disabled path is one ``obs.active()`` call per
+    # classify_arrays() batch; time it directly.
+    hook_iters = 200_000
+    start = time.perf_counter()
+    for _ in range(hook_iters):
+        if obs.active() is not None:  # pragma: no cover - never taken here
+            raise AssertionError
+    hook_cost = (time.perf_counter() - start) / hook_iters
+    batches_per_run = (n + batch - 1) // batch
+    batch_time = min(times_off) / batches_per_run
+    disabled_overhead = hook_cost / batch_time
+
+    rate_off = n / min(times_off)
+    rate_on = n / min(times_on)
+    enabled_overhead = statistics.median(
+        t_on / t_off for t_on, t_off in zip(times_on, times_off)
+    ) - 1.0
+
+    print(f"telemetry off:      {rate_off:8.2f} samples/s")
+    print(f"telemetry on:       {rate_on:8.2f} samples/s ({n_events} events)")
+    print(
+        f"disabled hook cost  {hook_cost * 1e9:6.0f} ns/batch = "
+        f"{disabled_overhead:.4%} of batch time (gate <2%), "
+        f"enabled overhead {enabled_overhead:6.2%}"
+    )
+
+    if disabled_overhead > 0.02:
+        failures.append(
+            f"disabled telemetry hook costs {disabled_overhead:.2%} of classify "
+            "batch time (gate 2%)"
+        )
+    # Every enabled round serves n samples -> at least that many
+    # serve.request events plus session bookkeeping.
+    if n_events <= n * len(times_on):
+        failures.append(
+            f"telemetry-enabled rounds emitted only {n_events} events for "
+            f"{n * len(times_on)} served samples"
+        )
+    section = {
+        "disabled_samples_per_s": round(rate_off, 2),
+        "enabled_samples_per_s": round(rate_on, 2),
+        "disabled_hook_ns": round(hook_cost * 1e9, 1),
+        "disabled_overhead": round(disabled_overhead, 6),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "n_events": n_events,
+    }
+    return section, failures
 
 
 def run_benchmark(smoke: bool) -> dict:
@@ -259,11 +391,28 @@ def main(argv: list[str] | None = None) -> int:
         "--no-write", action="store_true",
         help="measure (and --check) without updating the JSON",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="also smoke the telemetry overhead gate: classify off/on/off, "
+        "fail (exit 1) if the disabled path drifts more than 2%%",
+    )
     args = parser.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
     print(f"mode: {mode} (numpy {np.__version__})")
     section = run_benchmark(args.smoke)
+
+    telemetry_failures: list[str] = []
+    if args.telemetry:
+        config = section["config"]
+        telemetry_section, telemetry_failures = bench_telemetry(
+            config["input_size"],
+            config["stamp"],
+            config["classify_n"],
+            config["classify_batch"],
+            config["repeats"],
+        )
+        section["telemetry"] = telemetry_section
 
     document: dict = {}
     if os.path.exists(args.out):
@@ -290,6 +439,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if failures:
         print(f"FAIL: regression in {', '.join(failures)}", file=sys.stderr)
+        return 1
+    if telemetry_failures:
+        for failure in telemetry_failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     return 0
 

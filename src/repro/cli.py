@@ -35,11 +35,13 @@ diverged beyond its retry budget.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 import numpy as np
 
+from . import obs
 from .core import (
     BandwiseCNN,
     LightCurveClassifier,
@@ -60,6 +62,52 @@ __all__ = ["main", "build_parser"]
 EXIT_BAD_INPUT = 2
 EXIT_CORRUPT_ARTIFACT = 3
 EXIT_DIVERGED = 4
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="write structured telemetry (events.jsonl + metrics.json) into "
+        "DIR; summarize it later with `repro metrics DIR`",
+    )
+
+
+def _note(message: str, event: str = "cli.note", level: str = "info",
+          **fields: object) -> None:
+    """Progress/summary reporting funnel.
+
+    With telemetry enabled the line becomes a structured event; without
+    it the human-readable rendering goes to stderr (stdout is reserved
+    for command output such as the classify JSON stream).
+    """
+    session = obs.active()
+    if session is not None:
+        session.emit(event, level=level, message=message, **fields)
+    else:
+        print(message, file=sys.stderr)
+
+
+def _fail(exc: BaseException, code: int, prefix: str = "error: ") -> int:
+    """Report a structured failure: stderr line plus a terminal event.
+
+    The event carries the exit code and, when the exception knows them
+    (strict-mode :class:`~repro.serve.DegradedInputError`), the sample
+    index and ``request_id`` that failed — so an exit-2/3 run is
+    traceable from the telemetry stream alone.
+    """
+    print(f"{prefix}{exc}", file=sys.stderr)
+    session = obs.active()
+    if session is not None:
+        fields: dict[str, object] = {
+            "error_type": type(exc).__name__,
+            "exit_code": code,
+        }
+        if getattr(exc, "index", None) is not None:
+            fields["index"] = exc.index
+        if getattr(exc, "request_id", None):
+            fields["request_id"] = exc.request_id
+        session.emit("cli.error", level="error", message=str(exc), **fields)
+    return code
 
 
 def _add_checkpoint_args(parser: argparse.ArgumentParser, default_every: int) -> None:
@@ -100,7 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, metavar="PATH",
         help="write the JSON build report (quarantined samples) here",
     )
+    build.add_argument(
+        "--stamp-size", type=int, default=None, metavar="PX",
+        help="cutout side length in pixels (default: the paper's 65)",
+    )
+    build.add_argument(
+        "--catalog-size", type=int, default=None, metavar="N",
+        help="size of the synthetic host-galaxy catalog (default 5000)",
+    )
     _add_checkpoint_args(build, default_every=200)
+    _add_telemetry_arg(build)
 
     cnn = sub.add_parser("train-flux-cnn", help="train the band-wise CNN (Fig. 7)")
     cnn.add_argument("--dataset", required=True)
@@ -111,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     cnn.add_argument("--seed", type=int, default=0)
     cnn.add_argument("--out", required=True, help="output weights .npz path")
     _add_checkpoint_args(cnn, default_every=1)
+    _add_telemetry_arg(cnn)
 
     clf = sub.add_parser("train-classifier", help="train the highway classifier (Fig. 6)")
     clf.add_argument("--dataset", required=True)
@@ -120,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     clf.add_argument("--seed", type=int, default=0)
     clf.add_argument("--out", required=True, help="output weights .npz path")
     _add_checkpoint_args(clf, default_every=1)
+    _add_telemetry_arg(clf)
 
     ev = sub.add_parser("evaluate", help="evaluate a trained classifier")
     ev.add_argument("--dataset", required=True)
@@ -152,6 +211,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="classify batches on N threads (BLAS releases the GIL); "
         "results still stream in order",
     )
+    _add_telemetry_arg(cl)
+
+    met = sub.add_parser(
+        "metrics", help="summarize a telemetry directory (events + metrics)"
+    )
+    met.add_argument(
+        "directory", help="telemetry directory written via --telemetry"
+    )
+    met.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="also render the last N events human-readably",
+    )
+    met.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the metrics snapshot in Prometheus text exposition "
+        "format instead of the human report",
+    )
+    met.add_argument(
+        "--validate", action="store_true",
+        help="check every event line against the schema first "
+        "(exit 2 on any violation)",
+    )
     return parser
 
 
@@ -164,12 +245,20 @@ def _resume_path(args: argparse.Namespace) -> str | None:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    from .survey.imaging import ImagingConfig
+
+    extras: dict[str, object] = {}
+    if args.stamp_size is not None:
+        extras["imaging"] = ImagingConfig(stamp_size=args.stamp_size)
+    if args.catalog_size is not None:
+        extras["catalog_size"] = args.catalog_size
     config = BuildConfig(
         n_ia=args.n_ia,
         n_non_ia=args.n_non_ia,
         seed=args.seed,
         render_images=not args.no_images,
         workers=args.workers,
+        **extras,
     )
     if args.resume and args.checkpoint is None:
         raise ValueError("--resume requires --checkpoint")
@@ -187,8 +276,16 @@ def _cmd_build(args: argparse.Namespace) -> int:
         with open(args.report, "w") as handle:
             handle.write(report.to_json())
     if report is not None and report.n_quarantined:
-        print(f"{report.summary()} (see --report for quarantined samples)")
-    print(f"{dataset.summary()} written to {args.out} in {time.time() - start:.1f}s")
+        _note(
+            f"{report.summary()} (see --report for quarantined samples)",
+            event="build.report", level="warning",
+            n_quarantined=report.n_quarantined,
+        )
+    _note(
+        f"{dataset.summary()} written to {args.out} in {time.time() - start:.1f}s",
+        event="build.saved", out=args.out,
+        elapsed_s=round(time.time() - start, 3),
+    )
     return 0
 
 
@@ -225,7 +322,11 @@ def _cmd_train_cnn(args: argparse.Namespace) -> int:
         resume=_resume_path(args),
     )
     save_module(cnn, args.out)
-    print(f"best val loss {history.best_val_loss:.4f}; weights written to {args.out}")
+    _note(
+        f"best val loss {history.best_val_loss:.4f}; weights written to {args.out}",
+        event="train.saved", out=args.out,
+        best_val_loss=history.best_val_loss,
+    )
     return 0
 
 
@@ -254,7 +355,10 @@ def _cmd_train_classifier(args: argparse.Namespace) -> int:
     )
     save_module(clf, args.out)
     best = max(history.val_metric) if history.val_metric else float("nan")
-    print(f"best val AUC {best:.3f}; weights written to {args.out}")
+    _note(
+        f"best val AUC {best:.3f}; weights written to {args.out}",
+        event="train.saved", out=args.out, best_val_auc=best,
+    )
     return 0
 
 
@@ -293,13 +397,62 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     finally:
         if args.out:
             sink.close()
-    print(
-        f"served {len(confidences)} sample(s), {n_degraded} degraded, "
-        f"mean confidence {float(np.mean(confidences)):.3f}"
-        if confidences
-        else "served 0 samples",
-        file=sys.stderr,
+    if confidences:
+        summary = (
+            f"served {len(confidences)} sample(s), {n_degraded} degraded, "
+            f"mean confidence {float(np.mean(confidences)):.3f}"
+        )
+    else:
+        summary = "served 0 samples"
+    # The serving summary always lands on stderr (tests and operators
+    # rely on it); with telemetry on it is additionally recorded as the
+    # terminal serve event.
+    print(summary, file=sys.stderr)
+    session = obs.active()
+    if session is not None:
+        session.emit(
+            "serve.summary",
+            message=summary,
+            n_served=len(confidences),
+            n_degraded=n_degraded,
+            mean_confidence=float(np.mean(confidences)) if confidences else None,
+        )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import SCHEMA_VERSION, validate_file
+    from .obs.log import EVENTS_FILE
+    from .obs.report import (
+        format_event,
+        prometheus_report,
+        summarize_directory,
+        tail_events,
     )
+
+    if args.validate:
+        events_path = os.path.join(args.directory, EVENTS_FILE)
+        if not os.path.exists(events_path):
+            print(f"error: no {EVENTS_FILE} in {args.directory}", file=sys.stderr)
+            return EXIT_BAD_INPUT
+        n_events, errors = validate_file(events_path)
+        if errors:
+            for err in errors[:20]:
+                print(f"error: {err}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"error: ... and {len(errors) - 20} more", file=sys.stderr)
+            return EXIT_BAD_INPUT
+        print(f"validated {n_events} event(s) against schema v{SCHEMA_VERSION}")
+    if args.prometheus:
+        sys.stdout.write(prometheus_report(args.directory))
+        return 0
+    sys.stdout.write(summarize_directory(args.directory))
+    if args.tail > 0:
+        records = tail_events(args.directory, args.tail)
+        if records:
+            print(f"\nlast {len(records)} event(s):")
+            for record in records:
+                print(f"  {format_event(record)}")
     return 0
 
 
@@ -309,6 +462,7 @@ _COMMANDS = {
     "train-classifier": _cmd_train_classifier,
     "evaluate": _cmd_evaluate,
     "classify": _cmd_classify,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -318,27 +472,37 @@ def main(argv: list[str] | None = None) -> int:
     Structured runtime failures are reported as one-line ``error:``
     messages on stderr instead of tracebacks: bad or missing inputs exit
     with ``2``, corrupt artifacts with ``3``, diverged training with
-    ``4``.
+    ``4``.  With ``--telemetry DIR`` the same failures additionally
+    leave a terminal ``cli.error`` event (carrying the exit code and,
+    for strict-mode serving refusals, the failing sample's index and
+    request id) before the session closes.
     """
     args = build_parser().parse_args(argv)
+    telemetry_dir = getattr(args, "telemetry", None)
+    if telemetry_dir:
+        obs.start(telemetry_dir, command=args.command)
+    code: int | None = None  # None = a non-CLI exception escaped
     try:
-        return _COMMANDS[args.command](args)
-    except CorruptArtifactError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return EXIT_CORRUPT_ARTIFACT
-    except TrainingDiverged as exc:
-        print(f"error: training diverged: {exc}", file=sys.stderr)
-        return EXIT_DIVERGED
-    except BuildAborted as exc:
-        print(f"error: dataset build aborted: {exc}", file=sys.stderr)
-        return EXIT_BAD_INPUT
-    except OSError as exc:
-        # FileNotFoundError / PermissionError / IsADirectoryError on inputs
-        print(f"error: {exc}", file=sys.stderr)
-        return EXIT_BAD_INPUT
-    except (ValueError, KeyError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return EXIT_BAD_INPUT
+        try:
+            code = _COMMANDS[args.command](args)
+        except CorruptArtifactError as exc:
+            code = _fail(exc, EXIT_CORRUPT_ARTIFACT)
+        except TrainingDiverged as exc:
+            code = _fail(exc, EXIT_DIVERGED, prefix="error: training diverged: ")
+        except BuildAborted as exc:
+            code = _fail(exc, EXIT_BAD_INPUT, prefix="error: dataset build aborted: ")
+        except OSError as exc:
+            # FileNotFoundError / PermissionError / IsADirectoryError on inputs
+            code = _fail(exc, EXIT_BAD_INPUT)
+        except (ValueError, KeyError) as exc:
+            code = _fail(exc, EXIT_BAD_INPUT)
+        return code
+    finally:
+        if telemetry_dir and obs.active() is not None:
+            obs.stop(
+                status="ok" if code == 0 else "error",
+                exit_code=-1 if code is None else code,
+            )
 
 
 if __name__ == "__main__":

@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import copy
 import os
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
 from ..nn.tensor import Tensor
 from ..runtime import RetryPolicy, TrainCheckpoint, TrainingDiverged, grads_are_finite
 
@@ -250,9 +251,11 @@ def fit(
 
     epoch = start_epoch
     while epoch < config.epochs and not stopped:
+        telemetry = obs.active()
         model.train()
         order = rng.permutation(n)
         epoch_losses: list[float] = []
+        epoch_grad_norms: list[float] = []
         diverged = False
         for start in range(0, n, config.batch_size):
             idx = order[start : start + config.batch_size]
@@ -272,13 +275,37 @@ def fit(
                 diverged = True
                 break
             if config.grad_clip is not None:
-                nn.clip_grad_norm(model.parameters(), config.grad_clip)
+                epoch_grad_norms.append(
+                    nn.clip_grad_norm(model.parameters(), config.grad_clip)
+                )
+            elif telemetry is not None:
+                epoch_grad_norms.append(
+                    float(
+                        np.sqrt(
+                            sum(
+                                float((p.grad**2).sum())
+                                for p in model.parameters()
+                                if p.grad is not None
+                            )
+                        )
+                    )
+                )
             optimizer.step()
             epoch_losses.append(loss.item())
 
         if diverged:
             retries_used += 1
             failed_lr = optimizer.lr
+            if telemetry is not None:
+                telemetry.emit(
+                    "train.divergence",
+                    level="warning",
+                    epoch=epoch,
+                    retry=retries_used,
+                    max_retries=policy.max_retries,
+                    failed_lr=failed_lr,
+                )
+                telemetry.metrics.counter("train.divergence_retries").inc()
             if retries_used > policy.max_retries:
                 raise TrainingDiverged(
                     f"non-finite training loss at epoch {epoch + 1} after "
@@ -290,10 +317,11 @@ def fit(
                 )
             restore(last_good)
             optimizer.lr = policy.next_lr(failed_lr)
-            if config.verbose:
+            if config.verbose and telemetry is None:
                 print(
                     f"  divergence at epoch {epoch + 1}: rolled back, "
-                    f"retry {retries_used}/{policy.max_retries} at lr={optimizer.lr:.2e}"
+                    f"retry {retries_used}/{policy.max_retries} at lr={optimizer.lr:.2e}",
+                    file=sys.stderr,
                 )
             continue  # retry the same epoch from the last good state
 
@@ -315,15 +343,37 @@ def fit(
                 patience_left -= 1
                 if patience_left < 0:
                     stopped = True
-                    if config.verbose:
-                        print(f"  early stop at epoch {epoch + 1}")
-        if config.verbose:
+                    if config.verbose and telemetry is None:
+                        print(f"  early stop at epoch {epoch + 1}", file=sys.stderr)
+        if telemetry is not None:
+            grad_norm = float(np.mean(epoch_grad_norms)) if epoch_grad_norms else None
+            telemetry.emit(
+                "train.epoch",
+                epoch=epoch,
+                train_loss=history.train_loss[-1],
+                val_loss=history.val_loss[-1] if history.val_loss else None,
+                val_metric=history.val_metric[-1] if history.val_metric else None,
+                lr=optimizer.lr,
+                grad_norm=grad_norm,
+                retries_used=retries_used,
+                best_epoch=history.best_epoch,
+                early_stopped=stopped,
+            )
+            metrics = telemetry.metrics
+            metrics.counter("train.epochs").inc()
+            metrics.gauge("train.lr").set(optimizer.lr)
+            metrics.gauge("train.train_loss").set(history.train_loss[-1])
+            if history.val_loss:
+                metrics.gauge("train.val_loss").set(history.val_loss[-1])
+            if grad_norm is not None:
+                metrics.gauge("train.grad_norm").set(grad_norm)
+        if config.verbose and telemetry is None:
             msg = f"  epoch {epoch + 1}/{config.epochs} train={history.train_loss[-1]:.4f}"
             if history.val_loss:
                 msg += f" val={history.val_loss[-1]:.4f}"
             if history.val_metric:
                 msg += f" metric={history.val_metric[-1]:.4f}"
-            print(msg)
+            print(msg, file=sys.stderr)
 
         last_good = snapshot()
         if (epoch + 1) % checkpoint_every == 0 or epoch + 1 == config.epochs or stopped:

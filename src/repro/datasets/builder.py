@@ -35,12 +35,14 @@ rejected instead of silently mixed.
 from __future__ import annotations
 
 import os
+import sys
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..catalog import CosmosCatalog, HostSelector
 from ..lightcurves import LightCurve, PopulationModel
 from ..photometry import GRIZY
@@ -182,6 +184,27 @@ class DatasetBuilder:
         #: BuildReport of the most recent :meth:`build` call (or None).
         self.report: BuildReport | None = None
 
+    @staticmethod
+    def _emit(
+        event: str,
+        message: str,
+        verbose: bool,
+        level: str = "info",
+        **fields: object,
+    ) -> None:
+        """Report one build happening: structured event or stderr line.
+
+        With a telemetry session active the record goes to the event
+        log; otherwise ``verbose=True`` preserves the human-readable
+        rendering on stderr (progress must never pollute stdout, which
+        carries command output).
+        """
+        session = obs.active()
+        if session is not None:
+            session.emit(event, level=level, message=message, **fields)
+        elif verbose:
+            print(message, file=sys.stderr)
+
     def _fingerprint(self) -> dict:
         cfg = self.config
         return {
@@ -285,11 +308,30 @@ class DatasetBuilder:
             if os.path.exists(checkpoint_path):
                 completed, report = self._load_build_checkpoint(checkpoint_path, arrays)
                 report.resumed += 1
-                if verbose:
-                    print(
-                        f"  resumed build with {int(completed.sum())}/{n_total} "
-                        f"slots complete"
-                    )
+                self._emit(
+                    "build.resume",
+                    f"  resumed build with {int(completed.sum())}/{n_total} "
+                    f"slots complete",
+                    verbose,
+                    n_completed=int(completed.sum()),
+                    n_target=n_total,
+                )
+
+        self._emit(
+            "build.start",
+            f"  building {n_total} samples "
+            f"({cfg.n_ia} Ia + {cfg.n_non_ia} non-Ia, workers={cfg.workers})",
+            False,
+            n_target=n_total,
+            n_ia=cfg.n_ia,
+            n_non_ia=cfg.n_non_ia,
+            seed=cfg.seed,
+            workers=cfg.workers,
+            render_images=cfg.render_images,
+        )
+        session = obs.active()
+        if session is not None:
+            session.metrics.gauge("build.n_target").set(n_total)
 
         pending = [slot for slot in range(n_total) if not completed[slot]]
         build_slots = (
@@ -309,6 +351,15 @@ class DatasetBuilder:
         )
         report.quarantined.sort(key=lambda rec: (rec.slot, rec.attempt))
         self.report = report
+        self._emit(
+            "build.end",
+            f"  {report.summary()}",
+            False,
+            n_built=report.n_built,
+            n_target=report.n_target,
+            n_quarantined=report.n_quarantined,
+            resumed=report.resumed,
+        )
         return SupernovaDataset(**arrays)
 
     # ------------------------------------------------------------------
@@ -435,22 +486,48 @@ class DatasetBuilder:
         the same invariant in serial, parallel and resumed builds, and in
         the report carried by :class:`BuildAborted`.
         """
+        session = obs.active()
         for rec in result.records:
             report.record(rec)
-            if verbose:
-                print(
-                    f"  quarantined sample {rec.slot} attempt {rec.attempt} "
-                    f"({rec.error_type}); redrawing"
-                )
+            self._emit(
+                "build.quarantine",
+                f"  quarantined sample {rec.slot} attempt {rec.attempt} "
+                f"({rec.error_type}); redrawing",
+                verbose,
+                level="warning",
+                slot=rec.slot,
+                attempt=rec.attempt,
+                error_type=rec.error_type,
+                error_message=rec.error_message,
+            )
+            if session is not None:
+                session.metrics.counter("build.quarantined").inc()
         if result.data is None:
             report.n_built = int(completed.sum())
             report.quarantined.sort(key=lambda rec: (rec.slot, rec.attempt))
             self.report = report
+            self._emit(
+                "build.abort",
+                f"  {result.message}",
+                False,
+                level="error",
+                slot=result.slot,
+                n_built=report.n_built,
+                n_target=report.n_target,
+            )
             raise BuildAborted(result.message, report=report)
         for name in _ARRAY_FIELDS:
             arrays[name][result.slot] = result.data[name]
         completed[result.slot] = True
         report.n_built = int(completed.sum())
+        if session is not None:
+            session.emit(
+                "build.slot",
+                level="debug",
+                slot=result.slot,
+                attempts=len(result.records) + 1,
+            )
+            session.metrics.counter("build.slots_completed").inc()
 
     def _maybe_checkpoint(
         self,
@@ -472,8 +549,14 @@ class DatasetBuilder:
 
     def _progress(self, completed: np.ndarray, verbose: bool) -> None:
         done = int(completed.sum())
-        if verbose and done % 50 == 0:
-            print(f"  built {done}/{len(completed)} samples")
+        if done % 50 == 0:
+            self._emit(
+                "build.progress",
+                f"  built {done}/{len(completed)} samples",
+                verbose,
+                done=done,
+                total=len(completed),
+            )
 
     # ------------------------------------------------------------------
     # Fault isolation & checkpoint plumbing

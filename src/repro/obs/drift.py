@@ -1,0 +1,301 @@
+"""Score/flux drift monitoring against a committed training baseline.
+
+Single-epoch classification degrades *silently*: a feed whose bands
+stopped arriving, or whose photometric calibration slid, still produces
+probabilities — they just stop meaning anything.  The serving layer
+therefore compares the rolling distribution of what it outputs (the
+classifier score) and what it sees (the mean signed-log flux feature per
+sample) against a :class:`DriftBaseline` captured from the training set
+and committed next to the model weights:
+
+* **PSI** (population stability index) over the baseline's fixed bins —
+  the standard "has the population shifted" number; > 0.25 is the
+  conventional "act now" threshold;
+* **KS** (two-sample Kolmogorov–Smirnov statistic, evaluated on the bin
+  grid) — sensitive to localised shape changes PSI smears out.
+
+:class:`DriftMonitor` keeps a bounded rolling window, is thread-safe
+(serving worker threads feed it concurrently), and reports a
+:class:`DriftReport` whose ``flagged`` bit trips when either statistic
+of either distribution crosses its threshold with enough samples in the
+window.  The serving engine emits a ``drift.flagged`` event on the clean
+→ drifted transition (and ``drift.recovered`` on the way back), so a
+quiet feed stays quiet.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "BASELINE_FILE",
+    "DriftBaseline",
+    "DriftMonitor",
+    "DriftReport",
+    "psi_statistic",
+    "ks_statistic",
+]
+
+#: File name of the committed baseline inside a model directory.
+BASELINE_FILE = "drift_baseline.json"
+
+_EPS = 1e-4
+
+
+def _histogram_probs(samples: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    counts, _ = np.histogram(samples, bins=edges)
+    total = counts.sum()
+    if total == 0:
+        return np.full(len(edges) - 1, 1.0 / (len(edges) - 1))
+    return counts / total
+
+
+def psi_statistic(expected: np.ndarray, observed: np.ndarray) -> float:
+    """Population stability index between two probability vectors.
+
+    Both vectors live on the same bins; zero cells are floored at a
+    small epsilon so one empty bucket cannot produce an infinite PSI.
+    """
+    expected = np.clip(np.asarray(expected, dtype=float), _EPS, None)
+    observed = np.clip(np.asarray(observed, dtype=float), _EPS, None)
+    expected = expected / expected.sum()
+    observed = observed / observed.sum()
+    return float(np.sum((observed - expected) * np.log(observed / expected)))
+
+
+def ks_statistic(expected: np.ndarray, observed: np.ndarray) -> float:
+    """Max CDF distance between two binned probability vectors."""
+    expected = np.asarray(expected, dtype=float)
+    observed = np.asarray(observed, dtype=float)
+    e = expected / max(expected.sum(), _EPS)
+    o = observed / max(observed.sum(), _EPS)
+    return float(np.max(np.abs(np.cumsum(e) - np.cumsum(o))))
+
+
+@dataclass
+class DriftBaseline:
+    """Binned reference distributions captured at training time.
+
+    ``score_edges`` / ``score_probs`` bin the classifier probability on
+    ``[0, 1]``; ``flux_edges`` / ``flux_probs`` (optional) bin the mean
+    signed-log flux feature per sample.  ``n`` records how many training
+    samples the baseline summarises.
+    """
+
+    score_edges: np.ndarray
+    score_probs: np.ndarray
+    flux_edges: np.ndarray | None = None
+    flux_probs: np.ndarray | None = None
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        self.score_edges = np.asarray(self.score_edges, dtype=float)
+        self.score_probs = np.asarray(self.score_probs, dtype=float)
+        if self.score_edges.ndim != 1 or len(self.score_edges) < 3:
+            raise ValueError("score_edges must be a 1-D array of >= 3 bin edges")
+        if len(self.score_probs) != len(self.score_edges) - 1:
+            raise ValueError("score_probs must have one entry per bin")
+        if self.flux_edges is not None:
+            self.flux_edges = np.asarray(self.flux_edges, dtype=float)
+            self.flux_probs = np.asarray(self.flux_probs, dtype=float)
+            if len(self.flux_probs) != len(self.flux_edges) - 1:
+                raise ValueError("flux_probs must have one entry per bin")
+
+    @classmethod
+    def from_samples(
+        cls,
+        scores: np.ndarray,
+        flux: np.ndarray | None = None,
+        n_bins: int = 20,
+    ) -> "DriftBaseline":
+        """Bin training-set scores (and optionally flux features).
+
+        Score bins are fixed on ``[0, 1]``; flux bins span the observed
+        range widened by 10% so serving values just outside the training
+        range do not all collapse into the edge bins.
+        """
+        scores = np.asarray(scores, dtype=float).ravel()
+        if scores.size == 0:
+            raise ValueError("cannot build a drift baseline from zero scores")
+        score_edges = np.linspace(0.0, 1.0, n_bins + 1)
+        flux_edges = flux_probs = None
+        if flux is not None:
+            flux = np.asarray(flux, dtype=float).ravel()
+            lo, hi = float(np.min(flux)), float(np.max(flux))
+            pad = 0.1 * max(hi - lo, 1e-6)
+            flux_edges = np.linspace(lo - pad, hi + pad, n_bins + 1)
+            flux_probs = _histogram_probs(flux, flux_edges)
+        return cls(
+            score_edges=score_edges,
+            score_probs=_histogram_probs(scores, score_edges),
+            flux_edges=flux_edges,
+            flux_probs=flux_probs,
+            n=int(scores.size),
+        )
+
+    def save(self, directory: str | os.PathLike) -> None:
+        """Write ``drift_baseline.json`` into a model directory."""
+        payload = {
+            "score_edges": self.score_edges.tolist(),
+            "score_probs": self.score_probs.tolist(),
+            "n": self.n,
+        }
+        if self.flux_edges is not None:
+            payload["flux_edges"] = self.flux_edges.tolist()
+            payload["flux_probs"] = self.flux_probs.tolist()
+        path = os.path.join(os.fspath(directory), BASELINE_FILE)
+        with open(path + ".tmp", "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(path + ".tmp", path)
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike) -> "DriftBaseline | None":
+        """Read the committed baseline from a model dir; ``None`` if absent."""
+        path = os.path.join(os.fspath(directory), BASELINE_FILE)
+        if not os.path.exists(path):
+            return None
+        from ..runtime import CorruptArtifactError
+
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            return cls(
+                score_edges=np.asarray(payload["score_edges"], dtype=float),
+                score_probs=np.asarray(payload["score_probs"], dtype=float),
+                flux_edges=(
+                    np.asarray(payload["flux_edges"], dtype=float)
+                    if "flux_edges" in payload
+                    else None
+                ),
+                flux_probs=(
+                    np.asarray(payload["flux_probs"], dtype=float)
+                    if "flux_probs" in payload
+                    else None
+                ),
+                n=int(payload.get("n", 0)),
+            )
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise CorruptArtifactError(path, f"unreadable drift baseline: {exc}") from exc
+
+
+@dataclass
+class DriftReport:
+    """One evaluation of the rolling window against the baseline."""
+
+    n_window: int
+    score_psi: float = 0.0
+    score_ks: float = 0.0
+    flux_psi: float = 0.0
+    flux_ks: float = 0.0
+    flagged: bool = False
+    reasons: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (embedded in ``drift.flagged`` events)."""
+        return {
+            "n_window": self.n_window,
+            "score_psi": round(self.score_psi, 6),
+            "score_ks": round(self.score_ks, 6),
+            "flux_psi": round(self.flux_psi, 6),
+            "flux_ks": round(self.flux_ks, 6),
+            "flagged": self.flagged,
+            "reasons": list(self.reasons),
+        }
+
+
+class DriftMonitor:
+    """Rolling-window drift detector over served scores (and flux).
+
+    Parameters
+    ----------
+    baseline:
+        The committed training-set :class:`DriftBaseline`.
+    window:
+        Maximum number of recent samples retained.
+    min_samples:
+        Evaluations with fewer window samples never flag — PSI on a
+        handful of scores is noise, not signal.
+    psi_threshold / ks_threshold:
+        Trip levels per statistic (applied to scores and flux alike).
+    """
+
+    def __init__(
+        self,
+        baseline: DriftBaseline,
+        window: int = 500,
+        min_samples: int = 50,
+        psi_threshold: float = 0.25,
+        ks_threshold: float = 0.30,
+    ) -> None:
+        if window < 1 or min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+        self.baseline = baseline
+        self.min_samples = int(min_samples)
+        self.psi_threshold = float(psi_threshold)
+        self.ks_threshold = float(ks_threshold)
+        self._scores: deque[float] = deque(maxlen=int(window))
+        self._flux: deque[float] = deque(maxlen=int(window))
+        self._lock = threading.Lock()
+        #: Whether the last :meth:`check` came back flagged.
+        self.flagged = False
+
+    def update(
+        self,
+        scores: np.ndarray | list[float] | float,
+        flux: np.ndarray | list[float] | float | None = None,
+    ) -> None:
+        """Fold served sample scores (and flux features) into the window."""
+        scores = np.atleast_1d(np.asarray(scores, dtype=float))
+        flux_arr = (
+            None if flux is None else np.atleast_1d(np.asarray(flux, dtype=float))
+        )
+        with self._lock:
+            self._scores.extend(float(s) for s in scores)
+            if flux_arr is not None:
+                self._flux.extend(float(f) for f in flux_arr if np.isfinite(f))
+
+    def observe(self, scores, flux=None) -> "DriftReport":
+        """:meth:`update` then :meth:`check` in one call."""
+        self.update(scores, flux)
+        return self.check()
+
+    def check(self) -> DriftReport:
+        """Evaluate the current window; updates :attr:`flagged`."""
+        base = self.baseline
+        with self._lock:
+            scores = np.asarray(self._scores, dtype=float)
+            flux = np.asarray(self._flux, dtype=float)
+        report = DriftReport(n_window=int(scores.size))
+        if scores.size >= self.min_samples:
+            observed = _histogram_probs(np.clip(scores, 0.0, 1.0), base.score_edges)
+            report.score_psi = psi_statistic(base.score_probs, observed)
+            report.score_ks = ks_statistic(base.score_probs, observed)
+            if report.score_psi > self.psi_threshold:
+                report.reasons.append(
+                    f"score PSI {report.score_psi:.3f} > {self.psi_threshold}"
+                )
+            if report.score_ks > self.ks_threshold:
+                report.reasons.append(
+                    f"score KS {report.score_ks:.3f} > {self.ks_threshold}"
+                )
+        if base.flux_edges is not None and flux.size >= self.min_samples:
+            observed = _histogram_probs(flux, base.flux_edges)
+            report.flux_psi = psi_statistic(base.flux_probs, observed)
+            report.flux_ks = ks_statistic(base.flux_probs, observed)
+            if report.flux_psi > self.psi_threshold:
+                report.reasons.append(
+                    f"flux PSI {report.flux_psi:.3f} > {self.psi_threshold}"
+                )
+            if report.flux_ks > self.ks_threshold:
+                report.reasons.append(
+                    f"flux KS {report.flux_ks:.3f} > {self.ks_threshold}"
+                )
+        report.flagged = bool(report.reasons)
+        self.flagged = report.flagged
+        return report

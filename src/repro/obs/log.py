@@ -1,0 +1,240 @@
+"""Structured JSONL event logging with a process-wide context stack.
+
+Every subsystem reports through one funnel: an :class:`EventLog` writes
+schema-versioned JSON records (one per line) to ``events.jsonl`` inside
+a telemetry directory, and a *context stack* stamps each record with
+whatever identifies the work in flight — a ``run_id`` for builds and
+training runs, a ``request_id`` for served samples.
+
+The stack has two layers:
+
+* a **process-wide** layer (:func:`push_context` with ``scope="process"``)
+  holding identifiers every thread should inherit — the CLI pushes the
+  session ``run_id`` here so serving worker threads stamp it too;
+* a **thread-local** layer (the default) for nested, short-lived scopes
+  — a batch index, an epoch number — which unwinds with the ``with``
+  block that pushed it.
+
+Records look like::
+
+    {"schema": 1, "ts": 1754400000.123, "seq": 7, "level": "info",
+     "event": "train.epoch", "run_id": "run-...", "epoch": 3,
+     "train_loss": 0.41, ...}
+
+``schema`` is :data:`SCHEMA_VERSION` and bumps on any breaking change to
+the required fields; :mod:`repro.obs.schema` validates records against
+it.  Writing is serialised under a lock, so one log is safe to share
+across the serving thread pool; ``seq`` is a per-log monotonic counter
+that makes the interleaved stream totally ordered even when two events
+land in the same clock tick.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import time
+from typing import Any, Iterator
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "LEVELS",
+    "EVENTS_FILE",
+    "EventLog",
+    "context",
+    "current_context",
+    "read_events",
+]
+
+#: Version stamped into every record; bump on breaking field changes.
+SCHEMA_VERSION = 1
+
+#: Recognised severity levels, least to most severe.
+LEVELS = ("debug", "info", "warning", "error")
+
+#: File name of the event stream inside a telemetry directory.
+EVENTS_FILE = "events.jsonl"
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+# Context stack: one process-wide list shared by all threads plus a
+# thread-local overlay.  Both hold plain dicts of stamped fields.
+_PROCESS_STACK: list[dict[str, Any]] = []
+_PROCESS_LOCK = threading.Lock()
+_THREAD = threading.local()
+
+
+def _thread_stack() -> list[dict[str, Any]]:
+    stack = getattr(_THREAD, "stack", None)
+    if stack is None:
+        stack = _THREAD.stack = []
+    return stack
+
+
+def current_context() -> dict[str, Any]:
+    """Merged view of the context stack (process layer first, thread on top)."""
+    merged: dict[str, Any] = {}
+    with _PROCESS_LOCK:
+        for frame in _PROCESS_STACK:
+            merged.update(frame)
+    for frame in _thread_stack():
+        merged.update(frame)
+    return merged
+
+
+class context:
+    """Context manager pushing fields onto the context stack.
+
+    ``scope="thread"`` (default) pushes onto the calling thread's stack;
+    ``scope="process"`` pushes onto the process-wide layer every thread
+    inherits.  Frames unwind in LIFO order on exit, so nesting works::
+
+        with obs.context(run_id=run_id, scope="process"):
+            with obs.context(epoch=3):
+                log.emit("train.epoch", ...)   # carries run_id AND epoch
+    """
+
+    def __init__(self, scope: str = "thread", **fields: Any) -> None:
+        if scope not in ("thread", "process"):
+            raise ValueError(f"scope must be 'thread' or 'process', got {scope!r}")
+        self.scope = scope
+        self.fields = dict(fields)
+
+    def __enter__(self) -> "context":
+        if self.scope == "process":
+            with _PROCESS_LOCK:
+                _PROCESS_STACK.append(self.fields)
+        else:
+            _thread_stack().append(self.fields)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.scope == "process":
+            with _PROCESS_LOCK:
+                if self.fields in _PROCESS_STACK:
+                    _PROCESS_STACK.remove(self.fields)
+        else:
+            stack = _thread_stack()
+            if self.fields in stack:
+                stack.remove(self.fields)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars / arrays / paths into JSON-native values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return _jsonable(tolist())
+    return str(value)
+
+
+class EventLog:
+    """Append-only JSONL event sink (thread-safe).
+
+    Parameters
+    ----------
+    path:
+        Target ``.jsonl`` file; parent directory must exist.  Pass a
+        file-like object instead to capture events in memory (tests).
+    min_level:
+        Events below this severity are dropped without being written.
+    """
+
+    def __init__(self, path: str | os.PathLike | io.TextIOBase, min_level: str = "debug") -> None:
+        if min_level not in _LEVEL_RANK:
+            raise ValueError(f"unknown level {min_level!r}; choose from {LEVELS}")
+        self.min_level = min_level
+        self._lock = threading.Lock()
+        self._seq = 0
+        if isinstance(path, (str, os.PathLike)):
+            self.path: str | None = os.fspath(path)
+            self._handle: io.TextIOBase = open(self.path, "a")
+            self._owns_handle = True
+        else:
+            self.path = None
+            self._handle = path
+            self._owns_handle = False
+        self._closed = False
+
+    def emit(self, event: str, level: str = "info", message: str | None = None,
+             **fields: Any) -> dict:
+        """Write one structured record; returns it (or ``{}`` if filtered).
+
+        The record carries the schema version, a wall-clock timestamp, a
+        per-log sequence number, the merged context stack, and the
+        caller's fields.  Caller fields win over context fields of the
+        same name; the reserved header fields always win over both.
+        """
+        if not event:
+            raise ValueError("event name must be non-empty")
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown level {level!r}; choose from {LEVELS}")
+        if _LEVEL_RANK[level] < _LEVEL_RANK[self.min_level]:
+            return {}
+        record: dict[str, Any] = dict(current_context())
+        record.update({str(k): _jsonable(v) for k, v in fields.items()})
+        if message is not None:
+            record["message"] = str(message)
+        with self._lock:
+            if self._closed:
+                return {}
+            self._seq += 1
+            record.update(
+                schema=SCHEMA_VERSION,
+                ts=round(time.time(), 6),
+                seq=self._seq,
+                level=level,
+                event=event,
+            )
+            self._handle.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+            self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._handle.flush()
+            if self._owns_handle:
+                self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(path: str | os.PathLike) -> Iterator[dict]:
+    """Yield every record of an ``events.jsonl`` file in emission order.
+
+    Raises :class:`ValueError` on a line that is not valid JSON — a
+    truncated tail line (crash mid-write) is reported with its line
+    number rather than silently skipped.
+    """
+    with open(os.fspath(path)) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{os.fspath(path)}:{lineno}: malformed event line: {exc}"
+                ) from exc

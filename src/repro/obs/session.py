@@ -1,0 +1,172 @@
+"""Telemetry session lifecycle: the one switch the whole stack checks.
+
+Telemetry is **off by default** and must cost nothing while off.  The
+entire disabled path is :func:`active` — a read of one module-level
+reference returning ``None`` — mirroring the no-op-scope trick of
+:mod:`repro.perf.instrument`.  Instrumented code does::
+
+    session = obs.active()
+    if session is not None:
+        session.emit("serve.request", ...)
+        session.metrics.counter("serve.requests").inc()
+
+:func:`start` opens a :class:`TelemetrySession` bound to a directory:
+
+* ``events.jsonl`` — the structured event stream (:mod:`repro.obs.log`);
+* ``metrics.json`` — the registry snapshot, written on :func:`stop`;
+
+pushes the session's ``run_id`` onto the *process-wide* context layer so
+every thread stamps it, enables :mod:`repro.perf` collection, and
+registers the perf timers as a metrics source so one ``repro metrics``
+report covers events, counters, histograms *and* timers.
+
+Sessions do not nest: :func:`start` while a session is active raises —
+one process serves one telemetry directory at a time, which is what
+keeps the hot-path check a single load.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+import time
+
+from .log import EVENTS_FILE, EventLog, context
+from .metrics import METRICS_FILE, MetricsRegistry
+
+__all__ = ["TelemetrySession", "start", "stop", "active", "new_id"]
+
+_STATE_LOCK = threading.Lock()
+_SESSION: "TelemetrySession | None" = None
+
+
+def new_id(prefix: str = "run") -> str:
+    """Fresh identifier: ``<prefix>-<utc-compact-time>-<6 hex chars>``."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{prefix}-{stamp}-{secrets.token_hex(3)}"
+
+
+class TelemetrySession:
+    """One enabled telemetry run bound to an output directory.
+
+    Created via :func:`start`; carries the :class:`EventLog`, the
+    :class:`MetricsRegistry` and the ``run_id`` every event is stamped
+    with.  Per-request identifiers are minted with
+    :meth:`new_request_id`, which scopes them under the run so one
+    ``grep request_id events.jsonl`` finds both the serving audit record
+    and any terminal error event of the same sample.
+    """
+
+    def __init__(self, directory: str | os.PathLike, run_id: str | None = None) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.run_id = run_id or new_id()
+        self.log = EventLog(os.path.join(self.directory, EVENTS_FILE))
+        self.metrics = MetricsRegistry()
+        self._context = context(scope="process", run_id=self.run_id)
+        self._request_counter = 0
+        self._counter_lock = threading.Lock()
+        self._started = time.time()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+    def emit(self, event: str, level: str = "info", message: str | None = None,
+             **fields: object) -> dict:
+        """Emit one structured event through the session log."""
+        return self.log.emit(event, level=level, message=message, **fields)
+
+    def new_request_id(self, index: int | None = None) -> str:
+        """Mint a request identifier scoped under this session's run.
+
+        With ``index`` given (a dataset/sample position) the id is
+        deterministic per run — ``<run_id>/r<index>`` — so replaying the
+        same dataset yields correlatable ids; otherwise a process-unique
+        counter is used.
+        """
+        if index is not None:
+            return f"{self.run_id}/r{int(index)}"
+        with self._counter_lock:
+            self._request_counter += 1
+            return f"{self.run_id}/q{self._request_counter}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _open(self, **start_fields: object) -> None:
+        self._context.__enter__()
+        self.emit("session.start", directory=self.directory, **start_fields)
+
+    def close(self, status: str = "ok", **end_fields: object) -> dict:
+        """Emit the terminal event, write ``metrics.json``, close the log.
+
+        Returns the final metrics snapshot.  Idempotent: a second close
+        returns an empty dict.
+        """
+        if self._closed:
+            return {}
+        self._closed = True
+        self.emit(
+            "session.end",
+            level="info" if status == "ok" else "error",
+            status=status,
+            duration_s=round(time.time() - self._started, 6),
+            **end_fields,
+        )
+        snapshot = self.metrics.write(os.path.join(self.directory, METRICS_FILE))
+        self.log.close()
+        self._context.__exit__(None, None, None)
+        return snapshot
+
+
+def start(
+    directory: str | os.PathLike,
+    run_id: str | None = None,
+    enable_perf: bool = True,
+    **start_fields: object,
+) -> TelemetrySession:
+    """Enable telemetry into ``directory`` and return the live session.
+
+    ``start_fields`` ride on the ``session.start`` event (the CLI passes
+    the subcommand and its arguments).  With ``enable_perf`` (default)
+    the :mod:`repro.perf` timers are reset, switched on, and registered
+    as the ``perf`` metrics source.
+    """
+    global _SESSION
+    from .. import perf
+
+    with _STATE_LOCK:
+        if _SESSION is not None:
+            raise RuntimeError(
+                f"telemetry already active in {_SESSION.directory}; stop() it first"
+            )
+        session = TelemetrySession(directory, run_id=run_id)
+        if enable_perf:
+            perf.reset()
+            perf.enable()
+            session.metrics.register_source("perf", perf.metrics_source)
+        session._open(**start_fields)
+        _SESSION = session
+    return session
+
+
+def stop(status: str = "ok", **end_fields: object) -> dict:
+    """Close the active session (no-op if none); returns its final snapshot."""
+    global _SESSION
+    from .. import perf
+
+    with _STATE_LOCK:
+        session = _SESSION
+        _SESSION = None
+    if session is None:
+        return {}
+    snapshot = session.close(status=status, **end_fields)
+    perf.disable()
+    return snapshot
+
+
+def active() -> TelemetrySession | None:
+    """The live session, or ``None`` — the entire cost of disabled telemetry."""
+    return _SESSION

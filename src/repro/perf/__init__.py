@@ -14,6 +14,7 @@ from .instrument import (
     enable,
     enabled,
     iter_timers,
+    metrics_source,
     report,
     reset,
     timed,
@@ -28,6 +29,7 @@ __all__ = [
     "enable",
     "enabled",
     "iter_timers",
+    "metrics_source",
     "report",
     "reset",
     "timed",

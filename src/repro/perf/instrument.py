@@ -203,6 +203,18 @@ def write_report(path: str | os.PathLike) -> dict:
     return data
 
 
+def metrics_source() -> dict:
+    """:func:`report`, exposed under the metrics-source contract.
+
+    A telemetry session (:func:`repro.obs.start`) registers this with
+    its :class:`~repro.obs.metrics.MetricsRegistry` so one ``repro
+    metrics`` report covers the perf timers next to the obs counters and
+    histograms; the Prometheus exposition renders the timers as
+    ``perf_timer_seconds_total`` / ``perf_timer_calls_total`` series.
+    """
+    return report()
+
+
 def iter_timers() -> Iterator[tuple[str, int, float]]:
     """Yield ``(name, calls, total_seconds)`` for every recorded timer."""
     with _LOCK:

@@ -23,15 +23,20 @@ is exactly where missing bands can be masked and imputed.
 from __future__ import annotations
 
 import json
+import math
 import os
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
 
+from .. import obs
 from ..core.features import masked_features_from_arrays
 from ..core.pipeline import SupernovaPipeline
 from ..datasets import N_BANDS, SupernovaDataset
+from ..obs.drift import DriftBaseline, DriftMonitor
 from ..perf.instrument import count as _count
 from ..perf.instrument import timed as _timed
 from ..photometry import GRIZY, signed_log10
@@ -43,7 +48,19 @@ PRIOR_FILE = "flux_prior.json"
 
 
 class DegradedInputError(ValueError):
-    """Raised in strict mode when a sample could not be served clean."""
+    """Raised in strict mode when a sample could not be served clean.
+
+    Carries the failing sample's position (``index``) and, when a
+    telemetry session was active, the ``request_id`` stamped on the
+    terminal ``serve.rejected`` event — so the CLI's exit-code-2 path
+    can point at the exact request that died.
+    """
+
+    def __init__(self, message: str, index: int | None = None,
+                 request_id: str | None = None) -> None:
+        super().__init__(message)
+        self.index = index
+        self.request_id = request_id
 
 
 @dataclass
@@ -130,6 +147,10 @@ class PredictionResult:
         masked.
     diagnostics:
         Per-visit findings for every non-clean visit.
+    flux_feature:
+        Mean signed-log CNN flux over the usable visits (NaN when every
+        visit was masked) — the input-side statistic the drift monitor
+        tracks against the training baseline.
     """
 
     index: int
@@ -138,6 +159,7 @@ class PredictionResult:
     usable_bands: list[str]
     confidence: float
     diagnostics: list[InputDiagnostics] = field(default_factory=list)
+    flux_feature: float = float("nan")
 
     def to_dict(self) -> dict:
         """JSON-ready representation (one line of the classify stream)."""
@@ -149,6 +171,9 @@ class PredictionResult:
             "confidence": round(self.confidence, 4),
             "n_repaired_visits": sum(1 for d in self.diagnostics if d.repaired),
             "n_rejected_visits": sum(1 for d in self.diagnostics if d.rejected),
+            "flux_feature": (
+                round(self.flux_feature, 6) if math.isfinite(self.flux_feature) else None
+            ),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
@@ -173,6 +198,11 @@ class InferenceEngine:
         When True, any degradation raises :class:`DegradedInputError`
         instead of serving a flagged result.  Per-call ``strict``
         arguments override this default.
+    drift_baseline:
+        Optional committed training-set :class:`~repro.obs.drift.DriftBaseline`;
+        when present *and* a telemetry session is active, served scores
+        and flux features feed a :class:`~repro.obs.drift.DriftMonitor`
+        that raises ``drift.flagged`` events past its thresholds.
     """
 
     def __init__(
@@ -181,11 +211,17 @@ class InferenceEngine:
         prior: FluxPrior | None = None,
         repair: RepairConfig | None = None,
         strict: bool = False,
+        drift_baseline: DriftBaseline | None = None,
     ) -> None:
         self.pipeline = pipeline
         self.prior = prior or FluxPrior.neutral()
         self.repair = repair or RepairConfig()
         self.strict = strict
+        self.drift_baseline = drift_baseline
+        self.drift_monitor = (
+            DriftMonitor(drift_baseline) if drift_baseline is not None else None
+        )
+        self._drift_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Persistence
@@ -206,12 +242,35 @@ class InferenceEngine:
         """
         pipeline = SupernovaPipeline.load(directory)
         prior = FluxPrior.load(directory)
-        return cls(pipeline, prior=prior, repair=repair, strict=strict)
+        baseline = DriftBaseline.load(directory)
+        return cls(pipeline, prior=prior, repair=repair, strict=strict,
+                   drift_baseline=baseline)
 
     def save(self, directory: str) -> None:
-        """Persist the wrapped pipeline plus the flux prior."""
+        """Persist the pipeline, flux prior and (if set) drift baseline."""
         self.pipeline.save(directory)
         self.prior.save(directory)
+        if self.drift_baseline is not None:
+            self.drift_baseline.save(directory)
+
+    def fit_drift_baseline(self, dataset: SupernovaDataset, n_bins: int = 20) -> DriftBaseline:
+        """Capture the serving-drift baseline from a (training) dataset.
+
+        Classifies the dataset through this engine's own path and bins
+        the resulting scores and per-sample flux features — i.e. the
+        baseline measures exactly the distributions the drift monitor
+        will see at serve time.  Sets :attr:`drift_baseline` (persisted
+        by :meth:`save`) and arms :attr:`drift_monitor`.
+        """
+        results = self.classify(dataset, strict=False)
+        scores = np.array([r.probability for r in results], dtype=float)
+        flux = np.array([r.flux_feature for r in results], dtype=float)
+        flux = flux[np.isfinite(flux)]
+        self.drift_baseline = DriftBaseline.from_samples(
+            scores, flux if flux.size else None, n_bins=n_bins
+        )
+        self.drift_monitor = DriftMonitor(self.drift_baseline)
+        return self.drift_baseline
 
     # ------------------------------------------------------------------
     # Classification
@@ -282,6 +341,8 @@ class InferenceEngine:
         the first degradation aborts with :class:`DegradedInputError`.
         """
         strict = self.strict if strict is None else strict
+        session = obs.active()
+        t_start = time.perf_counter() if session is not None else 0.0
         pairs, mjd = self._validate_batch(pairs, mjd)
         n, used = pairs.shape[0], self._n_used_visits
         stamp = pairs.shape[-1]
@@ -309,10 +370,26 @@ class InferenceEngine:
             diags = [d for d in flat_diags[i * used : (i + 1) * used] if not d.clean]
             if strict and diags:
                 worst = diags[0]
+                index = start_index + i
+                request_id = None
+                if session is not None:
+                    request_id = session.new_request_id(index)
+                    session.emit(
+                        "serve.rejected",
+                        level="error",
+                        request_id=request_id,
+                        index=index,
+                        visit=worst.visit,
+                        band=worst.band,
+                        reason=worst.reason or "repaired input",
+                    )
+                    session.metrics.counter("serve.rejected").inc()
                 raise DegradedInputError(
-                    f"sample {start_index + i} is degraded (visit {worst.visit}, "
+                    f"sample {index} is degraded (visit {worst.visit}, "
                     f"band {worst.band}: {worst.reason or 'repaired input'}); "
-                    "re-run without --strict to serve it with masking"
+                    "re-run without --strict to serve it with masking",
+                    index=index,
+                    request_id=request_id,
                 )
             all_diags.append(diags)
 
@@ -335,6 +412,17 @@ class InferenceEngine:
             )
             probs = self.pipeline.classifier.predict_proba(features)
 
+        # Per-sample mean signed-log flux over usable visits: the
+        # input-side statistic the drift monitor compares to training.
+        flux_log = signed_log10(flux)
+        n_usable = usable.sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            flux_feature = np.where(
+                n_usable > 0,
+                (flux_log * usable).sum(axis=1) / np.maximum(n_usable, 1),
+                np.nan,
+            )
+
         results = []
         for i in range(n):
             present = {int(v) % N_BANDS for v in np.flatnonzero(usable[i])}
@@ -347,9 +435,107 @@ class InferenceEngine:
                     usable_bands=bands,
                     confidence=self._confidence(usable[i], all_diags[i]),
                     diagnostics=all_diags[i],
+                    flux_feature=float(flux_feature[i]),
                 )
             )
+        if session is not None:
+            self._audit(session, results, time.perf_counter() - t_start)
         return results
+
+    #: Confidence histogram buckets: tenths of the [0, 1] range.
+    _CONFIDENCE_BUCKETS = tuple(round(0.1 * k, 1) for k in range(1, 11))
+
+    def _audit(
+        self,
+        session: "obs.TelemetrySession",
+        results: list[PredictionResult],
+        elapsed_s: float,
+    ) -> None:
+        """Write one audit event per served sample plus batch metrics.
+
+        Called only with a live telemetry session; safe under the
+        ``stream(workers=N)`` thread pool — the event log and the
+        metrics instruments serialise internally, and the drift monitor
+        transition check runs under the engine's own lock.
+        """
+        n = len(results)
+        if n == 0:
+            return
+        metrics = session.metrics
+        latency_hist = metrics.histogram("serve.latency_s")
+        confidence_hist = metrics.histogram(
+            "serve.confidence", buckets=self._CONFIDENCE_BUCKETS
+        )
+        per_sample_s = elapsed_s / n
+        for result in results:
+            latency_hist.observe(per_sample_s)
+            confidence_hist.observe(result.confidence)
+            masked = [
+                band.name for band in GRIZY if band.name not in result.usable_bands
+            ]
+            session.emit(
+                "serve.request",
+                level="warning" if result.degraded else "info",
+                request_id=session.new_request_id(result.index),
+                index=result.index,
+                probability=round(result.probability, 6),
+                degraded=result.degraded,
+                confidence=round(result.confidence, 4),
+                usable_bands=result.usable_bands,
+                masked_bands=masked,
+                n_repaired_visits=sum(1 for d in result.diagnostics if d.repaired),
+                n_rejected_visits=sum(1 for d in result.diagnostics if d.rejected),
+                diagnostics=[d.to_dict() for d in result.diagnostics],
+                flux_feature=(
+                    round(result.flux_feature, 6)
+                    if np.isfinite(result.flux_feature)
+                    else None
+                ),
+                latency_s=round(per_sample_s, 9),
+                latency_bucket=latency_hist.bucket_label(per_sample_s),
+            )
+        metrics.counter("serve.requests").inc(n)
+        metrics.counter("serve.degraded").inc(sum(r.degraded for r in results))
+        metrics.counter("serve.repaired_visits").inc(
+            sum(1 for r in results for d in r.diagnostics if d.repaired)
+        )
+        metrics.counter("serve.rejected_visits").inc(
+            sum(1 for r in results for d in r.diagnostics if d.rejected)
+        )
+        if self.drift_monitor is not None:
+            self._feed_drift(session, results)
+
+    def _feed_drift(
+        self, session: "obs.TelemetrySession", results: list[PredictionResult]
+    ) -> None:
+        """Fold served scores/flux into the drift window; emit transitions."""
+        monitor = self.drift_monitor
+        scores = [r.probability for r in results]
+        flux = [r.flux_feature for r in results]
+        with self._drift_lock:
+            previously_flagged = monitor.flagged
+            report = monitor.observe(scores, flux)
+            transition = report.flagged != previously_flagged
+        metrics = session.metrics
+        metrics.gauge("drift.score_psi").set(report.score_psi)
+        metrics.gauge("drift.score_ks").set(report.score_ks)
+        metrics.gauge("drift.flux_psi").set(report.flux_psi)
+        metrics.gauge("drift.flux_ks").set(report.flux_ks)
+        if transition and report.flagged:
+            metrics.counter("drift.flagged").inc()
+            session.emit(
+                "drift.flagged",
+                level="warning",
+                message="served distribution drifted from the training baseline: "
+                + "; ".join(report.reasons),
+                **report.to_dict(),
+            )
+        elif transition:
+            session.emit(
+                "drift.recovered",
+                message="served distribution back within the training baseline",
+                **report.to_dict(),
+            )
 
     def classify(
         self, dataset: SupernovaDataset, strict: bool | None = None

@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.utils",
     "repro.runtime",
     "repro.serve",
+    "repro.obs",
 ]
 
 

@@ -1,0 +1,335 @@
+"""Telemetry core: event-log schema, context stack, metrics, sessions,
+drift statistics."""
+
+import io
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import (
+    EVENTS_FILE,
+    METRICS_FILE,
+    SCHEMA_VERSION,
+    DriftBaseline,
+    DriftMonitor,
+    EventLog,
+    Histogram,
+    MetricsRegistry,
+    context,
+    current_context,
+    ks_statistic,
+    prometheus_from_snapshot,
+    psi_statistic,
+    read_events,
+    validate_event,
+    validate_file,
+)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_session():
+    """Every test starts and ends with telemetry disabled."""
+    assert obs.active() is None
+    yield
+    if obs.active() is not None:
+        obs.stop()
+        pytest.fail("test leaked an active telemetry session")
+
+
+class TestEventLog:
+    def test_jsonl_round_trip_validates(self, tmp_path):
+        path = tmp_path / EVENTS_FILE
+        with EventLog(path) as log, context(scope="thread", run_id="run-x"):
+            log.emit("build.start", n_target=np.int64(12), seed=0)
+            log.emit("build.slot", level="debug", slot=3, attempts=[1, 2])
+            log.emit("build.end", message="done", elapsed=np.float32(0.5))
+        records = list(read_events(path))
+        assert [r["event"] for r in records] == ["build.start", "build.slot", "build.end"]
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        for record in records:
+            assert validate_event(record) == []
+            assert record["schema"] == SCHEMA_VERSION
+            assert record["run_id"] == "run-x"
+        # numpy scalars must arrive as JSON-native numbers
+        assert records[0]["n_target"] == 12
+        assert isinstance(records[0]["n_target"], int)
+        assert isinstance(records[2]["elapsed"], float)
+        n, errors = validate_file(path)
+        assert (n, errors) == (3, [])
+
+    def test_context_nesting_and_unwind(self):
+        assert current_context() == {}
+        with context(run_id="outer", stage="a"):
+            with context(stage="b", epoch=2):
+                merged = current_context()
+                assert merged == {"run_id": "outer", "stage": "b", "epoch": 2}
+            assert current_context() == {"run_id": "outer", "stage": "a"}
+        assert current_context() == {}
+
+    def test_process_scope_visible_from_other_threads(self):
+        seen = {}
+
+        def worker():
+            seen.update(current_context())
+
+        with context(scope="process", run_id="run-shared"):
+            with context(batch=7):  # thread-local: must NOT leak to the worker
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        assert seen == {"run_id": "run-shared"}
+
+    def test_caller_fields_win_over_context_but_not_header(self):
+        sink = io.StringIO()
+        log = EventLog(sink)
+        with context(run_id="ctx", epoch=1):
+            log.emit("train.epoch", epoch=9, seq="spoofed")
+        record = json.loads(sink.getvalue())
+        assert record["epoch"] == 9  # caller beats context
+        assert record["run_id"] == "ctx"
+        assert record["seq"] == 1  # header beats caller
+        assert validate_event(record) == []
+
+    def test_min_level_filters_without_writing(self):
+        sink = io.StringIO()
+        log = EventLog(sink, min_level="warning")
+        assert log.emit("noise.debug", level="debug", run_id="r") == {}
+        assert log.emit("noise.info", level="info", run_id="r") == {}
+        record = log.emit("alarm", level="error", run_id="r")
+        assert record["seq"] == 1  # filtered events consume no sequence numbers
+        assert sink.getvalue().count("\n") == 1
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / EVENTS_FILE
+        path.write_text('{"schema": 1, "seq": 1}\n{oops\n')
+        with pytest.raises(ValueError, match=":2:"):
+            list(read_events(path))
+
+    def test_rejects_unknown_level(self):
+        log = EventLog(io.StringIO())
+        with pytest.raises(ValueError, match="unknown level"):
+            log.emit("x", level="fatal")
+
+
+class TestSchema:
+    def _valid(self):
+        return {
+            "schema": SCHEMA_VERSION, "ts": 1.0, "seq": 1,
+            "level": "info", "event": "serve.request", "request_id": "run/r0",
+        }
+
+    def test_valid_record_passes(self):
+        assert validate_event(self._valid()) == []
+
+    @pytest.mark.parametrize(
+        "patch, fragment",
+        [
+            ({"schema": 99}, "schema version"),
+            ({"seq": 0}, "seq"),
+            ({"level": "fatal"}, "unknown level"),
+            ({"event": "Serve.Request"}, "dotted lower-case"),
+            ({"ts": "noon"}, "'ts'"),
+        ],
+    )
+    def test_bad_header_fields(self, patch, fragment):
+        record = {**self._valid(), **patch}
+        assert any(fragment in err for err in validate_event(record))
+
+    def test_requires_run_or_request_id(self):
+        record = self._valid()
+        del record["request_id"]
+        assert any("run_id" in err for err in validate_event(record))
+        record["run_id"] = "run-1"
+        assert validate_event(record) == []
+
+    def test_validate_file_catches_seq_regression(self, tmp_path):
+        path = tmp_path / EVENTS_FILE
+        a = {**self._valid(), "seq": 2}
+        b = {**self._valid(), "seq": 2}
+        path.write_text(json.dumps(a) + "\n" + json.dumps(b) + "\n")
+        n, errors = validate_file(path)
+        assert n == 2
+        assert any("does not increase" in err for err in errors)
+
+
+class TestMetrics:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("serve.requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_histogram_bucket_edges_upper_inclusive(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0, 5.0))
+        assert hist.observe(0.5) == 0
+        assert hist.observe(1.0) == 0  # exactly on a bound -> that bucket
+        assert hist.observe(1.0000001) == 1
+        assert hist.observe(5.0) == 2
+        assert hist.observe(5.1) == 3  # +Inf overflow slot
+        assert hist.count == 5
+        assert hist.to_dict()["counts"] == [2, 1, 1, 1]
+        assert hist.bucket_label(5.0) == "le=5.0"
+        assert hist.bucket_label(99.0) == "le=+Inf"
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("h", buckets=(1.0, float("inf")))
+
+    def test_registry_histogram_bucket_conflict(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("serve.latency_s", buckets=(0.1, 1.0))
+        assert registry.histogram("serve.latency_s", buckets=(0.1, 1.0)) is first
+        with pytest.raises(ValueError, match="different buckets"):
+            registry.histogram("serve.latency_s", buckets=(0.2, 1.0))
+
+    def test_registry_rejects_bad_names(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="lower-case"):
+            registry.counter("Serve Requests")
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(3)
+        registry.gauge("train.lr").set(0.001)
+        hist = registry.histogram("serve.latency_s", buckets=(0.1, 1.0))
+        for value in (0.05, 0.05, 0.5, 2.0):
+            hist.observe(value)
+        text = registry.to_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE serve_requests counter" in lines
+        assert "serve_requests 3" in lines
+        assert "# TYPE train_lr gauge" in lines
+        # cumulative le buckets with the implicit +Inf closing the series
+        assert 'serve_latency_s_bucket{le="0.1"} 2' in lines
+        assert 'serve_latency_s_bucket{le="1"} 3' in lines
+        assert 'serve_latency_s_bucket{le="+Inf"} 4' in lines
+        assert "serve_latency_s_count 4" in lines
+        assert any(line.startswith("serve_latency_s_sum ") for line in lines)
+
+    def test_prometheus_renders_perf_source(self):
+        snapshot = {
+            "counters": {}, "gauges": {}, "histograms": {},
+            "sources": {
+                "perf": {
+                    "timers": {"serve.cnn": {"calls": 2, "total_s": 0.5, "mean_s": 0.25}},
+                    "counters": {"serve.samples": 64},
+                }
+            },
+        }
+        text = prometheus_from_snapshot(snapshot)
+        assert 'perf_timer_seconds_total{name="serve_cnn"} 0.5' in text
+        assert 'perf_timer_calls_total{name="serve_cnn"} 2' in text
+        assert "perf_serve_samples_total 64" in text
+
+    def test_snapshot_write_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        path = tmp_path / METRICS_FILE
+        written = registry.write(path)
+        assert json.loads(path.read_text()) == written
+
+
+class TestSession:
+    def test_lifecycle_files_and_terminal_events(self, tmp_path):
+        directory = tmp_path / "telemetry"
+        session = obs.start(directory, command="unit-test")
+        session.emit("unit.ping", value=1)
+        session.metrics.counter("unit.pings").inc()
+        snapshot = obs.stop(status="ok", exit_code=0)
+        assert obs.active() is None
+        assert snapshot["counters"]["unit.pings"] == 1
+        records = list(read_events(directory / EVENTS_FILE))
+        assert records[0]["event"] == "session.start"
+        assert records[0]["command"] == "unit-test"
+        assert records[-1]["event"] == "session.end"
+        assert records[-1]["status"] == "ok"
+        assert all(r["run_id"] == session.run_id for r in records)
+        n, errors = validate_file(directory / EVENTS_FILE)
+        assert (n, errors) == (3, [])
+        assert json.loads((directory / METRICS_FILE).read_text()) == snapshot
+
+    def test_sessions_do_not_nest(self, tmp_path):
+        obs.start(tmp_path / "a")
+        try:
+            with pytest.raises(RuntimeError, match="already active"):
+                obs.start(tmp_path / "b")
+        finally:
+            obs.stop()
+        assert obs.stop() == {}  # idempotent when nothing is active
+
+    def test_deterministic_request_ids(self, tmp_path):
+        session = obs.start(tmp_path / "t", run_id="run-fixed")
+        try:
+            assert session.new_request_id(5) == "run-fixed/r5"
+            assert session.new_request_id(5) == "run-fixed/r5"
+            assert session.new_request_id() != session.new_request_id()
+        finally:
+            obs.stop()
+
+    def test_error_status_recorded(self, tmp_path):
+        obs.start(tmp_path / "t")
+        obs.stop(status="error", exit_code=3)
+        last = list(read_events(tmp_path / "t" / EVENTS_FILE))[-1]
+        assert last["status"] == "error"
+        assert last["level"] == "error"
+        assert last["exit_code"] == 3
+
+
+class TestDriftStatistics:
+    def test_psi_zero_on_identical_distributions(self):
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        assert psi_statistic(probs, probs) == pytest.approx(0.0, abs=1e-9)
+        assert ks_statistic(probs, probs) == pytest.approx(0.0, abs=1e-9)
+
+    def test_psi_large_on_shift(self):
+        expected = np.array([0.7, 0.2, 0.1])
+        observed = np.array([0.1, 0.2, 0.7])
+        assert psi_statistic(expected, observed) > 0.25
+        assert ks_statistic(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_baseline_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        baseline = DriftBaseline.from_samples(
+            rng.uniform(size=400), flux=rng.normal(2.0, 0.5, size=400)
+        )
+        baseline.save(tmp_path)
+        loaded = DriftBaseline.load(tmp_path)
+        np.testing.assert_allclose(loaded.score_probs, baseline.score_probs)
+        np.testing.assert_allclose(loaded.flux_edges, baseline.flux_edges)
+        assert DriftBaseline.load(tmp_path / "nowhere") is None
+
+    def test_monitor_silent_on_baseline_traffic(self):
+        rng = np.random.default_rng(1)
+        scores = rng.uniform(size=1000)
+        monitor = DriftMonitor(DriftBaseline.from_samples(scores))
+        report = monitor.observe(rng.uniform(size=200))
+        assert not report.flagged and not monitor.flagged
+
+    def test_monitor_flags_shifted_traffic(self):
+        rng = np.random.default_rng(2)
+        monitor = DriftMonitor(DriftBaseline.from_samples(rng.uniform(0.0, 0.5, size=1000)))
+        report = monitor.observe(rng.uniform(0.5, 1.0, size=200))
+        assert report.flagged and monitor.flagged
+        assert report.reasons
+        assert report.to_dict()["flagged"] is True
+
+    def test_monitor_needs_min_samples(self):
+        rng = np.random.default_rng(3)
+        monitor = DriftMonitor(
+            DriftBaseline.from_samples(rng.uniform(size=500)), min_samples=50
+        )
+        report = monitor.observe(np.full(10, 0.99))
+        assert not report.flagged  # 10 < min_samples: never flag on noise

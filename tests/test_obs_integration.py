@@ -1,0 +1,245 @@
+"""Telemetry end-to-end: serving audit records, concurrent stream() writes,
+drift tripping on the dropped-band ladder, and the CLI obs-smoke path."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cli import EXIT_BAD_INPUT, main
+from repro.core import SupernovaPipeline
+from repro.datasets import BuildConfig, DatasetBuilder, N_BANDS, save_dataset
+from repro.obs import EVENTS_FILE, read_events, validate_file
+from repro.runtime import DropBand, SaturateRegion
+from repro.serve import DegradedInputError, FluxPrior, InferenceEngine
+from repro.survey import ImagingConfig
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_session():
+    assert obs.active() is None
+    yield
+    if obs.active() is not None:
+        obs.stop()
+        pytest.fail("test leaked an active telemetry session")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = BuildConfig(
+        n_ia=6, n_non_ia=6, seed=29, catalog_size=80,
+        imaging=ImagingConfig(stamp_size=41),
+    )
+    return DatasetBuilder(config).build()
+
+
+@pytest.fixture(scope="module")
+def engine(dataset):
+    pipe = SupernovaPipeline(input_size=36, units=8, epochs_used=1, seed=0)
+    return InferenceEngine(pipe, prior=FluxPrior.from_dataset(dataset))
+
+
+def _events(directory, name=None):
+    records = list(read_events(directory / EVENTS_FILE))
+    return records if name is None else [r for r in records if r["event"] == name]
+
+
+class TestServeAudit:
+    def test_per_request_audit_records(self, engine, dataset, tmp_path):
+        directory = tmp_path / "t"
+        session = obs.start(directory, run_id="run-audit")
+        try:
+            results = list(engine.stream(dataset, batch_size=4))
+        finally:
+            snapshot = obs.stop()
+        requests = _events(directory, "serve.request")
+        assert len(requests) == len(dataset)
+        for record in requests:
+            assert record["request_id"] == f"run-audit/r{record['index']}"
+            assert 0.0 <= record["probability"] <= 1.0
+            assert isinstance(record["degraded"], bool)
+            assert isinstance(record["usable_bands"], list)
+            assert isinstance(record["diagnostics"], list)
+            assert record["latency_s"] >= 0.0
+            assert record["latency_bucket"].startswith("le=")
+        assert snapshot["counters"]["serve.requests"] == len(dataset)
+        latency = snapshot["histograms"]["serve.latency_s"]
+        assert latency["count"] == len(dataset)
+        confidence = snapshot["histograms"]["serve.confidence"]
+        assert confidence["count"] == len(dataset)
+        # with telemetry on and off the served outputs are identical
+        plain = list(engine.stream(dataset, batch_size=4))
+        assert [r.probability for r in results] == [r.probability for r in plain]
+
+    def test_degraded_request_flagged_with_masked_bands(self, engine, dataset, tmp_path):
+        degraded = replace(dataset, pairs=DropBand(1)(dataset.pairs))
+        directory = tmp_path / "t"
+        obs.start(directory)
+        try:
+            list(engine.stream(degraded, batch_size=4))
+        finally:
+            snapshot = obs.stop()
+        requests = _events(directory, "serve.request")
+        assert all(r["degraded"] for r in requests)
+        assert all(r["level"] == "warning" for r in requests)
+        assert all("r" in r["masked_bands"] for r in requests)
+        assert snapshot["counters"]["serve.degraded"] == len(dataset)
+
+    def test_concurrent_stream_audit_is_consistent(self, engine, dataset, tmp_path):
+        directory = tmp_path / "t"
+        obs.start(directory)
+        try:
+            results = list(engine.stream(dataset, batch_size=2, workers=4))
+        finally:
+            obs.stop()
+        assert len(results) == len(dataset)
+        n, errors = validate_file(directory / EVENTS_FILE)
+        assert errors == []  # no interleaved/torn lines, seq strictly monotonic
+        requests = _events(directory, "serve.request")
+        assert len(requests) == len(dataset)
+        assert len({r["request_id"] for r in requests}) == len(dataset)
+        assert sorted(r["index"] for r in requests) == list(range(len(dataset)))
+
+    def test_strict_rejection_carries_request_provenance(self, engine, dataset, tmp_path):
+        damaged = replace(dataset, pairs=SaturateRegion(size=12)(dataset.pairs))
+        directory = tmp_path / "t"
+        obs.start(directory, run_id="run-strict")
+        try:
+            with pytest.raises(DegradedInputError) as excinfo:
+                list(engine.stream(damaged, strict=True))
+        finally:
+            obs.stop()
+        assert excinfo.value.index == 0
+        assert excinfo.value.request_id == "run-strict/r0"
+        rejected = _events(directory, "serve.rejected")
+        assert rejected and rejected[0]["request_id"] == "run-strict/r0"
+        assert rejected[0]["level"] == "error"
+
+
+class TestDriftLadder:
+    def test_clean_silent_all_dropped_flagged(self, dataset, tmp_path):
+        pipe = SupernovaPipeline(input_size=36, units=8, epochs_used=1, seed=0)
+        engine = InferenceEngine(pipe, prior=FluxPrior.from_dataset(dataset))
+        engine.fit_drift_baseline(dataset)
+        assert engine.drift_monitor is not None
+
+        directory = tmp_path / "t"
+        obs.start(directory)
+        try:
+            for _ in range(8):  # clean traffic: past min_samples, still silent
+                engine.classify(dataset)
+            assert not engine.drift_monitor.flagged
+            assert _events(directory, "drift.flagged") == []
+
+            pairs = dataset.pairs
+            for band in range(N_BANDS):  # the full dropped-band ladder
+                pairs = DropBand(band)(pairs)
+            all_dropped = replace(dataset, pairs=pairs)
+            for _ in range(10):
+                engine.classify(all_dropped)
+        finally:
+            snapshot = obs.stop()
+
+        assert engine.drift_monitor.flagged
+        flagged = _events(directory, "drift.flagged")
+        assert flagged and flagged[0]["level"] == "warning"
+        assert flagged[0]["reasons"]
+        assert snapshot["counters"]["drift.flagged"] >= 1
+        assert snapshot["gauges"]["drift.score_psi"] > 0.25
+
+    def test_baseline_persists_through_save_load(self, dataset, tmp_path):
+        pipe = SupernovaPipeline(input_size=36, units=8, epochs_used=1, seed=0)
+        engine = InferenceEngine(pipe, prior=FluxPrior.from_dataset(dataset))
+        engine.fit_drift_baseline(dataset)
+        engine.save(str(tmp_path / "model"))
+        reloaded = InferenceEngine.from_directory(str(tmp_path / "model"))
+        assert reloaded.drift_monitor is not None
+        np.testing.assert_allclose(
+            reloaded.drift_baseline.score_probs, engine.drift_baseline.score_probs
+        )
+
+
+class TestCliTelemetry:
+    def test_build_train_metrics_round_trip(self, tmp_path, capsys):
+        ds = tmp_path / "ds.npz"
+        t_build = tmp_path / "t_build"
+        t_train = tmp_path / "t_train"
+        assert main([
+            "build-dataset", "--n-ia", "6", "--n-non-ia", "6", "--no-images",
+            "--out", str(ds), "--telemetry", str(t_build),
+        ]) == 0
+        assert main([
+            "train-classifier", "--dataset", str(ds), "--epochs", "2",
+            "--out", str(tmp_path / "clf.npz"), "--telemetry", str(t_train),
+        ]) == 0
+        capsys.readouterr()
+
+        for directory in (t_build, t_train):
+            assert main(["metrics", str(directory), "--validate"]) == 0
+            out = capsys.readouterr().out
+            assert "validated" in out and "schema v" in out
+            assert "telemetry report" in out
+            assert "events by type" in out
+        build_events = {r["event"] for r in _events(t_build)}
+        assert {"session.start", "build.start", "build.end", "session.end"} <= build_events
+        train_events = {r["event"] for r in _events(t_train)}
+        assert "train.epoch" in train_events
+
+    def test_classify_telemetry_and_prometheus(self, engine, dataset, tmp_path, capsys):
+        model_dir = tmp_path / "model"
+        engine.save(str(model_dir))
+        ds = tmp_path / "ds.npz"
+        save_dataset(dataset, ds)
+        t_serve = tmp_path / "t_serve"
+        assert main([
+            "classify", "--model", str(model_dir), "--dataset", str(ds),
+            "--out", str(tmp_path / "results.jsonl"), "--telemetry", str(t_serve),
+        ]) == 0
+        n, errors = validate_file(t_serve / EVENTS_FILE)
+        assert errors == [] and n >= len(dataset) + 2
+        capsys.readouterr()
+        assert main(["metrics", str(t_serve)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.requests" in out and "serve.latency_s" in out
+        assert main(["metrics", str(t_serve), "--prometheus"]) == 0
+        prom = capsys.readouterr().out
+        assert 'serve_latency_s_bucket{le="+Inf"}' in prom
+        assert "serve_requests" in prom
+
+    def test_strict_exit_2_leaves_terminal_error_event(self, engine, dataset, tmp_path, capsys):
+        model_dir = tmp_path / "model"
+        engine.save(str(model_dir))
+        damaged = replace(dataset, pairs=SaturateRegion(size=12)(dataset.pairs))
+        ds = tmp_path / "damaged.npz"
+        save_dataset(damaged, ds)
+        t_dir = tmp_path / "t"
+        assert main([
+            "classify", "--model", str(model_dir), "--dataset", str(ds),
+            "--strict", "--out", str(tmp_path / "out.jsonl"),
+            "--telemetry", str(t_dir),
+        ]) == EXIT_BAD_INPUT
+        assert "error:" in capsys.readouterr().err
+        errors = _events(t_dir, "cli.error")
+        assert len(errors) == 1
+        assert errors[0]["exit_code"] == EXIT_BAD_INPUT
+        assert errors[0]["index"] == 0
+        assert errors[0]["request_id"].endswith("/r0")
+        last = _events(t_dir)[-1]
+        assert last["event"] == "session.end" and last["status"] == "error"
+        assert obs.active() is None  # session closed despite the failure
+
+    def test_metrics_validate_rejects_corrupt_stream(self, tmp_path, capsys):
+        t_dir = tmp_path / "t"
+        t_dir.mkdir()
+        (t_dir / EVENTS_FILE).write_text(
+            '{"schema": 1, "ts": 1.0, "seq": 1, "level": "info", "event": "x"}\n'
+        )
+        assert main(["metrics", str(t_dir), "--validate"]) == EXIT_BAD_INPUT
+        assert "neither run_id nor request_id" in capsys.readouterr().err
+
+    def test_metrics_on_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "nope")]) == EXIT_BAD_INPUT
+        assert "error:" in capsys.readouterr().err
