@@ -1,19 +1,27 @@
 """Command-line interface.
 
-Five subcommands cover the full workflow::
+The subcommands cover the full workflow::
 
     python -m repro.cli build-dataset --n-ia 100 --n-non-ia 100 --out ds.npz
     python -m repro.cli train-flux-cnn --dataset ds.npz --out cnn.npz
     python -m repro.cli train-classifier --dataset ds.npz --out clf.npz
     python -m repro.cli evaluate --dataset ds.npz --classifier clf.npz
     python -m repro.cli classify --model model_dir/ --dataset ds.npz
+    python -m repro.cli serve --model model_dir/ --port 8350
+    python -m repro.cli metrics telemetry_dir/
 
-``classify`` is the degradation-tolerant serving path: it loads a
+``classify`` is the degradation-tolerant batch serving path: it loads a
 pipeline directory written by
 :meth:`~repro.core.pipeline.SupernovaPipeline.save` and streams one JSON
 result per sample, masking and imputing missing or damaged bands instead
 of crashing.  Degraded-but-served traffic exits ``0``; ``--strict``
 refuses it with exit code ``2`` instead.
+
+``serve`` is the persistent flavour of the same path: a warm
+:class:`~repro.serve.ServingDaemon` that coalesces concurrent HTTP
+requests into micro-batches behind admission control, per-request
+deadlines, poison-request isolation, a scoring-worker watchdog and
+graceful drain on SIGTERM/SIGINT (see :mod:`repro.serve.daemon`).
 
 Datasets are ``.npz`` archives written by :mod:`repro.datasets.io`;
 models are ``.npz`` state dicts written by :mod:`repro.nn.serialization`.
@@ -26,10 +34,23 @@ training commands accept ``--checkpoint PATH`` (plus
 processes; per-sample seeding makes the output bit-identical to a
 serial build, and checkpoints are interchangeable between the two.
 
-Failures map to exit codes instead of tracebacks: ``2`` for bad inputs
-(missing/unreadable paths, malformed arrays), ``3`` for corrupt
-artifacts (truncation / checksum mismatch), ``4`` for training that
-diverged beyond its retry budget.
+Exit codes (the one authoritative table — ``classify`` and ``serve``
+share it, and with ``--telemetry`` every non-zero path leaves a terminal
+``cli.error`` event carrying the same code):
+
+====  ==============================================================
+code  meaning
+====  ==============================================================
+0     success — including degraded-but-served traffic and a graceful
+      daemon drain on SIGTERM/SIGINT
+2     bad input: missing/unreadable paths, malformed arrays, strict-
+      mode refusal of a degraded sample
+3     corrupt artifact: truncated archive or checksum/manifest
+      mismatch
+4     unrecoverable runtime failure: training diverged beyond its
+      retry budget, or the serve daemon's scoring-worker restart
+      budget was exhausted
+====  ==============================================================
 """
 
 from __future__ import annotations
@@ -212,6 +233,44 @@ def build_parser() -> argparse.ArgumentParser:
         "results still stream in order",
     )
     _add_telemetry_arg(cl)
+
+    srv = sub.add_parser(
+        "serve", help="run the persistent micro-batching serving daemon"
+    )
+    srv.add_argument(
+        "--model", required=True, metavar="DIR",
+        help="pipeline directory written by SupernovaPipeline.save",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port", type=int, default=0, metavar="P",
+        help="bind port (0 = pick a free port; the chosen port is printed)",
+    )
+    srv.add_argument(
+        "--batch-max-size", type=int, default=16, metavar="N",
+        help="max requests coalesced into one scoring batch",
+    )
+    srv.add_argument(
+        "--batch-deadline-ms", type=float, default=10.0, metavar="MS",
+        help="max time the oldest queued request waits for batch-mates",
+    )
+    srv.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="hard admission limit; beyond it requests are shed with 429",
+    )
+    srv.add_argument(
+        "--request-deadline-ms", type=float, default=2000.0, metavar="MS",
+        help="default per-request deadline (typed 504 past it)",
+    )
+    srv.add_argument(
+        "--wedge-timeout-s", type=float, default=5.0, metavar="S",
+        help="scoring batches older than this get the worker restarted",
+    )
+    srv.add_argument(
+        "--strict", action="store_true",
+        help="refuse degraded samples with a typed 422 instead of masking",
+    )
+    _add_telemetry_arg(srv)
 
     met = sub.add_parser(
         "metrics", help="summarize a telemetry directory (events + metrics)"
@@ -420,6 +479,43 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DaemonConfig, InferenceEngine, ServingDaemon
+
+    engine = InferenceEngine.from_directory(args.model)
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        batch_max_size=args.batch_max_size,
+        batch_deadline_ms=args.batch_deadline_ms,
+        queue_depth=args.queue_depth,
+        request_deadline_ms=args.request_deadline_ms,
+        wedge_timeout_s=args.wedge_timeout_s,
+        strict=args.strict,
+    )
+    daemon = ServingDaemon(engine, config)
+    daemon.start()
+    # Handlers must be live before the listening line is printed: a
+    # supervisor may SIGTERM the moment it has parsed the port, and the
+    # default disposition would kill the process instead of draining.
+    daemon.install_signal_handlers()
+    # The listening line always lands on stderr (machine-parsable, port 0
+    # included) so supervisors and the drain test can find the bound port;
+    # with telemetry on it is additionally a serve.listening event.
+    print(f"serving on {args.host}:{daemon.port}", file=sys.stderr, flush=True)
+    _note(
+        f"model {args.model} warm; SIGTERM drains gracefully",
+        event="serve.ready", model=args.model, port=daemon.port,
+    )
+    code = daemon.wait()
+    if code == 4:
+        print(
+            "error: scoring-worker restart budget exhausted; drained",
+            file=sys.stderr,
+        )
+    return code
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import SCHEMA_VERSION, validate_file
     from .obs.log import EVENTS_FILE
@@ -462,6 +558,7 @@ _COMMANDS = {
     "train-classifier": _cmd_train_classifier,
     "evaluate": _cmd_evaluate,
     "classify": _cmd_classify,
+    "serve": _cmd_serve,
     "metrics": _cmd_metrics,
 }
 

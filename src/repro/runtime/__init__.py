@@ -10,8 +10,13 @@ builds, flux-CNN training and classifier training — survivable:
   gradients with a bounded learning-rate-backoff :class:`RetryPolicy`;
 * :mod:`repro.runtime.report` — per-sample quarantine records and the
   :class:`BuildReport` emitted by the dataset builder;
+* :mod:`repro.runtime.retry` — generic bounded retry (attempt budget,
+  exponential backoff, deterministic jitter, overall deadline) behind
+  both the training LR backoff and the serving daemon's worker restarts;
 * :mod:`repro.runtime.faults` — deterministic fault injection used by
-  the test-suite (and handy for chaos-testing deployments);
+  the test-suite (and handy for chaos-testing deployments), including
+  the serving-daemon chaos kit (poison batches, wedged workers, slow
+  clients, malformed bodies, burst schedules);
 * :mod:`repro.runtime.errors` — the structured error types the CLI maps
   to exit codes.
 """
@@ -27,7 +32,9 @@ from .checkpoint import (
 )
 from .errors import BuildAborted, CorruptArtifactError, TrainingDiverged
 from .faults import (
+    BurstSchedule,
     DropBand,
+    FailBatch,
     FailSlot,
     InjectedFault,
     InputCorruption,
@@ -37,12 +44,16 @@ from .faults import (
     SaturateRegion,
     SimulatedCrash,
     TruncateCutout,
+    WedgeBatch,
     crash_on_nth_sample,
+    malformed_bodies,
     raise_on_nth_sample,
+    send_slow_request,
     truncate_file,
 )
 from .guards import RetryPolicy, grads_are_finite, loss_is_finite
 from .report import BuildReport, QuarantineRecord
+from .retry import RetryBudgetExceeded, RetrySpec, geometric_value, retry_call
 
 __all__ = [
     "CHECKSUM_KEY",
@@ -73,4 +84,13 @@ __all__ = [
     "NaNPixels",
     "SaturateRegion",
     "TruncateCutout",
+    "FailBatch",
+    "WedgeBatch",
+    "BurstSchedule",
+    "malformed_bodies",
+    "send_slow_request",
+    "RetrySpec",
+    "RetryBudgetExceeded",
+    "retry_call",
+    "geometric_value",
 ]

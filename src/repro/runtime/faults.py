@@ -17,7 +17,12 @@ workloads:
 * :class:`InputCorruption` subclasses (:class:`DropBand`,
   :class:`NaNPixels`, :class:`SaturateRegion`, :class:`TruncateCutout`)
   — degrade stamp-pair batches the way real survey traffic does
-  (exercises the :mod:`repro.serve` degraded-input path).
+  (exercises the :mod:`repro.serve` degraded-input path);
+* the daemon chaos kit — :class:`FailBatch` / :class:`WedgeBatch`
+  scoring hooks, :func:`malformed_bodies` payload variants,
+  :func:`send_slow_request` dribbling clients and :class:`BurstSchedule`
+  arrival plans (exercises :mod:`repro.serve.daemon` admission control,
+  deadlines, poison isolation and the watchdog).
 
 :class:`SimulatedCrash` deliberately subclasses :class:`BaseException`
 so it sails through the per-sample ``except Exception`` quarantine in
@@ -28,6 +33,8 @@ kill-and-resume tests need.
 from __future__ import annotations
 
 import os
+import socket
+import threading
 from typing import Callable
 
 import numpy as np
@@ -46,6 +53,11 @@ __all__ = [
     "NaNPixels",
     "SaturateRegion",
     "TruncateCutout",
+    "FailBatch",
+    "WedgeBatch",
+    "BurstSchedule",
+    "malformed_bodies",
+    "send_slow_request",
 ]
 
 
@@ -291,6 +303,169 @@ class TruncateCutout(InputCorruption):
         n_rows = int(round(self.fraction * side))
         if n_rows:
             sample[:, :, side - n_rows :, :] = np.nan
+
+
+class FailBatch:
+    """Daemon scoring ``fault_hook`` raising on chosen micro-batches.
+
+    The serving daemon calls its hook as ``hook(batch_index, n_samples)``
+    right before each scoring group runs; raising here models a poison
+    batch — a request whose payload makes the scorer itself blow up, not
+    merely a degraded input.  Addressing is by the daemon's global batch
+    counter, so after the poisoned batch is isolated and its members are
+    re-scored individually (each re-score is a *new* batch index), the
+    retries pass — exactly the one-bad-apple contract the chaos suite
+    asserts.
+    """
+
+    def __init__(self, batches: set[int] | str,
+                 exc: type[BaseException] = InjectedFault) -> None:
+        self.batches = batches
+        self.exc = exc
+
+    def __call__(self, batch_index: int, n_samples: int) -> None:
+        """Raise on the targeted batch indices (or all with ``"all"``)."""
+        if self.batches == "all" or batch_index in self.batches:
+            raise self.exc(
+                f"injected scoring fault at batch {batch_index} ({n_samples} sample(s))"
+            )
+
+
+class WedgeBatch:
+    """Daemon scoring ``fault_hook`` that blocks chosen batches on an event.
+
+    Models a wedged scoring thread (a hung BLAS call, a deadlocked
+    allocator): the hook parks the worker on an internal
+    :class:`threading.Event` until :meth:`release` — long enough for the
+    daemon's watchdog to declare the worker dead, answer its in-flight
+    requests and start a replacement.  ``wedged`` is set once the worker
+    is actually parked, so tests can synchronise without sleeps.
+    """
+
+    def __init__(self, batches: set[int], max_wedge_s: float = 30.0) -> None:
+        self.batches = set(batches)
+        self.max_wedge_s = max_wedge_s
+        self.wedged = threading.Event()
+        self._release = threading.Event()
+
+    def __call__(self, batch_index: int, n_samples: int) -> None:
+        """Park the calling thread when the batch index is targeted."""
+        if batch_index in self.batches:
+            self.wedged.set()
+            # Bounded so an ungraceful test cannot leak a thread forever.
+            self._release.wait(self.max_wedge_s)
+
+    def release(self) -> None:
+        """Un-wedge every parked worker thread."""
+        self._release.set()
+
+
+class BurstSchedule:
+    """Deterministic open-loop arrival plan for overload tests.
+
+    Produces request send offsets (seconds from test start) for
+    ``duration_s`` of traffic at ``qps`` mean rate.  With
+    ``burst_factor > 1`` the arrivals are compressed into the leading
+    ``1 / burst_factor`` of each one-second window, so the instantaneous
+    rate is ``burst_factor * qps`` — the pattern that must trip admission
+    control while the mean rate alone would not.  Pure arithmetic, no
+    randomness: the same schedule replays exactly.
+    """
+
+    def __init__(self, qps: float, duration_s: float, burst_factor: float = 1.0) -> None:
+        if qps <= 0 or duration_s <= 0:
+            raise ValueError("qps and duration_s must be positive")
+        if burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        self.qps = qps
+        self.duration_s = duration_s
+        self.burst_factor = burst_factor
+
+    def offsets(self) -> list[float]:
+        """Send times in seconds, sorted ascending."""
+        n = int(round(self.qps * self.duration_s))
+        times = []
+        for k in range(n):
+            uniform = k / self.qps
+            window = int(uniform)
+            within = (uniform - window) / self.burst_factor
+            times.append(window + within)
+        return times
+
+
+#: Canonical malformed /classify payloads, each a distinct failure class.
+_MALFORMED_BODIES: tuple[tuple[str, bytes], ...] = (
+    ("empty", b""),
+    ("not-json", b"\x89PNG\r\n\x1a\n not a json document"),
+    ("truncated-json", b'{"pairs": [[[[1.0, 2.0'),
+    ("wrong-type", b'{"pairs": "nope", "mjd": 3}'),
+    ("missing-fields", b'{"hello": "world"}'),
+    ("ragged-array", b'{"pairs": [[[[1]], [[1, 2]]]], "mjd": [1.0]}'),
+    ("wrong-rank", b'{"pairs": [1.0, 2.0, 3.0], "mjd": [1.0]}'),
+    ("nan-mjd-string", b'{"pairs": [], "mjd": ["nan"]}'),
+)
+
+
+def malformed_bodies() -> list[tuple[str, bytes]]:
+    """Named malformed request bodies for the daemon chaos suite.
+
+    Every entry must draw a typed ``bad_request`` response — never a
+    traceback, never a hung connection, and never collateral damage to a
+    clean request sharing the batch window.
+    """
+    return list(_MALFORMED_BODIES)
+
+
+def send_slow_request(
+    host: str,
+    port: int,
+    body: bytes,
+    path: str = "/classify",
+    chunk_size: int = 64,
+    delay_s: float = 0.05,
+    timeout_s: float = 30.0,
+) -> tuple[int, bytes]:
+    """POST ``body`` one dribbled chunk at a time; return (status, body).
+
+    A deterministic slow-loris-shaped client: headers go out at once,
+    then the body trickles in ``chunk_size``-byte pieces separated by
+    ``delay_s`` pauses.  The daemon must either serve the request (when
+    the dribble finishes inside its client deadline) or answer with a
+    typed ``slow_client`` response — it must never park a handler thread
+    indefinitely.
+    """
+    import time as _time
+
+    with socket.create_connection((host, port), timeout=timeout_s) as conn:
+        conn.sendall(
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n".encode()
+        )
+        try:
+            for start in range(0, len(body), chunk_size):
+                conn.sendall(body[start : start + chunk_size])
+                if start + chunk_size < len(body):
+                    _time.sleep(delay_s)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the server may have already answered and closed its side
+        chunks = []
+        try:
+            while True:
+                data = conn.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+        except (ConnectionResetError, TimeoutError):
+            pass
+    raw = b"".join(chunks)
+    if not raw.startswith(b"HTTP/"):
+        raise ConnectionError("no HTTP response received")
+    status = int(raw.split(b" ", 2)[1])
+    payload = raw.split(b"\r\n\r\n", 1)[1] if b"\r\n\r\n" in raw else b""
+    return status, payload
 
 
 def truncate_file(path: str | os.PathLike, keep_fraction: float = 0.5) -> int:

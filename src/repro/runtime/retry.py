@@ -1,0 +1,163 @@
+"""Generic bounded retry with exponential backoff and deterministic jitter.
+
+Extracted from the training-only learning-rate backoff of
+:class:`repro.runtime.guards.RetryPolicy` into a reusable primitive: any
+subsystem that needs "try again, but not forever" — the serving daemon
+restarting a wedged scoring worker, a flaky artifact fetch, a lock
+acquisition — describes its budget as a :class:`RetrySpec` and either
+iterates :meth:`RetrySpec.delays` itself or hands a callable to
+:func:`retry_call`.
+
+Two properties matter for this repo's contracts:
+
+* **determinism** — jitter is drawn from :class:`random.Random` seeded by
+  the spec, so the delay sequence of attempt ``k`` is a pure function of
+  the spec.  Chaos tests that assert "the watchdog restarted the worker
+  after exactly these backoffs" reproduce bit-for-bit;
+* **boundedness** — both an attempt budget *and* an overall wall-clock
+  deadline cap the loop, so a retry loop can never hold a drain hostage.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["RetrySpec", "RetryBudgetExceeded", "geometric_value", "retry_call"]
+
+T = TypeVar("T")
+
+
+def geometric_value(initial: float, factor: float, attempt: int, floor: float = 0.0) -> float:
+    """``initial * factor**attempt`` clamped below by ``floor``.
+
+    The one formula behind every backoff in the repo: the training
+    guard's learning-rate decay (``factor < 1``, ``floor = min_lr``) and
+    the retry delays here (``factor > 1``, capped separately by
+    ``max_delay_s``) are both instances.
+    """
+    if attempt < 0:
+        raise ValueError("attempt must be non-negative")
+    return max(initial * factor**attempt, floor)
+
+
+class RetryBudgetExceeded(RuntimeError):
+    """Raised by :func:`retry_call` when attempts or the deadline run out.
+
+    ``__cause__`` carries the last underlying failure.
+    """
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetrySpec:
+    """A bounded retry budget: attempts, backoff shape, overall deadline.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first one (``1`` means no retries).
+    base_delay_s:
+        Delay before the first retry; subsequent delays grow by
+        ``factor``.
+    factor:
+        Exponential growth per retry (``>= 1``).
+    max_delay_s:
+        Ceiling on any single delay.
+    jitter:
+        Fraction of each delay replaced by a deterministic uniform draw
+        in ``[1 - jitter, 1 + jitter]``; ``0`` disables jitter.
+    seed:
+        Seed of the jitter stream — the same spec always produces the
+        same delay sequence.
+    deadline_s:
+        Overall wall-clock budget measured from the first attempt;
+        ``None`` means attempts alone bound the loop.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    factor: float = 2.0
+    max_delay_s: float = 5.0
+    jitter: float = 0.1
+    seed: int = 0
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1 (use max_delay_s to cap growth)")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic delay (seconds) before each retry.
+
+        Yields ``max_attempts - 1`` values: the wait between attempt
+        ``k`` and attempt ``k + 1``.
+        """
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_attempts - 1):
+            delay = min(
+                geometric_value(self.base_delay_s, self.factor, attempt),
+                self.max_delay_s,
+            )
+            if self.jitter:
+                delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+            yield delay
+
+
+def retry_call(
+    fn: Callable[[], T],
+    spec: RetrySpec | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> T:
+    """Call ``fn`` under a :class:`RetrySpec` budget; return its result.
+
+    Exceptions matching ``retry_on`` consume one attempt and wait out the
+    next backoff delay; anything else propagates immediately.  When the
+    attempt budget or the overall ``deadline_s`` is exhausted,
+    :class:`RetryBudgetExceeded` is raised with the last failure chained
+    as ``__cause__``.  ``on_retry(attempt, exc, delay_s)`` is invoked
+    before each wait — the serving daemon uses it to emit
+    ``serve.worker_restart`` telemetry.
+    """
+    spec = spec or RetrySpec()
+    started = clock()
+    delays = spec.delays()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retry_on as exc:
+            delay = next(delays, None)
+            if delay is None:
+                raise RetryBudgetExceeded(
+                    f"gave up after {attempt} attempt(s): {exc}", attempts=attempt
+                ) from exc
+            if (
+                spec.deadline_s is not None
+                and clock() - started + delay > spec.deadline_s
+            ):
+                raise RetryBudgetExceeded(
+                    f"retry deadline of {spec.deadline_s}s exhausted after "
+                    f"{attempt} attempt(s): {exc}",
+                    attempts=attempt,
+                ) from exc
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            sleep(delay)

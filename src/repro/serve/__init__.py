@@ -12,9 +12,14 @@ else fails — imputes, so every sample comes back as a
   and cosmic-ray sigma-clipping;
 * :mod:`repro.serve.engine` — band masking over the light-curve feature
   vector, per-band :class:`FluxPrior` imputation, confidence downgrades
-  and the strict-mode :class:`DegradedInputError` contract.
+  and the strict-mode :class:`DegradedInputError` contract;
+* :mod:`repro.serve.daemon` — the persistent ``repro serve`` HTTP
+  daemon: admission control, adaptive micro-batching, per-request
+  deadlines, poison-batch isolation, a wedge-detecting watchdog and
+  graceful drain, with ``/healthz`` and Prometheus ``/metrics``.
 """
 
+from .daemon import DaemonConfig, ServingDaemon
 from .engine import DegradedInputError, FluxPrior, InferenceEngine, PredictionResult
 from .validation import (
     DEFAULT_SATURATION_LEVEL,
@@ -31,6 +36,8 @@ __all__ = [
     "PredictionResult",
     "FluxPrior",
     "DegradedInputError",
+    "ServingDaemon",
+    "DaemonConfig",
     "InputDiagnostics",
     "RepairConfig",
     "diagnose_and_repair",

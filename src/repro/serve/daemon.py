@@ -1,0 +1,929 @@
+"""Resilient serving daemon: warm pipeline, micro-batching, backpressure.
+
+``repro serve --model DIR --port P`` runs a persistent stdlib-HTTP
+server around an :class:`~repro.serve.engine.InferenceEngine`.  The
+design goal is not merely "batch fast" but *degrade predictably*: every
+admitted request receives exactly one typed response, no matter what
+the traffic, the payloads or the scoring thread do.
+
+Request flow
+------------
+1. **Admission control** — ``POST /classify`` bodies are read under a
+   client deadline (dribbling clients get a typed ``slow_client`` 408),
+   parsed and shape-validated up front (typed ``bad_request`` 400), then
+   admitted into a bounded queue.  A full queue sheds the request with a
+   typed ``shed`` 429 + ``Retry-After`` instead of growing unboundedly;
+   a draining daemon refuses with a typed ``draining`` 503.
+2. **Micro-batching** — a scoring worker coalesces queued requests into
+   adaptive batches: it waits at most ``batch_deadline_ms`` from the
+   oldest queued request, caps batches at ``batch_max_size``, and groups
+   by (shape, strict) so one GEMM serves the lot.  Scoring goes through
+   :meth:`InferenceEngine.classify_arrays` — the same path as ``repro
+   classify`` — so daemon responses are bit-identical to the batch CLI.
+3. **Per-request deadlines** — each request carries a deadline (its own
+   ``deadline_ms`` or the config default).  The handler thread waits at
+   most that long and answers a typed ``timeout`` 504 itself; a late
+   scoring result finds the request already resolved and is discarded
+   (resolution is exactly-once by construction).
+4. **Poison isolation** — an exception escaping a scoring batch (strict
+   :class:`DegradedInputError`, a payload the validators missed, an
+   injected chaos fault) triggers per-sample re-scoring: the poison
+   sample alone gets its typed error response while its batch-mates are
+   scored normally.
+5. **Watchdog** — a supervisor thread detects a wedged scoring worker
+   (in-flight batch older than ``wedge_timeout_s``), answers its
+   in-flight requests, abandons the thread and starts a replacement
+   under a bounded :class:`~repro.runtime.retry.RetrySpec` budget —
+   without ever dropping the accept loop.  A exhausted restart budget
+   drains the daemon with exit code 4.
+6. **Graceful drain** — SIGTERM/SIGINT (or :meth:`ServingDaemon.drain`)
+   stops admission, flushes every in-flight batch, emits a terminal
+   ``serve.drained`` audit event and exits 0.
+
+Endpoints: ``POST /classify``, ``GET /healthz`` (live/ready/draining),
+``GET /metrics`` (Prometheus text exposition via :mod:`repro.obs`).
+Responses are stamped with deterministic request ids
+(``<run_id>/r<admission_index>``), matching the ids the telemetry
+session's per-request audit uses.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+import numpy as np
+
+from .. import obs
+from ..obs.metrics import MetricsRegistry
+from ..runtime.retry import RetrySpec
+from .engine import DegradedInputError, InferenceEngine, PredictionResult
+
+__all__ = ["DaemonConfig", "ServingDaemon", "DEFAULT_RESTART_SPEC"]
+
+#: Restart budget for wedged scoring workers: two replacements, then
+#: the daemon drains with exit code 4 rather than flap forever.
+DEFAULT_RESTART_SPEC = RetrySpec(
+    max_attempts=3, base_delay_s=0.05, factor=2.0, jitter=0.0
+)
+
+#: Batch-size histogram buckets (requests per scored micro-batch).
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Tunables of the serving daemon; defaults suit a survey alert feed.
+
+    ``queue_depth`` is the hard admission limit — the most requests that
+    may wait for a batch slot; beyond it the daemon sheds.  In-flight
+    (already batched) requests do not count against it.
+    ``worker_restarts`` follows :class:`~repro.runtime.retry.RetrySpec`
+    semantics: ``max_attempts - 1`` worker replacements are allowed
+    before the daemon gives up and drains with exit code 4.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    batch_max_size: int = 16
+    batch_deadline_ms: float = 10.0
+    queue_depth: int = 64
+    request_deadline_ms: float = 2000.0
+    client_body_deadline_s: float = 5.0
+    max_body_bytes: int = 32 << 20
+    strict: bool = False
+    wedge_timeout_s: float = 5.0
+    watchdog_interval_s: float = 0.1
+    drain_timeout_s: float = 10.0
+    run_id: str = "serve"
+    worker_restarts: RetrySpec = field(default_factory=lambda: DEFAULT_RESTART_SPEC)
+
+    def __post_init__(self) -> None:
+        if self.batch_max_size < 1:
+            raise ValueError("batch_max_size must be >= 1")
+        if self.batch_deadline_ms < 0:
+            raise ValueError("batch_deadline_ms must be non-negative")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.request_deadline_ms <= 0:
+            raise ValueError("request_deadline_ms must be positive")
+        if self.client_body_deadline_s <= 0:
+            raise ValueError("client_body_deadline_s must be positive")
+        if self.wedge_timeout_s <= 0:
+            raise ValueError("wedge_timeout_s must be positive")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
+
+
+def _error_payload(request_id: str | None, kind: str, message: str) -> dict:
+    """The typed error body every non-200 response carries."""
+    return {
+        "request_id": request_id,
+        "error": {"type": kind, "message": message},
+    }
+
+
+class _Pending:
+    """One admitted request waiting for its exactly-once resolution.
+
+    ``resolve`` is first-writer-wins: the scoring worker, the handler's
+    deadline timeout and the watchdog may all try to answer; exactly one
+    of them succeeds and the others' payloads are discarded.  The
+    handler thread blocks on ``event`` and sends whatever ``status`` /
+    ``payload`` won.
+    """
+
+    __slots__ = (
+        "index", "request_id", "pairs", "mjd", "strict",
+        "enqueued", "deadline", "event", "status", "payload", "_lock",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        request_id: str,
+        pairs: np.ndarray,
+        mjd: np.ndarray,
+        strict: bool,
+        deadline_s: float,
+    ) -> None:
+        self.index = index
+        self.request_id = request_id
+        self.pairs = pairs
+        self.mjd = mjd
+        self.strict = strict
+        self.enqueued = time.monotonic()
+        self.deadline = self.enqueued + deadline_s
+        self.event = threading.Event()
+        self.status: int | None = None
+        self.payload: dict | None = None
+        self._lock = threading.Lock()
+
+    def resolve(self, status: int, payload: dict) -> bool:
+        """Record the response if unresolved; True when this call won."""
+        with self._lock:
+            if self.status is not None:
+                return False
+            self.status = status
+            self.payload = payload
+        self.event.set()
+        return True
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.deadline
+
+    @property
+    def group_key(self) -> tuple:
+        """Requests sharing this key can share one ``classify_arrays`` call."""
+        return (self.pairs.shape, self.strict)
+
+
+class _Batcher:
+    """Bounded FIFO of pending requests with a batch-coalescing window."""
+
+    def __init__(self, max_depth: int, batch_max: int, batch_deadline_s: float) -> None:
+        self.max_depth = max_depth
+        self.batch_max = batch_max
+        self.batch_deadline_s = batch_deadline_s
+        self._items: deque[_Pending] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def submit(self, factory: Callable[[], _Pending]) -> _Pending | None:
+        """Admit ``factory()`` under the depth cap; ``None`` = shed/closed.
+
+        The factory runs under the queue lock, so admission indices are
+        assigned in exactly the order requests join the queue —
+        deterministic request ids fall out for free.
+        """
+        with self._cond:
+            if self._closed or len(self._items) >= self.max_depth:
+                return None
+            pending = factory()
+            self._items.append(pending)
+            self._cond.notify()
+            return pending
+
+    def next_batch(self) -> list[_Pending] | None:
+        """Block for the next micro-batch; ``None`` once closed and empty.
+
+        Returns as soon as ``batch_max`` requests are queued or the
+        *oldest* queued request has waited ``batch_deadline_s`` —
+        the adaptive-latency contract: a lone request never waits more
+        than one batch deadline for company.
+        """
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._cond.wait(0.05)
+            first_enqueued = self._items[0].enqueued
+            while len(self._items) < self.batch_max and not self._closed:
+                remaining = first_enqueued + self.batch_deadline_s - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            take = min(self.batch_max, len(self._items))
+            return [self._items.popleft() for _ in range(take)]
+
+    def waiting(self) -> int:
+        return len(self._items)
+
+    def close(self) -> None:
+        """Refuse further submissions and wake the worker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain_remaining(self) -> list[_Pending]:
+        """Remove and return whatever is still queued (post-close cleanup)."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+
+class _ScoringWorker(threading.Thread):
+    """The single thread that turns queued requests into scored batches."""
+
+    def __init__(self, daemon: "ServingDaemon", generation: int) -> None:
+        super().__init__(name=f"repro-serve-scorer-{generation}", daemon=True)
+        self.owner = daemon
+        self.generation = generation
+        #: Monotonic start of the batch currently being scored (watchdog input).
+        self.batch_started: float | None = None
+        self.current: list[_Pending] | None = None
+        #: Set by the watchdog when this worker is declared wedged; its
+        #: remaining resolves become no-ops and it must exit.
+        self.abandoned = False
+
+    def run(self) -> None:
+        while not self.abandoned:
+            batch = self.owner._batcher.next_batch()
+            if batch is None:
+                return  # drained and closed
+            self.current = batch
+            self.batch_started = time.monotonic()
+            try:
+                self._run_batch(batch)
+            finally:
+                self.current = None
+                self.batch_started = None
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        owner = self.owner
+        live: list[_Pending] = []
+        for pending in batch:
+            if pending.expired:
+                if pending.resolve(
+                    504,
+                    _error_payload(
+                        pending.request_id, "timeout",
+                        "request deadline expired before scoring",
+                    ),
+                ):
+                    owner.metrics.counter("daemon.timeouts").inc()
+                continue
+            live.append(pending)
+        if not live:
+            return
+        owner.metrics.counter("daemon.batches").inc()
+        owner.metrics.histogram(
+            "daemon.batch_size", buckets=_BATCH_SIZE_BUCKETS
+        ).observe(len(live))
+        groups: dict[tuple, list[_Pending]] = {}
+        for pending in live:
+            groups.setdefault(pending.group_key, []).append(pending)
+        for group in groups.values():
+            self._score(group, allow_split=True)
+
+    def _score(self, group: list[_Pending], allow_split: bool) -> None:
+        """Score one shape-uniform group; isolate poison members on failure."""
+        owner = self.owner
+        try:
+            results = owner._score_group(group)
+        except Exception as exc:  # noqa: BLE001 - every failure gets a typed reply
+            if allow_split and len(group) > 1:
+                owner.metrics.counter("daemon.poison_batches").inc()
+                owner._emit(
+                    "serve.poison_batch",
+                    level="warning",
+                    message=f"batch of {len(group)} failed ({exc}); re-scoring "
+                    "each sample alone",
+                    n_samples=len(group),
+                    error_type=type(exc).__name__,
+                )
+                for pending in group:
+                    self._score([pending], allow_split=False)
+                return
+            pending = group[0]
+            status, payload = owner._failure_response(pending, exc)
+            if pending.resolve(status, payload):
+                owner.metrics.counter("daemon.request_errors").inc()
+            return
+        for pending, result in zip(group, results):
+            payload = {"request_id": pending.request_id, "result": result.to_dict()}
+            if pending.resolve(200, payload):
+                owner.metrics.counter("daemon.responses").inc()
+                owner.metrics.histogram("daemon.latency_s").observe(
+                    time.monotonic() - pending.enqueued
+                )
+            else:
+                # The handler already answered 504; the score is discarded.
+                owner.metrics.counter("daemon.late_results").inc()
+
+
+class _Watchdog(threading.Thread):
+    """Detects a wedged scoring worker and swaps in a replacement."""
+
+    def __init__(self, daemon: "ServingDaemon") -> None:
+        super().__init__(name="repro-serve-watchdog", daemon=True)
+        self.owner = daemon
+        self.stop_event = threading.Event()
+
+    def run(self) -> None:
+        owner = self.owner
+        interval = owner.config.watchdog_interval_s
+        while not self.stop_event.wait(interval):
+            worker = owner._worker
+            started = worker.batch_started
+            if started is None:
+                continue
+            if time.monotonic() - started > owner.config.wedge_timeout_s:
+                owner._replace_wedged_worker(worker)
+
+
+class _DaemonServer(ThreadingHTTPServer):
+    # block_on_close: server_close() joins live handler threads, so every
+    # admitted request's response hits the wire before the process exits.
+    # The per-connection timeout on _Handler bounds how long an idle
+    # keep-alive connection can delay that join.
+    daemon_threads = True
+    block_on_close = True
+    #: Admission control must happen at the HTTP layer (typed 429s), not
+    #: in the kernel: the default listen backlog of 5 silently resets
+    #: connections under burst load before the daemon can answer them.
+    request_queue_size = 128
+    #: Back-reference installed by ServingDaemon.start().
+    owner: "ServingDaemon"
+
+
+class _SlowClientError(Exception):
+    """Body did not arrive within the client deadline."""
+
+
+class _BodyError(Exception):
+    def __init__(self, status: int, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+    #: Socket timeout for the request line / idle keep-alive gaps, so a
+    #: silent connection cannot pin its handler thread (and the
+    #: block_on_close join) forever.
+    timeout = 10.0
+
+    # Telemetry owns request logging; the default stderr chatter would
+    # swamp the drain test's pipe.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; the response is typed either way
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        owner = self.server.owner
+        if self.path == "/healthz":
+            status, payload = owner.health()
+            self._send_json(status, payload)
+        elif self.path == "/metrics":
+            text = owner.prometheus().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(text)))
+            self.end_headers()
+            self.wfile.write(text)
+        else:
+            self._send_json(
+                404, _error_payload(None, "not_found", f"no route {self.path}")
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        owner = self.server.owner
+        if self.path != "/classify":
+            self._send_json(
+                404, _error_payload(None, "not_found", f"no route {self.path}")
+            )
+            return
+        try:
+            raw = self._read_body()
+        except _SlowClientError:
+            owner.metrics.counter("daemon.slow_clients").inc()
+            self.close_connection = True
+            self._send_json(
+                408,
+                _error_payload(
+                    None, "slow_client",
+                    f"request body did not arrive within "
+                    f"{owner.config.client_body_deadline_s}s",
+                ),
+            )
+            return
+        except _BodyError as exc:
+            owner.metrics.counter("daemon.bad_requests").inc()
+            self._send_json(exc.status, _error_payload(None, exc.kind, str(exc)))
+            return
+        except (ConnectionError, TimeoutError, OSError):
+            self.close_connection = True
+            return  # client vanished mid-body; nothing was admitted
+        status, payload, headers = owner.handle_classify(raw)
+        self._send_json(status, payload, headers)
+
+    def _read_body(self) -> bytes:
+        """Read the full body under the daemon's client deadline.
+
+        Chunked reads bound a *dribbling* client (each chunk lands fast
+        but the body takes forever); the socket timeout bounds a fully
+        stalled one.  Either way the handler thread is free again within
+        ``client_body_deadline_s`` + one socket timeout.
+        """
+        owner = self.server.owner
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise _BodyError(411, "length_required", "Content-Length is required")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _BodyError(400, "bad_request", f"bad Content-Length {raw_length!r}")
+        if length < 0:
+            raise _BodyError(400, "bad_request", "negative Content-Length")
+        if length > owner.config.max_body_bytes:
+            raise _BodyError(
+                413, "too_large",
+                f"body of {length} bytes exceeds the "
+                f"{owner.config.max_body_bytes}-byte cap",
+            )
+        deadline = time.monotonic() + owner.config.client_body_deadline_s
+        chunks: list[bytes] = []
+        remaining = length
+        while remaining > 0:
+            time_left = deadline - time.monotonic()
+            if time_left <= 0:
+                raise _SlowClientError
+            # read1 = at most one underlying recv, so a dribbling client
+            # cannot pin us inside a single blocking read past the
+            # deadline; the socket timeout bounds a fully stalled one.
+            self.connection.settimeout(time_left)
+            try:
+                data = self.rfile.read1(min(remaining, 65536))
+            except (TimeoutError, OSError):
+                raise _SlowClientError
+            if not data:
+                raise _BodyError(
+                    400, "bad_request", "client closed the connection mid-body"
+                )
+            chunks.append(data)
+            remaining -= len(data)
+        # Restore the base timeout: the dwindling per-read timeout must
+        # not bound the response write or the next keep-alive request.
+        self.connection.settimeout(self.timeout)
+        return b"".join(chunks)
+
+
+class ServingDaemon:
+    """The persistent server wrapping one warm :class:`InferenceEngine`.
+
+    Lifecycle::
+
+        daemon = ServingDaemon(engine, DaemonConfig(port=8350))
+        daemon.start()                  # binds, spawns worker/watchdog/accept
+        daemon.install_signal_handlers()  # SIGTERM/SIGINT -> graceful drain
+        exit_code = daemon.wait()       # blocks until drained; 0 or 4
+
+    Tests drive it in-process: ``start()``, talk HTTP to ``daemon.port``,
+    then ``drain()``.  ``fault_hook(batch_index, n_samples)`` is the
+    chaos seam — the deterministic injectors in :mod:`repro.runtime.faults`
+    (:class:`FailBatch`, :class:`WedgeBatch`) plug in here.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        config: DaemonConfig | None = None,
+        fault_hook: Callable[[int, int], None] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or DaemonConfig()
+        self.fault_hook = fault_hook
+        session = obs.active()
+        self.metrics: MetricsRegistry = (
+            session.metrics if session is not None else MetricsRegistry()
+        )
+        self.run_id = session.run_id if session is not None else self.config.run_id
+        self._batcher = _Batcher(
+            self.config.queue_depth,
+            self.config.batch_max_size,
+            self.config.batch_deadline_ms / 1000.0,
+        )
+        self._admitted = 0
+        self._batch_counter = 0
+        self._batch_lock = threading.Lock()
+        self._restart_lock = threading.Lock()
+        self._restart_delays = self.config.worker_restarts.delays()
+        self._worker_generation = 0
+        self._draining = False
+        self._drain_lock = threading.Lock()
+        self._done = threading.Event()
+        self._exit_code = 0
+        self._server: _DaemonServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._worker: _ScoringWorker | None = None
+        self._watchdog: _Watchdog | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("daemon not started")
+        return self._server.server_address[1]
+
+    def start(self) -> None:
+        """Bind the port and spawn the worker, watchdog and accept threads."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        # Pin eval mode before any traffic: predict() must not toggle
+        # train/eval while handler threads are alive.
+        self.engine.pipeline.cnn.eval()
+        self.engine.pipeline.classifier.eval()
+        self._server = _DaemonServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._server.owner = self
+        self._worker = _ScoringWorker(self, self._worker_generation)
+        self._worker.start()
+        self._watchdog = _Watchdog(self)
+        self._watchdog.start()
+        self._serve_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        self._emit(
+            "serve.listening",
+            message=f"serving on {self.config.host}:{self.port}",
+            host=self.config.host,
+            port=self.port,
+            queue_depth=self.config.queue_depth,
+            batch_max_size=self.config.batch_max_size,
+        )
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
+
+        def _on_signal(signum: int, frame: object) -> None:
+            threading.Thread(
+                target=self.drain,
+                kwargs={"reason": signal.Signals(signum).name},
+                name="repro-serve-drain",
+                daemon=True,
+            ).start()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+    def wait(self) -> int:
+        """Block until the daemon has drained; returns the exit code."""
+        self._done.wait()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        if self._server is not None:
+            self._server.server_close()
+        return self._exit_code
+
+    def drain(self, reason: str = "requested", exit_code: int | None = None) -> int:
+        """Stop admitting, flush in-flight work, stop the server; idempotent.
+
+        Returns the daemon exit code (0 for a clean drain, 4 when the
+        worker-restart budget forced the drain).  Safe to call from any
+        thread except the accept thread.
+        """
+        with self._drain_lock:
+            if self._draining:
+                self._done.wait()
+                return self._exit_code
+            self._draining = True
+        if exit_code is not None:
+            self._exit_code = exit_code
+        self.metrics.gauge("daemon.draining").set(1)
+        self._emit("serve.draining", message=f"drain started ({reason})", reason=reason)
+
+        # Flush: the worker keeps consuming until the queue is empty and
+        # nothing is mid-score, bounded by the drain timeout.
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while time.monotonic() < deadline:
+            worker = self._worker
+            if self._batcher.waiting() == 0 and (
+                worker is None or worker.abandoned or worker.current is None
+            ):
+                break
+            time.sleep(0.02)
+        self._batcher.close()
+        for pending in self._batcher.drain_remaining():
+            # Only reachable when the flush timed out (e.g. a dead worker):
+            # stragglers still get a typed response rather than silence.
+            if pending.resolve(
+                503,
+                _error_payload(
+                    pending.request_id, "draining",
+                    "daemon drained before this request could be scored",
+                ),
+            ):
+                self.metrics.counter("daemon.drain_refused").inc()
+        if self._watchdog is not None:
+            self._watchdog.stop_event.set()
+        worker = self._worker
+        if worker is not None and not worker.abandoned:
+            worker.join(timeout=2.0)
+        if self._server is not None:
+            self._server.shutdown()
+        self._emit_terminal(reason)
+        self._done.set()
+        return self._exit_code
+
+    # ------------------------------------------------------------------
+    # Request handling (called from handler threads)
+    # ------------------------------------------------------------------
+    def handle_classify(self, raw: bytes) -> tuple[int, dict, dict[str, str] | None]:
+        """Admit, wait and answer one ``/classify`` request body."""
+        if self._draining:
+            return (
+                503,
+                _error_payload(None, "draining", "daemon is draining; retry elsewhere"),
+                None,
+            )
+        try:
+            pairs, mjd, strict, deadline_s = self._parse_sample(raw)
+        except ValueError as exc:
+            self.metrics.counter("daemon.bad_requests").inc()
+            return 400, _error_payload(None, "bad_request", str(exc)), None
+
+        def _admit() -> _Pending:
+            index = self._admitted
+            self._admitted += 1
+            return _Pending(
+                index,
+                f"{self.run_id}/r{index}",
+                pairs,
+                mjd,
+                strict,
+                deadline_s,
+            )
+
+        pending = self._batcher.submit(_admit)
+        if pending is None:
+            if self._draining:
+                return (
+                    503,
+                    _error_payload(None, "draining", "daemon is draining"),
+                    None,
+                )
+            self.metrics.counter("daemon.shed").inc()
+            return (
+                429,
+                _error_payload(
+                    None, "shed",
+                    f"admission queue full at {self.config.queue_depth}; retry later",
+                ),
+                {"Retry-After": "1"},
+            )
+        self.metrics.counter("daemon.admitted").inc()
+        self.metrics.gauge("daemon.queue_depth").set(self._batcher.waiting())
+
+        remaining = pending.deadline - time.monotonic()
+        if not pending.event.wait(max(remaining, 0.0)):
+            if pending.resolve(
+                504,
+                _error_payload(
+                    pending.request_id, "timeout",
+                    f"no result within the {deadline_s * 1000:.0f}ms deadline",
+                ),
+            ):
+                self.metrics.counter("daemon.timeouts").inc()
+        assert pending.status is not None and pending.payload is not None
+        return pending.status, pending.payload, None
+
+    def _parse_sample(
+        self, raw: bytes
+    ) -> tuple[np.ndarray, np.ndarray, bool, float]:
+        """Decode and shape-validate one request body; ValueError = 400."""
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"body is not valid JSON: {exc}")
+        if not isinstance(doc, dict):
+            raise ValueError("body must be a JSON object")
+        missing = [key for key in ("pairs", "mjd") if key not in doc]
+        if missing:
+            raise ValueError(f"body is missing required field(s): {missing}")
+        try:
+            pairs = np.asarray(doc["pairs"], dtype=np.float32)
+            mjd = np.asarray(doc["mjd"], dtype=np.float32)
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"'pairs'/'mjd' are not numeric arrays: {exc}")
+        if pairs.ndim != 4:
+            raise ValueError(
+                f"'pairs' must be one (V, 2, S, S) sample, got shape {pairs.shape}"
+            )
+        if mjd.ndim != 1:
+            raise ValueError(f"'mjd' must be a (V,) vector, got shape {mjd.shape}")
+        strict = bool(doc.get("strict", self.config.strict))
+        deadline_ms = doc.get("deadline_ms", self.config.request_deadline_ms)
+        try:
+            deadline_ms = float(deadline_ms)
+        except (TypeError, ValueError):
+            raise ValueError(f"'deadline_ms' must be a number, got {deadline_ms!r}")
+        if not 1.0 <= deadline_ms <= 600_000.0:
+            raise ValueError("'deadline_ms' must be in [1, 600000]")
+        # Same up-front contract as classify_arrays — shape problems are
+        # the *request's* fault and must never reach a shared batch.
+        checked_pairs, checked_mjd = self.engine._validate_batch(
+            pairs[None], mjd[None]
+        )
+        return checked_pairs[0], checked_mjd[0], strict, deadline_ms / 1000.0
+
+    # ------------------------------------------------------------------
+    # Scoring (called from the worker thread)
+    # ------------------------------------------------------------------
+    def _next_batch_index(self) -> int:
+        with self._batch_lock:
+            index = self._batch_counter
+            self._batch_counter += 1
+            return index
+
+    def _score_group(self, group: list[_Pending]) -> list[PredictionResult]:
+        batch_index = self._next_batch_index()
+        if self.fault_hook is not None:
+            self.fault_hook(batch_index, len(group))
+        pairs = np.stack([pending.pairs for pending in group])
+        mjd = np.stack([pending.mjd for pending in group])
+        return self.engine.classify_arrays(
+            pairs, mjd, strict=group[0].strict, start_index=group[0].index
+        )
+
+    def _failure_response(
+        self, pending: _Pending, exc: Exception
+    ) -> tuple[int, dict]:
+        """Map a single-sample scoring failure to its typed response."""
+        if isinstance(exc, DegradedInputError):
+            return 422, _error_payload(pending.request_id, "degraded", str(exc))
+        if isinstance(exc, (ValueError, KeyError, TypeError)):
+            return 400, _error_payload(pending.request_id, "bad_request", str(exc))
+        self._emit(
+            "serve.request_error",
+            level="error",
+            message=f"request {pending.request_id} failed: {exc}",
+            request_id=pending.request_id,
+            error_type=type(exc).__name__,
+        )
+        return 500, _error_payload(
+            pending.request_id, "internal", f"{type(exc).__name__}: {exc}"
+        )
+
+    # ------------------------------------------------------------------
+    # Watchdog support
+    # ------------------------------------------------------------------
+    def _replace_wedged_worker(self, worker: _ScoringWorker) -> None:
+        """Abandon a wedged worker, answer its batch, start a replacement."""
+        with self._restart_lock:
+            if self._worker is not worker or worker.abandoned:
+                return
+            worker.abandoned = True
+            for pending in list(worker.current or []):
+                if pending.resolve(
+                    504,
+                    _error_payload(
+                        pending.request_id, "timeout",
+                        "scoring worker wedged; request abandoned by the watchdog",
+                    ),
+                ):
+                    self.metrics.counter("daemon.timeouts").inc()
+            delay = next(self._restart_delays, None)
+            if delay is None:
+                self._emit(
+                    "serve.worker_failed",
+                    level="error",
+                    message="scoring-worker restart budget exhausted; draining",
+                    generation=worker.generation,
+                )
+                threading.Thread(
+                    target=self.drain,
+                    kwargs={"reason": "worker_failure", "exit_code": 4},
+                    name="repro-serve-drain",
+                    daemon=True,
+                ).start()
+                return
+            self.metrics.counter("daemon.worker_restarts").inc()
+            self._emit(
+                "serve.worker_restarted",
+                level="warning",
+                message=f"scoring worker {worker.generation} wedged "
+                f">{self.config.wedge_timeout_s}s; restarting after {delay:.3f}s",
+                generation=worker.generation,
+                backoff_s=round(delay, 6),
+            )
+            time.sleep(delay)
+            self._worker_generation += 1
+            self._worker = _ScoringWorker(self, self._worker_generation)
+            self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> tuple[int, dict]:
+        """``/healthz`` body: live/ready/draining plus queue stats."""
+        draining = self._draining
+        payload = {
+            "live": True,
+            "ready": not draining and self._server is not None,
+            "state": "draining" if draining else "ready",
+            "queue_depth": self._batcher.waiting(),
+            "admitted": self._admitted,
+            "worker_generation": self._worker_generation,
+        }
+        return (503 if draining else 200), payload
+
+    def prometheus(self) -> str:
+        """``/metrics`` body: the registry in text exposition format."""
+        self.metrics.gauge("daemon.queue_depth").set(self._batcher.waiting())
+        self.metrics.gauge("daemon.draining").set(1 if self._draining else 0)
+        return self.metrics.to_prometheus()
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    def _emit(self, event: str, level: str = "info",
+              message: str | None = None, **fields: object) -> None:
+        session = obs.active()
+        if session is not None:
+            session.emit(event, level=level, message=message, **fields)
+
+    def _summary(self) -> dict:
+        counters = {
+            name: int(self.metrics.counter(f"daemon.{name}").value)
+            for name in (
+                "admitted", "responses", "shed", "timeouts", "bad_requests",
+                "request_errors", "poison_batches", "worker_restarts",
+                "drain_refused",
+            )
+        }
+        counters["exit_code"] = self._exit_code
+        return counters
+
+    def _emit_terminal(self, reason: str) -> None:
+        """The terminal audit record every drain leaves behind."""
+        summary = self._summary()
+        session = obs.active()
+        if session is not None:
+            session.emit(
+                "serve.drained",
+                message=f"drained ({reason}): {summary['responses']} scored, "
+                f"{summary['shed']} shed, {summary['timeouts']} timed out",
+                reason=reason,
+                **summary,
+            )
+        else:
+            import sys
+
+            print(
+                json.dumps({"event": "serve.drained", "reason": reason, **summary}),
+                file=sys.stderr,
+                flush=True,
+            )

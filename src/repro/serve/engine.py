@@ -151,6 +151,12 @@ class PredictionResult:
         Mean signed-log CNN flux over the usable visits (NaN when every
         visit was masked) — the input-side statistic the drift monitor
         tracks against the training baseline.
+    error:
+        ``None`` for a scored sample.  When serving machinery failed
+        outright (a scoring exception contained by
+        :meth:`InferenceEngine.stream` or the daemon's poison-batch
+        isolation), the ``"ExcType: message"`` string — the probability
+        is then the 0.5 no-information prior and ``confidence`` is 0.
     """
 
     index: int
@@ -160,10 +166,28 @@ class PredictionResult:
     confidence: float
     diagnostics: list[InputDiagnostics] = field(default_factory=list)
     flux_feature: float = float("nan")
+    error: str | None = None
+
+    @classmethod
+    def failed(cls, index: int, exc: BaseException) -> "PredictionResult":
+        """The flagged placeholder for a sample whose scoring failed.
+
+        Scored at the 0.5 no-information prior with zero confidence so
+        downstream consumers that only read (probability, confidence)
+        treat it as "know nothing" rather than silently trusting it.
+        """
+        return cls(
+            index=index,
+            probability=0.5,
+            degraded=True,
+            usable_bands=[],
+            confidence=0.0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
 
     def to_dict(self) -> dict:
         """JSON-ready representation (one line of the classify stream)."""
-        return {
+        payload = {
             "index": self.index,
             "probability": round(self.probability, 6),
             "degraded": self.degraded,
@@ -176,6 +200,9 @@ class PredictionResult:
             ),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
 
     def to_json(self) -> str:
         """Compact single-line JSON for streaming output."""
@@ -559,11 +586,21 @@ class InferenceEngine:
         With ``workers > 1`` micro-batches are classified on a thread
         pool — the BLAS GEMMs behind the CNN release the GIL, so batches
         genuinely overlap — while results still stream in request order.
+
+        A non-strict exception escaping one worker's batch (a scoring
+        bug, a poison payload the validators missed) is contained to
+        that batch: its samples come back as
+        :meth:`PredictionResult.failed` placeholders and every other
+        batch still streams.  Strict mode (``strict=True`` or the
+        engine default) re-raises instead — but only after the pool has
+        been told to drop the remaining batches, so the generator never
+        abandons live futures.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        effective_strict = self.strict if strict is None else strict
         starts = range(0, len(dataset), batch_size)
         if workers == 1:
             for start in starts:
@@ -593,5 +630,34 @@ class InferenceEngine:
                 )
                 for start in starts
             ]
-            for future in futures:
-                yield from future.result()
+            try:
+                for start, future in zip(starts, futures):
+                    try:
+                        results = future.result()
+                    except Exception as exc:
+                        if effective_strict:
+                            raise
+                        stop = min(start + batch_size, len(dataset))
+                        _count("serve.contained_batch_failures")
+                        session = obs.active()
+                        if session is not None:
+                            session.emit(
+                                "serve.batch_failed",
+                                level="error",
+                                message=f"batch at {start} failed: {exc}",
+                                start_index=start,
+                                n_samples=stop - start,
+                                error_type=type(exc).__name__,
+                            )
+                            session.metrics.counter("serve.batch_failures").inc()
+                        results = [
+                            PredictionResult.failed(i, exc)
+                            for i in range(start, stop)
+                        ]
+                    yield from results
+            except BaseException:
+                # Strict re-raise or a consumer closing the generator:
+                # don't leave queued batches running behind our back.
+                for pending in futures:
+                    pending.cancel()
+                raise

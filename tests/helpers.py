@@ -1,8 +1,12 @@
-"""Shared test utilities: numerical gradient checking."""
+"""Shared test utilities: numerical gradient checking, daemon harness."""
 
 from __future__ import annotations
 
-from typing import Callable
+import contextlib
+import json
+import urllib.error
+import urllib.request
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -55,3 +59,76 @@ def check_gradient(
 
         numeric = numerical_grad(scalar_fn, x)
     np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+# ----------------------------------------------------------------------
+# Serving-daemon harness (tests/test_daemon*.py, benchmarks)
+# ----------------------------------------------------------------------
+def make_serve_engine(seed: int = 0):
+    """A tiny warm :class:`InferenceEngine` — no dataset build required."""
+    from repro.core import SupernovaPipeline
+    from repro.serve import FluxPrior, InferenceEngine
+
+    pipe = SupernovaPipeline(input_size=36, units=8, epochs_used=1, seed=seed)
+    return InferenceEngine(pipe, prior=FluxPrior.neutral())
+
+
+def make_serve_sample(engine, seed: int = 0, stamp: int = 40):
+    """One valid ``(V, 2, S, S)`` sample + its ``(V,)`` MJD vector."""
+    rng = np.random.default_rng(seed)
+    visits = engine._n_used_visits
+    pairs = rng.normal(0.0, 30.0, size=(visits, 2, stamp, stamp)).astype(np.float32)
+    mjd = (57000.0 + np.arange(visits) * 0.01).astype(np.float32)
+    return pairs, mjd
+
+
+def classify_body(pairs, mjd, **extra) -> bytes:
+    """The JSON body ``POST /classify`` expects for one sample."""
+    doc = {"pairs": np.asarray(pairs).tolist(), "mjd": np.asarray(mjd).tolist()}
+    doc.update(extra)
+    return json.dumps(doc).encode()
+
+
+@contextlib.contextmanager
+def running_daemon(engine, config=None, fault_hook=None) -> Iterator:
+    """Start an in-process :class:`ServingDaemon`; always drain on exit."""
+    from repro.serve import ServingDaemon
+
+    daemon = ServingDaemon(engine, config, fault_hook=fault_hook)
+    daemon.start()
+    try:
+        yield daemon
+    finally:
+        daemon.drain(reason="test-teardown")
+        daemon.wait()
+
+
+def post_classify(port: int, body: bytes, timeout: float = 30.0):
+    """POST one body to ``/classify``; returns ``(status, decoded_json)``.
+
+    Non-2xx responses are returned, not raised — every daemon answer is
+    a typed JSON document and tests assert on the type.
+    """
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/classify",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        with exc:
+            return exc.code, json.loads(exc.read())
+
+
+def http_get(port: int, path: str, timeout: float = 10.0):
+    """GET a daemon endpoint; returns ``(status, raw_bytes)``."""
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=timeout
+        ) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        with exc:
+            return exc.code, exc.read()

@@ -1,0 +1,144 @@
+"""runtime.retry: bounded attempts, backoff shape, determinism, deadline."""
+
+import pytest
+
+from repro.runtime import RetryBudgetExceeded, RetrySpec, geometric_value, retry_call
+from repro.runtime.guards import RetryPolicy
+
+
+class TestGeometricValue:
+    def test_growth_and_decay(self):
+        assert geometric_value(0.05, 2.0, 0) == 0.05
+        assert geometric_value(0.05, 2.0, 3) == 0.4
+        assert geometric_value(0.1, 0.5, 2) == pytest.approx(0.025)
+
+    def test_floor_clamps(self):
+        assert geometric_value(1e-3, 0.1, 5, floor=1e-6) == 1e-6
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_value(1.0, 2.0, -1)
+
+    def test_backs_the_training_lr_backoff(self):
+        """guards.RetryPolicy.next_lr is one step of the same formula."""
+        policy = RetryPolicy(max_retries=3, lr_backoff=0.5, min_lr=1e-5)
+        assert policy.next_lr(1e-3) == geometric_value(1e-3, 0.5, 1, floor=1e-5)
+        assert policy.next_lr(1.5e-5) == 1e-5  # floored
+
+
+class TestRetrySpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -0.1},
+            {"factor": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+            {"deadline_s": 0.0},
+        ],
+    )
+    def test_invalid_spec_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetrySpec(**kwargs)
+
+    def test_delays_shape_without_jitter(self):
+        spec = RetrySpec(max_attempts=4, base_delay_s=0.05, factor=2.0, jitter=0.0)
+        assert list(spec.delays()) == [0.05, 0.1, 0.2]
+
+    def test_max_delay_caps_growth(self):
+        spec = RetrySpec(
+            max_attempts=6, base_delay_s=1.0, factor=10.0, max_delay_s=5.0, jitter=0.0
+        )
+        assert list(spec.delays()) == [1.0, 5.0, 5.0, 5.0, 5.0]
+
+    def test_single_attempt_means_no_retries(self):
+        assert list(RetrySpec(max_attempts=1).delays()) == []
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        spec = RetrySpec(max_attempts=5, base_delay_s=0.1, jitter=0.25, seed=7)
+        first = list(spec.delays())
+        again = list(RetrySpec(max_attempts=5, base_delay_s=0.1, jitter=0.25, seed=7).delays())
+        assert first == again  # pure function of the spec
+        for delay, nominal in zip(first, [0.1, 0.2, 0.4, 0.8]):
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+        different_seed = list(
+            RetrySpec(max_attempts=5, base_delay_s=0.1, jitter=0.25, seed=8).delays()
+        )
+        assert first != different_seed
+
+
+class TestRetryCall:
+    def test_first_try_success_sleeps_never(self):
+        sleeps = []
+        assert retry_call(lambda: 42, RetrySpec(), sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_retries_then_succeeds(self):
+        sleeps, retries = [], []
+        attempts = iter([RuntimeError("a"), RuntimeError("b"), "ok"])
+
+        def flaky():
+            outcome = next(attempts)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        result = retry_call(
+            flaky,
+            RetrySpec(max_attempts=3, base_delay_s=0.05, factor=2.0, jitter=0.0),
+            on_retry=lambda attempt, exc, delay: retries.append((attempt, str(exc), delay)),
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert sleeps == [0.05, 0.1]
+        assert retries == [(1, "a", 0.05), (2, "b", 0.1)]
+
+    def test_budget_exhaustion_chains_last_failure(self):
+        def always_fails():
+            raise KeyError("nope")
+
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            retry_call(
+                always_fails,
+                RetrySpec(max_attempts=3, jitter=0.0),
+                sleep=lambda _: None,
+            )
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, KeyError)
+
+    def test_non_matching_exception_propagates_immediately(self):
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise TypeError("not retryable")
+
+        with pytest.raises(TypeError):
+            retry_call(
+                wrong_kind,
+                RetrySpec(max_attempts=5),
+                retry_on=(ValueError,),
+                sleep=lambda _: None,
+            )
+        assert len(calls) == 1
+
+    def test_deadline_bounds_the_loop(self):
+        clock = iter([0.0, 0.9, 1.9, 2.9]).__next__
+
+        def always_fails():
+            raise ValueError("still broken")
+
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            retry_call(
+                always_fails,
+                RetrySpec(
+                    max_attempts=10, base_delay_s=1.0, factor=1.0,
+                    jitter=0.0, deadline_s=2.5,
+                ),
+                sleep=lambda _: None,
+                clock=clock,
+            )
+        # Attempt 3 would need to wait until t=2.9 > 2.5: budget refused.
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.__cause__, ValueError)

@@ -1,0 +1,116 @@
+"""Graceful drain of the real ``repro serve`` process on SIGTERM.
+
+The contract the supervisor relies on: SIGTERM mid-traffic means every
+already-admitted request is still answered, the terminal
+``serve.drained`` audit record is emitted, and the process exits 0.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from .helpers import classify_body, make_serve_engine, make_serve_sample, post_classify
+
+pytestmark = pytest.mark.serve
+
+_LISTENING = re.compile(r"serving on ([\d.]+):(\d+)")
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("serve_model")
+    engine = make_serve_engine(seed=0)
+    engine.save(str(directory))
+    return directory, engine
+
+
+def _spawn_daemon(model_dir, *extra_args):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--model", str(model_dir), "--port", "0", *extra_args,
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    # The listening line is the first thing serve prints to stderr.
+    line = process.stderr.readline()
+    match = _LISTENING.search(line)
+    if match is None:
+        process.kill()
+        raise AssertionError(f"no listening line, got {line!r}")
+    return process, int(match.group(2))
+
+
+class TestSubprocessDrain:
+    def test_sigterm_answers_in_flight_requests_and_exits_0(self, model_dir):
+        directory, engine = model_dir
+        pairs, mjd = make_serve_sample(engine, seed=7)
+        body = classify_body(pairs, mjd, deadline_ms=30000)
+        # A wide batch window keeps requests in flight long enough for
+        # SIGTERM to land while they are still queued.
+        process, port = _spawn_daemon(directory, "--batch-deadline-ms", "500")
+        try:
+            results: list = [None] * 4
+
+            def fire(k):
+                results[k] = post_classify(port, body, timeout=30.0)
+
+            threads = [
+                threading.Thread(target=fire, args=(k,), daemon=True)
+                for k in range(len(results))
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.15)  # requests admitted, batch window still open
+            process.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+            # Every admitted request was answered before exit.
+            assert all(result is not None for result in results)
+            for status, doc in results:
+                assert status == 200
+                assert doc["result"]["probability"] is not None
+
+            stderr = process.stderr.read()
+            assert process.wait(timeout=30.0) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)
+
+        # Terminal audit record: one serve.drained JSON line on stderr.
+        drained = [
+            json.loads(line)
+            for line in stderr.splitlines()
+            if line.startswith("{") and '"serve.drained"' in line
+        ]
+        assert len(drained) == 1
+        assert drained[0]["reason"] == "SIGTERM"
+        assert drained[0]["responses"] == 4
+        assert drained[0]["exit_code"] == 0
+
+    def test_sigterm_on_idle_daemon_exits_0(self, model_dir):
+        directory, _ = model_dir
+        process, port = _spawn_daemon(directory)
+        try:
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30.0) == 0
+            stderr = process.stderr.read()
+            assert '"serve.drained"' in stderr
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)
