@@ -270,6 +270,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="refuse degraded samples with a typed 422 instead of masking",
     )
+    srv.add_argument(
+        "--precision", choices=("float32", "float16"), default="float32",
+        help="inference activation storage precision of the fused CNN "
+        "path (GEMMs always accumulate in float32; float16 accuracy is "
+        "gated by the benchmark's AUC check)",
+    )
     _add_telemetry_arg(srv)
 
     met = sub.add_parser(
@@ -482,7 +488,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import DaemonConfig, InferenceEngine, ServingDaemon
 
-    engine = InferenceEngine.from_directory(args.model)
+    engine = InferenceEngine.from_directory(args.model, precision=args.precision)
     config = DaemonConfig(
         host=args.host,
         port=args.port,

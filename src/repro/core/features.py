@@ -38,9 +38,10 @@ FLUX_FEATURE_DIM = 2  # (flux, date) per band per epoch
 def _as_float(a: np.ndarray) -> np.ndarray:
     """Floating view of ``a``: float32/float64 pass through untouched
     (the serving path stays single-precision end to end), anything else
-    is cast to float64."""
+    — integer or bool flux/date arrays — is cast to float32, matching
+    the float32 dtype policy of the rest of the pipeline."""
     a = np.asarray(a)
-    return a if np.issubdtype(a.dtype, np.floating) else a.astype(float)
+    return a if np.issubdtype(a.dtype, np.floating) else a.astype(np.float32)
 
 
 def features_from_arrays(

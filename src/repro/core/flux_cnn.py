@@ -80,6 +80,11 @@ class BandwiseCNN(nn.Module):
                 raise ValueError(f"input_size {input_size} too small for 3 conv modules")
             in_ch = ch
         self.convs = nn.Sequential(*conv_layers)
+        # (conv, bn, act, pool) views of the same modules, consumed by the
+        # folded inference path in _conv_inference.
+        self._conv_blocks = [
+            tuple(conv_layers[i : i + 4]) for i in range(0, len(conv_layers), 4)
+        ]
         self.feature_dim = channels[-1] * size * size
 
         self.fc = nn.Sequential(
@@ -112,13 +117,63 @@ class BandwiseCNN(nn.Module):
         diff = pairs[:, 1:2] - pairs[:, 0:1]  # (N, 1, S, S)
         if self.input_transform == "signed_log":
             diff = F.signed_log10(diff)
-        features = self.convs(diff).flatten(start_dim=1)
+        if not self.training and not nn.is_grad_enabled():
+            features = self._conv_inference(diff).flatten(start_dim=1)
+        else:
+            features = self.convs(diff).flatten(start_dim=1)
         out = self.fc(features)
         return out.reshape(-1) * MAG_SCALE + MAG_CENTER
 
+    def _conv_inference(self, x: Tensor) -> Tensor:
+        """Conv stack with batch norm folded into the conv weights.
+
+        At inference batch norm is a fixed per-channel affine map, so it
+        folds into the convolution: ``w' = w * scale`` and
+        ``b' = b * scale + shift`` with ``scale = gamma / sqrt(var + eps)``
+        and ``shift = beta - mean * scale``.  That removes the separate
+        normalisation pass over each conv activation (the largest one is
+        the full L1 output).  Both inference entry points
+        (:meth:`predict` and :meth:`fused_forward`) route through here,
+        so their bit-identity contract is unaffected.  Training uses the
+        unfolded ``self.convs`` stack.
+
+        Half-precision inputs compute each block in float32 (half ufuncs
+        are an order of magnitude slower than single on CPU) and narrow
+        back to float16 at the block boundary, after pooling has shrunk
+        the activation 4x — the layer-to-layer storage stays half
+        precision without paying half-precision arithmetic.
+        """
+        half = x.data.dtype == np.float16
+        for conv, bn, act, pool in self._conv_blocks:
+            if x.data.dtype == np.float16:
+                x = Tensor(x.data.astype(np.float32))
+            scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
+            shift = bn.beta.data - bn.running_mean * scale
+            w = conv.weight.data * scale[:, None, None, None]
+            b = conv.bias.data * scale + shift if conv.bias is not None else shift
+            out = nn.conv2d(
+                x,
+                Tensor(w.astype(np.float32, copy=False)),
+                Tensor(b.astype(np.float32, copy=False)),
+                stride=conv.stride,
+                padding=conv.padding,
+                # The conv output only lives until the activation below
+                # reads it, so it can borrow a cached workspace buffer.
+                scratch_out=True,
+            )
+            x = pool(act(out))
+            if half:
+                x = Tensor(x.data.astype(np.float16))
+        return x
+
     # ------------------------------------------------------------------
     def predict(self, pairs: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Inference over a NumPy batch of pairs; returns magnitudes."""
+        """Chunked inference over a NumPy batch of pairs; returns magnitudes.
+
+        The fixed-size chunking bounds the im2col workspace of each conv
+        layer; it is the float32 reference path that
+        :meth:`fused_forward` is pinned bit-identical to.
+        """
         was_training = self.training
         self.eval()
         outputs = []
@@ -129,6 +184,36 @@ class BandwiseCNN(nn.Module):
         if was_training:
             self.train()
         return np.concatenate(outputs) if outputs else np.empty(0, dtype=np.float32)
+
+    def fused_forward(
+        self, pairs: np.ndarray, precision: str = "float32"
+    ) -> np.ndarray:
+        """Single-pass inference over the whole ``(M, 2, S, S)`` batch.
+
+        The serving engine flattens its ``(N, V)`` sample/visit axes into
+        one row axis, so every conv layer sees the entire request batch
+        as one GEMM instead of :meth:`predict`'s fixed 256-row chunks —
+        no per-chunk Tensor/workspace churn, and the bucketed workspace
+        cache in :mod:`repro.nn.ops` is reused across the whole batch.
+
+        ``precision="float16"`` stores inter-layer activations in half
+        precision while every GEMM still accumulates in float32 (see
+        :class:`repro.nn.tensor.inference_precision`); the returned
+        magnitudes are always float32.  At float32 the result is
+        bit-identical to :meth:`predict`.
+        """
+        pairs = np.asarray(pairs)
+        if len(pairs) == 0:
+            return np.empty(0, dtype=np.float32)
+        was_training = self.training
+        self.eval()
+        with nn.no_grad(), nn.inference_precision(precision):
+            if nn.inference_dtype() == np.float16:
+                pairs = pairs.astype(np.float16)
+            out = self.forward(Tensor(pairs)).numpy()
+        if was_training:
+            self.train()
+        return out.astype(np.float32, copy=False)
 
 
 class PerBandCNNEnsemble(nn.Module):
@@ -155,6 +240,11 @@ class PerBandCNNEnsemble(nn.Module):
                 continue
             outputs.append(member(pairs[sel]))
             order.append(sel)
+        if not outputs:
+            # Empty input (or every band filtered out): nothing to
+            # concatenate — return an empty float32 result like
+            # BandwiseCNN.predict does instead of crashing in concat.
+            return Tensor(np.empty(0, dtype=np.float32))
         merged = nn.concat(outputs, axis=0)
         # Undo the per-band grouping.
         permutation = np.concatenate(order)

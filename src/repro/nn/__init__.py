@@ -37,7 +37,7 @@ from .layers import (
 )
 from .losses import BCEWithLogitsLoss, CrossEntropyLoss, HuberLoss, L1Loss, MSELoss
 from .module import Module, ModuleList, Parameter, Sequential
-from .ops import avg_pool2d, conv2d, max_pool2d
+from .ops import avg_pool2d, conv2d, max_pool2d, workspace_clear, workspace_stats
 from .optim import SGD, Adam, Optimizer, StepLR, clip_grad_norm
 from .serialization import load_module, save_module
 from .tensor import (
@@ -45,6 +45,8 @@ from .tensor import (
     as_tensor,
     concat,
     float64_preserved,
+    inference_dtype,
+    inference_precision,
     is_grad_enabled,
     no_grad,
     preserve_float64,
@@ -62,6 +64,8 @@ __all__ = [
     "is_grad_enabled",
     "preserve_float64",
     "float64_preserved",
+    "inference_precision",
+    "inference_dtype",
     "Module",
     "ModuleList",
     "Parameter",
@@ -88,6 +92,8 @@ __all__ = [
     "conv2d",
     "max_pool2d",
     "avg_pool2d",
+    "workspace_stats",
+    "workspace_clear",
     "Optimizer",
     "SGD",
     "Adam",

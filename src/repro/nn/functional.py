@@ -68,8 +68,12 @@ def prelu(x: Tensor, alpha: Tensor) -> Tensor:
         if np.all(alpha_data <= 1.0):
             out = x.data * alpha_view
             np.maximum(out, x.data, out=out)
+            if out.dtype != x.data.dtype:
+                out = out.astype(x.data.dtype)
             return Tensor(out)
-        return Tensor(np.where(x.data > 0, x.data, alpha_view * x.data))
+        return Tensor(
+            np.where(x.data > 0, x.data, alpha_view * x.data).astype(x.data.dtype)
+        )
 
     pos = x.data > 0
     out_data = np.where(pos, x.data, alpha_view * x.data).astype(x.data.dtype)

@@ -23,6 +23,7 @@ batches allocate only their output.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
@@ -30,7 +31,14 @@ from numpy.lib.stride_tricks import as_strided
 from ..perf.instrument import timed as _timed
 from .tensor import Tensor, is_grad_enabled
 
-__all__ = ["conv2d", "max_pool2d", "avg_pool2d", "pad2d"]
+__all__ = [
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "pad2d",
+    "workspace_stats",
+    "workspace_clear",
+]
 
 #: Workspaces are per-thread (the serving thread pool runs conv2d
 #: concurrently) and capped so pathological shape churn cannot hoard
@@ -40,20 +48,67 @@ _MAX_WORKSPACES = 32
 _workspaces = threading.local()
 
 
+def _bucket_batch(batch: int) -> int:
+    """Round the batch dimension up to the next power of two (min 1).
+
+    The daemon's adaptive micro-batches vary request to request; keyed
+    on the exact batch size they would mint a fresh workspace per size
+    and thrash past :data:`_MAX_WORKSPACES`.  Bucketing collapses every
+    batch in ``(2^(k-1), 2^k]`` onto one allocation that is sliced down,
+    so steady-state traffic reuses a handful of buffers.
+    """
+    return 1 << max(batch - 1, 0).bit_length()
+
+
 def _workspace(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
-    """A reusable scratch array for this thread, keyed by shape and dtype."""
-    cache: dict | None = getattr(_workspaces, "cache", None)
+    """A reusable scratch view for this thread.
+
+    ``shape[0]`` (the batch dimension) is bucketed to the next power of
+    two; the backing buffer is allocated at the bucket size and a
+    ``shape[0]``-row view is returned.  Eviction is LRU, so a burst of
+    unusual shapes cannot flush the steady-state working set the way the
+    previous clear-everything policy did.
+    """
+    cache: OrderedDict | None = getattr(_workspaces, "cache", None)
     if cache is None:
-        cache = {}
+        cache = OrderedDict()
         _workspaces.cache = cache
-    key = (shape, np.dtype(dtype).str)
+        _workspaces.hits = 0
+        _workspaces.misses = 0
+    batch = shape[0]
+    cap = _bucket_batch(batch)
+    key = (cap, *shape[1:], np.dtype(dtype).str)
     buf = cache.get(key)
     if buf is None:
-        if len(cache) >= _MAX_WORKSPACES:
-            cache.clear()
-        buf = np.empty(shape, dtype=dtype)
+        _workspaces.misses += 1
+        while len(cache) >= _MAX_WORKSPACES:
+            cache.popitem(last=False)
+        buf = np.empty((cap, *shape[1:]), dtype=dtype)
         cache[key] = buf
-    return buf
+    else:
+        _workspaces.hits += 1
+        cache.move_to_end(key)
+    return buf[:batch]
+
+
+def workspace_stats() -> dict:
+    """Hit/miss counters and size of this thread's workspace cache."""
+    hits = getattr(_workspaces, "hits", 0)
+    misses = getattr(_workspaces, "misses", 0)
+    cache = getattr(_workspaces, "cache", None)
+    return {
+        "hits": hits,
+        "misses": misses,
+        "entries": len(cache) if cache is not None else 0,
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+    }
+
+
+def workspace_clear() -> None:
+    """Drop this thread's workspace cache and reset the counters."""
+    _workspaces.cache = OrderedDict()
+    _workspaces.hits = 0
+    _workspaces.misses = 0
 
 
 def _im2col(
@@ -109,6 +164,7 @@ def conv2d(
     bias: Tensor | None = None,
     stride: int = 1,
     padding: int = 0,
+    scratch_out: bool = False,
 ) -> Tensor:
     """2-D cross-correlation (the deep-learning "convolution").
 
@@ -122,6 +178,13 @@ def conv2d(
         Optional per-output-channel bias of shape ``(C_out,)``.
     stride, padding:
         Standard convolution hyper-parameters (symmetric).
+    scratch_out:
+        Borrow the output buffer from the thread-local workspace cache
+        instead of allocating a fresh array (inference only — ignored
+        when the call records a graph).  The returned tensor's data is
+        only valid until the next same-shape borrow, so callers must
+        fully consume it before issuing another identical conv — the
+        layer-sequential inference loops do.
     """
     if x.ndim != 4:
         raise ValueError(f"conv2d expects a 4-D input, got shape {x.shape}")
@@ -136,10 +199,19 @@ def conv2d(
     with _timed("nn.conv2d"):
         x_padded = pad2d(x.data, padding)
         batch = x_padded.shape[0]
+        if x_padded.dtype == np.float16:
+            # Promote before im2col: converting the contiguous input once
+            # is vectorised, while an f16->f32 cast inside the strided
+            # column copy is element-at-a-time.  Exact (f16 c f32), so
+            # the GEMM sees the same float32 operands either way.
+            x_padded = x_padded.astype(np.float32)
         cols = _im2col(x_padded, kernel_h, kernel_w, stride)
         out_h, out_w = cols.shape[4], cols.shape[5]
         k_dim = in_channels * kernel_h * kernel_w
         n_loc = out_h * out_w
+        # float16 inputs accumulate in float32: result_type promotes the
+        # column workspace and the GEMM, and the output is only narrowed
+        # back to storage precision after the bias add.
         out_dtype = np.result_type(x.data.dtype, weight.data.dtype)
 
         requires = is_grad_enabled() and (
@@ -160,11 +232,16 @@ def conv2d(
 
         w_matrix = weight.data.reshape(out_channels, k_dim)
         w_gemm = w_matrix if w_matrix.dtype == out_dtype else w_matrix.astype(out_dtype)
-        out_data = np.empty((batch, out_channels, n_loc), dtype=out_dtype)
+        if scratch_out and not requires:
+            out_data = _workspace((batch, out_channels, n_loc), out_dtype)
+        else:
+            out_data = np.empty((batch, out_channels, n_loc), dtype=out_dtype)
         np.matmul(w_gemm, col_matrix, out=out_data)
         if bias is not None:
             out_data += bias.data.reshape(1, out_channels, 1)
         out_data = out_data.reshape(batch, out_channels, out_h, out_w)
+        if not requires and x.data.dtype == np.float16:
+            out_data = out_data.astype(np.float16)
 
         padded_shape = x_padded.shape
 

@@ -50,6 +50,7 @@ session's per-request audit uses.
 from __future__ import annotations
 
 import json
+import math
 import signal
 import threading
 import time
@@ -552,6 +553,11 @@ class ServingDaemon:
         self._admitted = 0
         self._batch_counter = 0
         self._batch_lock = threading.Lock()
+        #: EWMA of the scoring worker's drain rate in requests/s, fed by
+        #: _note_drained() after every scored group; None until the first
+        #: batch completes.  Sizes the 429 Retry-After header.
+        self._drain_rate: float | None = None
+        self._drain_rate_lock = threading.Lock()
         self._restart_lock = threading.Lock()
         self._restart_delays = self.config.worker_restarts.delays()
         self._worker_generation = 0
@@ -722,7 +728,7 @@ class ServingDaemon:
                     None, "shed",
                     f"admission queue full at {self.config.queue_depth}; retry later",
                 ),
-                {"Retry-After": "1"},
+                {"Retry-After": self._retry_after()},
             )
         self.metrics.counter("daemon.admitted").inc()
         self.metrics.gauge("daemon.queue_depth").set(self._batcher.waiting())
@@ -794,9 +800,43 @@ class ServingDaemon:
             self.fault_hook(batch_index, len(group))
         pairs = np.stack([pending.pairs for pending in group])
         mjd = np.stack([pending.mjd for pending in group])
-        return self.engine.classify_arrays(
+        started = time.monotonic()
+        results = self.engine.classify_arrays(
             pairs, mjd, strict=group[0].strict, start_index=group[0].index
         )
+        self._note_drained(len(group), time.monotonic() - started)
+        return results
+
+    #: EWMA weight of the newest batch's drain-rate observation.
+    _DRAIN_RATE_ALPHA = 0.3
+
+    def _note_drained(self, n_requests: int, elapsed_s: float) -> None:
+        """Fold one scored group into the drain-rate EWMA (requests/s)."""
+        if n_requests <= 0:
+            return
+        rate = n_requests / max(elapsed_s, 1e-6)
+        with self._drain_rate_lock:
+            if self._drain_rate is None:
+                self._drain_rate = rate
+            else:
+                self._drain_rate += self._DRAIN_RATE_ALPHA * (rate - self._drain_rate)
+            self.metrics.gauge("daemon.drain_rate_rps").set(round(self._drain_rate, 3))
+
+    def _retry_after(self) -> str:
+        """Seconds a shed client should back off, from the observed drain rate.
+
+        Queue depth divided by the drain-rate EWMA, rounded up and
+        clamped to [1, 30] — a full queue behind a slow model tells
+        bursty clients to stay away proportionally longer instead of
+        hammering back after the old hardcoded 1 second.  Before any
+        batch has been scored the conservative floor of 1s applies.
+        """
+        with self._drain_rate_lock:
+            rate = self._drain_rate
+        if rate is None or rate <= 0.0:
+            return "1"
+        backlog = max(self._batcher.waiting(), 1)
+        return str(max(1, min(30, math.ceil(backlog / rate))))
 
     def _failure_response(
         self, pending: _Pending, exc: Exception

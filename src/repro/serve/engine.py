@@ -230,6 +230,17 @@ class InferenceEngine:
         when present *and* a telemetry session is active, served scores
         and flux features feed a :class:`~repro.obs.drift.DriftMonitor`
         that raises ``drift.flagged`` events past its thresholds.
+    fused:
+        When True (default) the CNN stage runs the whole flattened
+        ``(N·V)`` visit batch through :meth:`BandwiseCNN.fused_forward`
+        — one GEMM per conv layer — instead of the chunked
+        :meth:`~repro.core.flux_cnn.BandwiseCNN.predict` path.  At
+        float32 the two are bit-identical.
+    precision:
+        ``"float32"`` (default) or ``"float16"`` — the inference
+        activation storage precision of the fused path (GEMMs always
+        accumulate in float32).  Implies ``fused=True`` behaviour for
+        the CNN stage; accuracy is gated by the benchmark's AUC check.
     """
 
     def __init__(
@@ -239,11 +250,19 @@ class InferenceEngine:
         repair: RepairConfig | None = None,
         strict: bool = False,
         drift_baseline: DriftBaseline | None = None,
+        fused: bool = True,
+        precision: str = "float32",
     ) -> None:
+        if precision not in ("float32", "float16"):
+            raise ValueError(
+                f"unknown precision {precision!r}; expected 'float32' or 'float16'"
+            )
         self.pipeline = pipeline
         self.prior = prior or FluxPrior.neutral()
         self.repair = repair or RepairConfig()
         self.strict = strict
+        self.fused = bool(fused) and hasattr(pipeline.cnn, "fused_forward")
+        self.precision = precision
         self.drift_baseline = drift_baseline
         self.drift_monitor = (
             DriftMonitor(drift_baseline) if drift_baseline is not None else None
@@ -259,6 +278,8 @@ class InferenceEngine:
         directory: str,
         repair: RepairConfig | None = None,
         strict: bool = False,
+        fused: bool = True,
+        precision: str = "float32",
     ) -> "InferenceEngine":
         """Build an engine from a :meth:`SupernovaPipeline.save` directory.
 
@@ -271,7 +292,7 @@ class InferenceEngine:
         prior = FluxPrior.load(directory)
         baseline = DriftBaseline.load(directory)
         return cls(pipeline, prior=prior, repair=repair, strict=strict,
-                   drift_baseline=baseline)
+                   drift_baseline=baseline, fused=fused, precision=precision)
 
     def save(self, directory: str) -> None:
         """Persist the pipeline, flux prior and (if set) drift baseline."""
@@ -424,8 +445,19 @@ class InferenceEngine:
         flux = np.zeros((n, used), dtype=np.float32)
         flat_idx = np.flatnonzero(usable.reshape(-1))
         if flat_idx.size:
+            # Clean traffic keeps every visit; skip the fancy-index copy
+            # and hand the repaired batch to the CNN as-is.
+            if flat_idx.size == repaired_flat.shape[0]:
+                cnn_input = repaired_flat
+            else:
+                cnn_input = repaired_flat[flat_idx]
             with _timed("serve.cnn"):
-                mags = self.pipeline.cnn.predict(repaired_flat[flat_idx])
+                if self.fused:
+                    mags = self.pipeline.cnn.fused_forward(
+                        cnn_input, precision=self.precision
+                    )
+                else:
+                    mags = self.pipeline.cnn.predict(cnn_input)
             flux.reshape(-1)[flat_idx] = 10.0 ** (-0.4 * (mags - 27.0))
 
         with _timed("serve.features"):

@@ -296,20 +296,33 @@ def diagnose_and_repair_batch(
         med = np.median(diff, axis=(1, 2))
         mad = np.median(np.abs(diff - med[:, None, None]), axis=(1, 2))
         sigma = 1.4826 * mad.astype(np.float64)
-        local = ndimage.median_filter(diff, size=(1, 3, 3), mode="nearest")
         excess = diff - med[:, None, None]
         # Threshold rounded to float32 exactly as the scalar comparison does.
         threshold = (config.clip_sigma * sigma).astype(np.float32)
         candidates = excess > threshold[:, None, None]
-        unsupported = (local - med[:, None, None]) < np.float32(
-            config.clip_support_ratio
-        ) * excess
-        outliers = candidates & unsupported & (sigma > 0)[:, None, None]
-        counts = outliers.sum(axis=(1, 2))
-        if counts.any():
-            observation[outliers] = reference[outliers] + local[outliers]
-            repaired[kept_idx, 1] = observation
-        n_clipped[kept_idx] = counts
+        active = candidates.any(axis=(1, 2)) & (sigma > 0)
+        # The 3x3 median filter dwarfs every other statistic here, and an
+        # outlier must first be a candidate — so filter only the visits
+        # that have at least one candidate pixel.  Clean traffic (no pixel
+        # past clip_sigma) skips it entirely; the result is bit-identical
+        # because outliers is a subset of candidates & active.
+        active_idx = np.flatnonzero(active)
+        if active_idx.size:
+            local = ndimage.median_filter(
+                diff[active_idx], size=(1, 3, 3), mode="nearest"
+            )
+            sub_med = med[active_idx, None, None]
+            sub_excess = excess[active_idx]
+            unsupported = (local - sub_med) < np.float32(
+                config.clip_support_ratio
+            ) * sub_excess
+            outliers = candidates[active_idx] & unsupported
+            counts = outliers.sum(axis=(1, 2))
+            if counts.any():
+                sub_obs = observation[active_idx]
+                sub_obs[outliers] = reference[active_idx][outliers] + local[outliers]
+                repaired[kept_idx[active_idx], 1] = sub_obs
+            n_clipped[kept_idx[active_idx]] = counts
 
     n_bands = len(GRIZY)
     diags: list[InputDiagnostics] = []

@@ -189,11 +189,58 @@ class TestAdmissionControl:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(request, timeout=10.0)
             assert excinfo.value.code == 429
-            assert excinfo.value.headers["Retry-After"] == "1"
+            # Derived from the observed drain rate; always within the
+            # clamp window, and exactly the 1s floor before any batch
+            # has been scored (the head batch is still wedged here).
+            assert 1 <= int(excinfo.value.headers["Retry-After"]) <= 30
             excinfo.value.close()
             wedge.release()
             for thread in threads:
                 thread.join(timeout=30.0)
+
+
+class TestRetryAfterDerivation:
+    """Unit tests of the drain-rate EWMA behind the 429 Retry-After."""
+
+    def _daemon(self, engine):
+        return ServingDaemon(engine, DaemonConfig(batch_deadline_ms=5.0))
+
+    def test_floor_before_first_observation(self, engine):
+        daemon = self._daemon(engine)
+        assert daemon._retry_after() == "1"
+
+    def test_backlog_over_rate(self, engine, monkeypatch):
+        daemon = self._daemon(engine)
+        daemon._note_drained(4, 2.0)  # 2 requests/s
+        monkeypatch.setattr(daemon._batcher, "waiting", lambda: 10)
+        assert daemon._retry_after() == "5"  # ceil(10 / 2)
+
+    def test_clamped_to_30s_for_slow_drain(self, engine, monkeypatch):
+        daemon = self._daemon(engine)
+        daemon._note_drained(1, 100.0)  # 0.01 requests/s
+        monkeypatch.setattr(daemon._batcher, "waiting", lambda: 8)
+        assert daemon._retry_after() == "30"
+
+    def test_fast_drain_floors_at_1s(self, engine, monkeypatch):
+        daemon = self._daemon(engine)
+        daemon._note_drained(64, 0.01)
+        monkeypatch.setattr(daemon._batcher, "waiting", lambda: 1)
+        assert daemon._retry_after() == "1"
+
+    def test_ewma_tracks_recent_batches(self, engine):
+        daemon = self._daemon(engine)
+        daemon._note_drained(10, 1.0)  # 10 requests/s
+        assert daemon._drain_rate == pytest.approx(10.0)
+        daemon._note_drained(2, 1.0)  # slower batch folds in at alpha=0.3
+        assert daemon._drain_rate == pytest.approx(0.7 * 10.0 + 0.3 * 2.0)
+        assert daemon.metrics.gauge("daemon.drain_rate_rps").value == pytest.approx(
+            round(daemon._drain_rate, 3)
+        )
+
+    def test_empty_group_ignored(self, engine):
+        daemon = self._daemon(engine)
+        daemon._note_drained(0, 1.0)
+        assert daemon._drain_rate is None
 
 
 class TestDeadlines:

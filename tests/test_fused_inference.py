@@ -1,0 +1,231 @@
+"""Fused batch inference: parity, reduced precision, workspace cache.
+
+The serving contract pinned here:
+
+* ``BandwiseCNN.fused_forward`` at float32 is bit-identical to the
+  chunked ``predict`` reference path — for clean inputs, for any chunk
+  size, and for inputs damaged by the :mod:`repro.runtime.faults`
+  corruptors and repaired by the serve layer;
+* ``precision="float16"`` stores activations in half precision but
+  accumulates every GEMM in float32, staying within a tight tolerance
+  of the float32 magnitudes;
+* the im2col workspace cache buckets batch sizes, so bursty mixed-size
+  traffic hits cached buffers instead of thrashing allocations.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.features import _as_float, features_from_arrays
+from repro.core.flux_cnn import BandwiseCNN, PerBandCNNEnsemble
+from repro.nn.tensor import Tensor
+from repro.runtime import BurstSchedule, DropBand, NaNPixels, SaturateRegion, TruncateCutout
+from repro.serve import diagnose_and_repair_batch
+
+from .helpers import make_serve_engine, make_serve_sample
+
+SIZE = 36  # smallest supported input keeps the CNN cheap
+
+
+@pytest.fixture(scope="module")
+def cnn():
+    model = BandwiseCNN(input_size=SIZE, rng=np.random.default_rng(7))
+    model.eval()
+    return model
+
+
+def _pairs(n, rng, stamp=SIZE, scale=100.0):
+    return (rng.normal(size=(n, 2, stamp, stamp)) * scale).astype(np.float32)
+
+
+class TestFusedChunkedParity:
+    def test_bit_identical_across_chunk_sizes(self, cnn):
+        rng = np.random.default_rng(0)
+        pairs = _pairs(13, rng)
+        fused = cnn.fused_forward(pairs)
+        assert fused.dtype == np.float32
+        for batch_size in (1, 2, 3, 5, 7, 13, 256):
+            chunked = cnn.predict(pairs, batch_size=batch_size)
+            assert np.array_equal(fused, chunked), f"chunk size {batch_size}"
+
+    def test_bit_identical_on_larger_stamps(self, cnn):
+        # The crop path (stamp > input_size) must not disturb parity.
+        rng = np.random.default_rng(1)
+        pairs = _pairs(9, rng, stamp=SIZE + 6)
+        assert np.array_equal(cnn.fused_forward(pairs), cnn.predict(pairs, batch_size=4))
+
+    @pytest.mark.parametrize(
+        "corruptor",
+        [
+            DropBand(bands=2),
+            NaNPixels(fraction=0.01, seed=3),
+            SaturateRegion(size=5, seed=4),
+            TruncateCutout(fraction=0.1),
+        ],
+        ids=["drop-band", "nan-pixels", "saturate", "truncate"],
+    )
+    def test_bit_identical_on_repaired_inputs(self, cnn, corruptor):
+        # Damaged traffic goes through the serve repair layer before the
+        # CNN; the fused path must agree bit for bit on the repaired
+        # (and partially masked) visit batch exactly as on clean data.
+        rng = np.random.default_rng(2)
+        n, visits = 4, 5
+        batch = (rng.normal(size=(n, visits, 2, SIZE, SIZE)) * 100).astype(np.float32)
+        corrupted = corruptor(batch)
+        flat = corrupted.reshape(n * visits, 2, SIZE, SIZE)
+        repaired, _, kept = diagnose_and_repair_batch(flat, np.tile(np.arange(visits), n))
+        usable = repaired[np.flatnonzero(kept)]
+        assert usable.shape[0] > 0  # the corruptors never kill every visit
+        assert np.array_equal(cnn.fused_forward(usable), cnn.predict(usable, batch_size=3))
+
+    def test_empty_batch(self, cnn):
+        out = cnn.fused_forward(np.empty((0, 2, SIZE, SIZE), dtype=np.float32))
+        assert out.shape == (0,) and out.dtype == np.float32
+
+    def test_restores_training_mode(self, cnn):
+        cnn.train()
+        try:
+            cnn.fused_forward(_pairs(2, np.random.default_rng(3)))
+            assert cnn.training
+        finally:
+            cnn.eval()
+
+    def test_engine_parity_fused_vs_chunked(self):
+        # End to end through classify_arrays: the fused engine returns
+        # the same probabilities as the chunked reference engine.
+        fused_engine = make_serve_engine(seed=0)
+        chunked_engine = make_serve_engine(seed=0)
+        chunked_engine.fused = False
+        pairs, mjd = make_serve_sample(fused_engine, seed=5)
+        batch = np.stack([pairs] * 3)
+        mjds = np.stack([mjd] * 3)
+        got = fused_engine.classify_arrays(batch, mjds)
+        want = chunked_engine.classify_arrays(batch, mjds)
+        for a, b in zip(got, want):
+            assert a.probability == b.probability
+            assert a.confidence == b.confidence
+
+
+class TestFloat16Inference:
+    def test_close_to_float32(self, cnn):
+        rng = np.random.default_rng(4)
+        pairs = _pairs(11, rng)
+        f32 = cnn.fused_forward(pairs)
+        f16 = cnn.fused_forward(pairs, precision="float16")
+        assert f16.dtype == np.float32  # outputs are always full precision
+        # Half-precision storage with float32 accumulation stays within
+        # a few hundredths of a magnitude on unit-scale regression.
+        np.testing.assert_allclose(f16, f32, atol=0.1)
+        assert np.abs(f16 - f32).max() > 0.0  # it genuinely ran at f16
+
+    def test_precision_context_dtype_policy(self):
+        x64 = np.ones((2, 2), dtype=np.float64)
+        x16 = np.ones((2, 2), dtype=np.float16)
+        assert Tensor(x16).data.dtype == np.float32  # default: promote
+        with nn.inference_precision("float16"):
+            assert nn.inference_dtype() == np.float16
+            assert Tensor(x16).data.dtype == np.float16  # kept
+            assert Tensor(x64).data.dtype == np.float32  # still demoted
+        assert nn.inference_dtype() == np.float32
+        assert Tensor(x16).data.dtype == np.float32  # restored
+
+    def test_unknown_precision_rejected(self, cnn):
+        with pytest.raises(ValueError, match="precision"):
+            with nn.inference_precision("float8"):
+                pass
+        with pytest.raises(ValueError):
+            cnn.fused_forward(_pairs(1, np.random.default_rng(0)), precision="bf16")
+
+    def test_engine_precision_validated(self):
+        from repro.core import SupernovaPipeline
+        from repro.serve import FluxPrior, InferenceEngine
+
+        pipe = SupernovaPipeline(input_size=SIZE, units=8, epochs_used=1, seed=0)
+        with pytest.raises(ValueError, match="precision"):
+            InferenceEngine(pipe, prior=FluxPrior.neutral(), precision="float64")
+
+    def test_engine_float16_scores_sane(self):
+        engine16 = make_serve_engine(seed=0)
+        engine16.precision = "float16"
+        engine32 = make_serve_engine(seed=0)
+        pairs, mjd = make_serve_sample(engine16, seed=6)
+        got = engine16.classify_arrays(pairs[None], mjd[None])[0]
+        want = engine32.classify_arrays(pairs[None], mjd[None])[0]
+        assert got.probability == pytest.approx(want.probability, abs=0.05)
+
+
+class TestWorkspaceCache:
+    def setup_method(self):
+        nn.workspace_clear()
+
+    def test_bucketing_reuses_buffer_across_batch_sizes(self, cnn):
+        rng = np.random.default_rng(8)
+        cnn.fused_forward(_pairs(8, rng))  # warm the 8-row bucket
+        warm = nn.workspace_stats()
+        for n in (5, 6, 7, 8):  # all bucket to 8 rows
+            cnn.fused_forward(_pairs(n, rng))
+        stats = nn.workspace_stats()
+        assert stats["misses"] == warm["misses"], "bucketed sizes must not reallocate"
+        assert stats["hits"] > warm["hits"]
+
+    def test_hit_rate_under_burst_schedule(self, cnn):
+        # Group a bursty arrival plan into batching windows: the window
+        # populations are the daemon's micro-batch sizes — small and
+        # jittery during the burst head, larger at the tail.  Power-of-
+        # two bucketing keeps the cache warm across that mix.
+        offsets = BurstSchedule(qps=40, duration_s=1.0, burst_factor=4.0).offsets()
+        window_s = 0.05
+        sizes = np.bincount((np.asarray(offsets) / window_s).astype(int))
+        sizes = [int(s) for s in sizes if s > 0]
+        assert len(set(sizes)) > 1  # genuinely mixed batch sizes
+        rng = np.random.default_rng(9)
+        for n in sizes:
+            cnn.fused_forward(_pairs(n, rng))
+        stats = nn.workspace_stats()
+        assert stats["hit_rate"] > 0.5, stats
+
+    def test_cache_bounded_by_lru(self):
+        from repro.nn.ops import _MAX_WORKSPACES, _workspace
+
+        for i in range(_MAX_WORKSPACES + 8):
+            _workspace((1, 3 + i, 7), np.float32)
+        stats = nn.workspace_stats()
+        assert stats["entries"] <= _MAX_WORKSPACES
+
+    def test_workspace_returns_exact_batch_view(self):
+        from repro.nn.ops import _workspace
+
+        buf = _workspace((5, 4), np.float32)
+        assert buf.shape == (5, 4)
+        assert buf.flags["C_CONTIGUOUS"]
+
+
+class TestSatelliteRegressions:
+    def test_features_integer_input_stays_float32(self):
+        # _as_float used to promote integer arrays to float64, silently
+        # upcasting every downstream feature computation.
+        assert _as_float(np.arange(4, dtype=np.int64)).dtype == np.float32
+        assert _as_float(np.ones(3, dtype=bool)).dtype == np.float32
+        assert _as_float(np.ones(3, dtype=np.float32)).dtype == np.float32
+        assert _as_float(np.ones(3, dtype=np.float64)).dtype == np.float64
+
+    def test_features_from_integer_arrays(self):
+        flux = np.arange(10, dtype=np.int64).reshape(2, 5)
+        mjd = (57000 + np.arange(10, dtype=np.int64)).reshape(2, 5)
+        out = features_from_arrays(flux, mjd, epochs=1)
+        assert out.dtype == np.float32
+        assert np.isfinite(out).all()
+
+    def test_ensemble_empty_input(self):
+        ensemble = PerBandCNNEnsemble(
+            n_bands=2, rng=np.random.default_rng(0), input_size=SIZE
+        )
+        ensemble.eval()
+        with nn.no_grad():
+            out = ensemble(
+                Tensor(np.empty((0, 2, SIZE, SIZE), dtype=np.float32)),
+                np.empty(0, dtype=np.int64),
+            )
+        assert out.shape == (0,)
+        assert out.data.dtype == np.float32
