@@ -8,6 +8,8 @@ The subcommands cover the full workflow::
     python -m repro.cli evaluate --dataset ds.npz --classifier clf.npz
     python -m repro.cli classify --model model_dir/ --dataset ds.npz
     python -m repro.cli serve --model model_dir/ --port 8350
+    python -m repro.cli models register --registry reg/ --model model_dir/
+    python -m repro.cli models promote v2 --registry reg/
     python -m repro.cli metrics telemetry_dir/
 
 ``classify`` is the degradation-tolerant batch serving path: it loads a
@@ -22,6 +24,16 @@ refuses it with exit code ``2`` instead.
 requests into micro-batches behind admission control, per-request
 deadlines, poison-request isolation, a scoring-worker watchdog and
 graceful drain on SIGTERM/SIGINT (see :mod:`repro.serve.daemon`).
+
+``models`` manages the versioned model registry
+(:mod:`repro.registry`): ``register`` copies a saved model directory in
+as an immutable checksummed version, ``promote`` makes it production
+(``--shadow`` stages it as the shadow candidate instead, ``--force``
+overrides a quarantine), ``rollback`` reinstates the last-known-good
+version, ``gc`` prunes old retired/rolled-back version directories.
+``serve --registry DIR`` serves the registry's production version and
+follows promotes/rollbacks live (hot reload, shadow scoring and
+drift-triggered automatic rollback).
 
 Datasets are ``.npz`` archives written by :mod:`repro.datasets.io`;
 models are ``.npz`` state dicts written by :mod:`repro.nn.serialization`.
@@ -75,6 +87,7 @@ from .core.features import dataset_windowed_features
 from .datasets import BuildConfig, DatasetBuilder, load_dataset, save_dataset, train_val_test_split
 from .eval import auc_score, roc_curve
 from .nn import load_module, save_module
+from .registry import RegistryError
 from .runtime import BuildAborted, CorruptArtifactError, TrainingDiverged
 
 __all__ = ["main", "build_parser"]
@@ -127,6 +140,10 @@ def _fail(exc: BaseException, code: int, prefix: str = "error: ") -> int:
             fields["index"] = exc.index
         if getattr(exc, "request_id", None):
             fields["request_id"] = exc.request_id
+        # CorruptArtifactError knows the *file* that failed validation;
+        # surfacing it makes an exit-3 run diagnosable from telemetry.
+        if getattr(exc, "path", None):
+            fields["path"] = os.fspath(exc.path)
         session.emit("cli.error", level="error", message=str(exc), **fields)
     return code
 
@@ -238,8 +255,27 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the persistent micro-batching serving daemon"
     )
     srv.add_argument(
-        "--model", required=True, metavar="DIR",
-        help="pipeline directory written by SupernovaPipeline.save",
+        "--model", default=None, metavar="DIR",
+        help="pipeline directory written by SupernovaPipeline.save "
+        "(exactly one of --model / --registry)",
+    )
+    srv.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="serve the production version of this model registry and "
+        "follow promotes/rollbacks live (hot reload + shadow scoring + "
+        "automatic rollback)",
+    )
+    srv.add_argument(
+        "--reload-poll-s", type=float, default=0.25, metavar="S",
+        help="how often the registry version watcher re-reads registry.json",
+    )
+    srv.add_argument(
+        "--divergence-budget", type=float, default=0.15, metavar="D",
+        help="mean shadow |Δp| beyond which the candidate is quarantined",
+    )
+    srv.add_argument(
+        "--sustained-drift-checks", type=int, default=3, metavar="N",
+        help="consecutive flagged drift evaluations before auto-rollback",
     )
     srv.add_argument("--host", default="127.0.0.1", help="bind address")
     srv.add_argument(
@@ -277,6 +313,70 @@ def build_parser() -> argparse.ArgumentParser:
         "gated by the benchmark's AUC check)",
     )
     _add_telemetry_arg(srv)
+
+    mod = sub.add_parser(
+        "models", help="manage the versioned model registry"
+    )
+    modsub = mod.add_subparsers(dest="models_command", required=True)
+
+    def _registry_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--registry", required=True, metavar="DIR",
+            help="registry root (created on first register)",
+        )
+
+    m_list = modsub.add_parser("list", help="list versions and their statuses")
+    _registry_arg(m_list)
+    m_list.add_argument(
+        "--json", action="store_true", help="dump the raw registry state as JSON"
+    )
+    m_reg = modsub.add_parser(
+        "register", help="copy a saved model dir in as the next version"
+    )
+    _registry_arg(m_reg)
+    m_reg.add_argument(
+        "--model", required=True, metavar="DIR",
+        help="pipeline directory written by SupernovaPipeline.save",
+    )
+    m_reg.add_argument("--note", default=None, help="free-form audit note")
+    m_reg.add_argument(
+        "--promote", action="store_true",
+        help="immediately promote the new version to production",
+    )
+    m_reg.add_argument(
+        "--shadow", action="store_true",
+        help="immediately stage the new version as the shadow candidate",
+    )
+    m_pro = modsub.add_parser(
+        "promote", help="make a version production (or stage it with --shadow)"
+    )
+    _registry_arg(m_pro)
+    m_pro.add_argument("version", help="version to promote, e.g. v2")
+    m_pro.add_argument(
+        "--shadow", action="store_true",
+        help="stage as the shadow candidate instead of promoting",
+    )
+    m_pro.add_argument(
+        "--force", action="store_true",
+        help="promote even a quarantined (rolled_back) version",
+    )
+    m_rb = modsub.add_parser(
+        "rollback", help="quarantine production, reinstate last-known-good"
+    )
+    _registry_arg(m_rb)
+    m_rb.add_argument(
+        "--reason", default="manual rollback", help="recorded in the audit log"
+    )
+    m_gc = modsub.add_parser(
+        "gc", help="delete old retired/rolled-back version directories"
+    )
+    _registry_arg(m_gc)
+    m_gc.add_argument(
+        "--keep", type=int, default=2, metavar="N",
+        help="newest retired/rolled-back versions to keep on disk",
+    )
+    for p in (m_list, m_reg, m_pro, m_rb, m_gc):
+        _add_telemetry_arg(p)
 
     met = sub.add_parser(
         "metrics", help="summarize a telemetry directory (events + metrics)"
@@ -486,9 +586,11 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .registry import GuardConfig, ModelRegistry
     from .serve import DaemonConfig, InferenceEngine, ServingDaemon
 
-    engine = InferenceEngine.from_directory(args.model, precision=args.precision)
+    if (args.model is None) == (args.registry is None):
+        raise ValueError("pass exactly one of --model or --registry")
     config = DaemonConfig(
         host=args.host,
         port=args.port,
@@ -498,8 +600,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_deadline_ms=args.request_deadline_ms,
         wedge_timeout_s=args.wedge_timeout_s,
         strict=args.strict,
+        reload_poll_s=args.reload_poll_s,
     )
-    daemon = ServingDaemon(engine, config)
+    if args.registry is not None:
+        daemon = ServingDaemon(
+            None,
+            config,
+            registry=ModelRegistry(args.registry),
+            guard=GuardConfig(
+                divergence_budget=args.divergence_budget,
+                sustained_checks=args.sustained_drift_checks,
+            ),
+            engine_kwargs={"precision": args.precision},
+        )
+        model_source = f"registry {args.registry} ({daemon._engine_version})"
+    else:
+        engine = InferenceEngine.from_directory(args.model, precision=args.precision)
+        daemon = ServingDaemon(engine, config)
+        model_source = args.model
     daemon.start()
     # Handlers must be live before the listening line is printed: a
     # supervisor may SIGTERM the moment it has parsed the port, and the
@@ -510,8 +628,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # with telemetry on it is additionally a serve.listening event.
     print(f"serving on {args.host}:{daemon.port}", file=sys.stderr, flush=True)
     _note(
-        f"model {args.model} warm; SIGTERM drains gracefully",
-        event="serve.ready", model=args.model, port=daemon.port,
+        f"model {model_source} warm; SIGTERM drains gracefully",
+        event="serve.ready", model=model_source, port=daemon.port,
     )
     code = daemon.wait()
     if code == 4:
@@ -520,6 +638,90 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return code
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    """Registry management: list / register / promote / rollback / gc.
+
+    Machine-readable results (the new version name, the JSON state) go
+    to stdout; human progress notes go through :func:`_note` (stderr, or
+    structured events with ``--telemetry``).
+    """
+    import json as _json
+
+    from .registry import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    command = args.models_command
+    if command == "list":
+        if args.json:
+            print(_json.dumps(registry.state(), indent=2))
+            return 0
+        records = registry.records()
+        if not records:
+            print("registry is empty", file=sys.stderr)
+            return 0
+        state = registry.state()
+        for version, record in records:
+            marker = "*" if version == state.get("production") else (
+                "~" if version == state.get("candidate") else " "
+            )
+            stamp = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(record.get("created_at", 0))
+            )
+            note = record.get("note") or ""
+            removed = " (gc'd)" if record.get("removed") else ""
+            reason = record.get("reason")
+            detail = f"  [{reason}]" if reason else (f"  {note}" if note else "")
+            print(f"{marker} {version:>4}  {record['status']:<12} {stamp}{removed}{detail}")
+        return 0
+    if command == "register":
+        if args.promote and args.shadow:
+            raise ValueError("pass at most one of --promote / --shadow")
+        version = registry.register(args.model, note=args.note, by="cli")
+        _note(
+            f"registered {args.model} as {version}",
+            event="models.registered", version=version, model=args.model,
+        )
+        if args.promote:
+            registry.promote(version, by="cli")
+            _note(f"promoted {version} to production",
+                  event="models.promoted", version=version)
+        elif args.shadow:
+            registry.shadow(version, by="cli")
+            _note(f"staged {version} as shadow candidate",
+                  event="models.shadowed", version=version)
+        print(version)
+        return 0
+    if command == "promote":
+        if args.shadow:
+            registry.shadow(args.version, by="cli")
+            _note(f"staged {args.version} as shadow candidate",
+                  event="models.shadowed", version=args.version)
+        else:
+            demoted, promoted = registry.promote(
+                args.version, force=args.force, by="cli"
+            )
+            suffix = f" (demoted {demoted})" if demoted else ""
+            _note(f"promoted {promoted} to production{suffix}",
+                  event="models.promoted", version=promoted, demoted=demoted)
+        return 0
+    if command == "rollback":
+        quarantined, restored = registry.rollback(reason=args.reason, by="cli")
+        _note(
+            f"rolled back {quarantined} -> {restored} ({args.reason})",
+            event="models.rolled_back", version=quarantined, restored=restored,
+            reason=args.reason,
+        )
+        return 0
+    if command == "gc":
+        removed = registry.gc(keep=args.keep, by="cli")
+        _note(
+            f"removed {len(removed)} version dir(s): {', '.join(removed) or 'none'}",
+            event="models.gc", removed=removed, keep=args.keep,
+        )
+        return 0
+    raise ValueError(f"unknown models command {command!r}")
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -565,6 +767,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "classify": _cmd_classify,
     "serve": _cmd_serve,
+    "models": _cmd_models,
     "metrics": _cmd_metrics,
 }
 
@@ -594,6 +797,11 @@ def main(argv: list[str] | None = None) -> int:
             code = _fail(exc, EXIT_DIVERGED, prefix="error: training diverged: ")
         except BuildAborted as exc:
             code = _fail(exc, EXIT_BAD_INPUT, prefix="error: dataset build aborted: ")
+        except RegistryError as exc:
+            # Invalid registry operations (unknown version, quarantined
+            # promote without --force, nothing to roll back to) are the
+            # caller's fault, not corruption.
+            code = _fail(exc, EXIT_BAD_INPUT)
         except OSError as exc:
             # FileNotFoundError / PermissionError / IsADirectoryError on inputs
             code = _fail(exc, EXIT_BAD_INPUT)

@@ -424,16 +424,26 @@ class SupernovaPipeline:
                 joint_path, "manifest declares a fine-tuned joint model but "
                 "joint.npz is missing"
             )
-        try:
-            load_module(pipe.cnn, os.path.join(directory, "flux_cnn.npz"))
-            load_module(pipe.classifier, os.path.join(directory, "classifier.npz"))
-            if os.path.exists(joint_path):
-                pipe.joint = JointModel.from_pretrained(pipe.cnn, pipe.classifier)
-                load_module(pipe.joint, joint_path)
-        except (KeyError, ValueError) as exc:
-            raise CorruptArtifactError(
-                directory, f"weights do not match the declared architecture: {exc}"
-            ) from exc
+        # Each archive is loaded under its own guard so any failure —
+        # checksum mismatch (raised by verified_load with the path) or
+        # architecture mismatch (wrapped here) — names the file that is
+        # actually at fault, not just the directory.
+        def _load_weights(module, path: str, what: str) -> None:
+            try:
+                load_module(module, path)
+            except (KeyError, ValueError) as exc:
+                raise CorruptArtifactError(
+                    path,
+                    f"{what} weights do not match the declared architecture: {exc}",
+                ) from exc
+
+        _load_weights(pipe.cnn, os.path.join(directory, "flux_cnn.npz"), "flux CNN")
+        _load_weights(
+            pipe.classifier, os.path.join(directory, "classifier.npz"), "classifier"
+        )
+        if os.path.exists(joint_path):
+            pipe.joint = JointModel.from_pretrained(pipe.cnn, pipe.classifier)
+            _load_weights(pipe.joint, joint_path, "joint model")
         return pipe
 
     def evaluate_auc(

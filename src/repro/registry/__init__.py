@@ -1,0 +1,45 @@
+"""Versioned model registry: immutable store, lifecycle, rollback guard.
+
+The serving stack changes models without dropping traffic by routing
+every deploy through this package:
+
+* :mod:`repro.registry.store` — :class:`ModelRegistry`: checksummed
+  immutable ``versions/<vN>/`` directories plus an atomically replaced
+  ``registry.json`` holding the production/candidate pointers, version
+  statuses and the append-only audit log (``repro models
+  list/register/promote/rollback/gc`` CLI);
+* :mod:`repro.registry.guard` — :class:`RollbackGuard` /
+  :class:`GuardConfig`: the pure decision logic behind the daemon's
+  drift-triggered automatic rollback and shadow-divergence quarantine.
+
+The daemon side (version watcher, hot swap, shadow scoring) lives in
+:mod:`repro.serve.daemon`, which depends on this package — never the
+other way around.
+"""
+
+from .guard import GuardConfig, RollbackGuard
+from .store import (
+    REGISTRY_FILE,
+    STATUS_PRODUCTION,
+    STATUS_REGISTERED,
+    STATUS_RETIRED,
+    STATUS_ROLLED_BACK,
+    STATUS_SHADOW,
+    VERSIONS_DIR,
+    ModelRegistry,
+    RegistryError,
+)
+
+__all__ = [
+    "ModelRegistry",
+    "RegistryError",
+    "GuardConfig",
+    "RollbackGuard",
+    "REGISTRY_FILE",
+    "VERSIONS_DIR",
+    "STATUS_REGISTERED",
+    "STATUS_SHADOW",
+    "STATUS_PRODUCTION",
+    "STATUS_RETIRED",
+    "STATUS_ROLLED_BACK",
+]

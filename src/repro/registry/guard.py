@@ -1,0 +1,107 @@
+"""Rollback decision logic for the serving daemon's registry loop.
+
+Pure bookkeeping, no threads and no IO: the daemon feeds
+:class:`RollbackGuard` two independent signals and acts when either
+crosses its configured budget —
+
+* **production drift** — after each scored micro-batch the daemon runs
+  its :class:`~repro.obs.drift.DriftMonitor` (PSI/KS against the model's
+  committed baseline) and reports ``flagged``; the guard demands
+  ``sustained_checks`` *consecutive* flagged evaluations before asking
+  for a rollback, so one noisy window cannot unseat a good model;
+* **shadow divergence** — the shadow worker reports per-sample
+  ``|p_candidate - p_production|``; the guard keeps a rolling window
+  and trips once the window holds at least ``divergence_min_samples``
+  and its mean exceeds ``divergence_budget``.
+
+All methods are called under the daemon's own locks; the guard itself
+only needs to be consistent, not thread-safe.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["GuardConfig", "RollbackGuard"]
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Budgets for drift-triggered rollback and shadow quarantine.
+
+    ``drift_window`` / ``drift_min_samples`` and the PSI/KS thresholds
+    parameterise the daemon-owned :class:`~repro.obs.drift.DriftMonitor`
+    (they intentionally default tighter than the offline monitor: a
+    serving rollback should fire within seconds, not after 500 samples).
+    """
+
+    drift_window: int = 200
+    drift_min_samples: int = 50
+    psi_threshold: float = 0.25
+    ks_threshold: float = 0.30
+    sustained_checks: int = 3
+    divergence_budget: float = 0.15
+    divergence_window: int = 200
+    divergence_min_samples: int = 20
+
+    def __post_init__(self) -> None:
+        if self.drift_window < self.drift_min_samples or self.drift_min_samples < 1:
+            raise ValueError("need drift_window >= drift_min_samples >= 1")
+        if self.sustained_checks < 1:
+            raise ValueError("sustained_checks must be >= 1")
+        if not 0.0 < self.divergence_budget <= 1.0:
+            raise ValueError("divergence_budget must be in (0, 1]")
+        if (
+            self.divergence_window < self.divergence_min_samples
+            or self.divergence_min_samples < 1
+        ):
+            raise ValueError("need divergence_window >= divergence_min_samples >= 1")
+
+
+class RollbackGuard:
+    """Accumulates drift flags and shadow divergences against budgets."""
+
+    def __init__(self, config: GuardConfig | None = None) -> None:
+        self.config = config or GuardConfig()
+        self._consecutive_flags = 0
+        self._divergences: deque[float] = deque(maxlen=self.config.divergence_window)
+
+    # -- production drift ------------------------------------------------
+
+    def note_drift(self, flagged: bool) -> bool:
+        """Record one monitor evaluation; ``True`` when drift is sustained."""
+        if flagged:
+            self._consecutive_flags += 1
+        else:
+            self._consecutive_flags = 0
+        return self._consecutive_flags >= self.config.sustained_checks
+
+    def reset_drift(self) -> None:
+        """Forget drift history (called at every engine swap)."""
+        self._consecutive_flags = 0
+
+    # -- shadow divergence ----------------------------------------------
+
+    def note_divergence(self, divergences) -> bool:
+        """Record per-sample |Δp|; ``True`` when the budget is exceeded."""
+        for value in divergences:
+            self._divergences.append(float(value))
+        if len(self._divergences) < self.config.divergence_min_samples:
+            return False
+        return self.divergence_mean() > self.config.divergence_budget
+
+    def divergence_mean(self) -> float:
+        """Mean |Δp| over the rolling window (NaN when empty)."""
+        if not self._divergences:
+            return math.nan
+        return sum(self._divergences) / len(self._divergences)
+
+    def divergence_count(self) -> int:
+        """Number of samples currently in the divergence window."""
+        return len(self._divergences)
+
+    def reset_divergence(self) -> None:
+        """Forget divergence history (called when the candidate changes)."""
+        self._divergences.clear()

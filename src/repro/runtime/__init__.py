@@ -26,6 +26,8 @@ from .checkpoint import (
     TrainCheckpoint,
     array_checksum,
     atomic_savez,
+    atomic_write_json,
+    file_sha256,
     pack_json,
     unpack_json,
     verified_load,
@@ -42,6 +44,7 @@ from .faults import (
     NaNPixels,
     NanBatchFault,
     SaturateRegion,
+    ShiftScores,
     SimulatedCrash,
     TruncateCutout,
     WedgeBatch,
@@ -59,6 +62,8 @@ __all__ = [
     "CHECKSUM_KEY",
     "array_checksum",
     "atomic_savez",
+    "atomic_write_json",
+    "file_sha256",
     "verified_load",
     "pack_json",
     "unpack_json",
@@ -85,6 +90,7 @@ __all__ = [
     "SaturateRegion",
     "TruncateCutout",
     "FailBatch",
+    "ShiftScores",
     "WedgeBatch",
     "BurstSchedule",
     "malformed_bodies",

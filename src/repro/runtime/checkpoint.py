@@ -41,6 +41,8 @@ __all__ = [
     "CHECKSUM_KEY",
     "array_checksum",
     "atomic_savez",
+    "atomic_write_json",
+    "file_sha256",
     "verified_load",
     "pack_json",
     "unpack_json",
@@ -134,6 +136,52 @@ def verified_load(path: str | os.PathLike) -> dict[str, np.ndarray]:
                 path, f"checksum mismatch (stored {stored[:12]}…, computed {actual[:12]}…)"
             )
     return arrays
+
+
+def atomic_write_json(path: str | os.PathLike, obj: object, indent: int = 2) -> None:
+    """Write ``obj`` as JSON to ``path`` atomically.
+
+    Same write-then-rename discipline as :func:`atomic_savez`: the
+    document is serialised to a temporary file in the destination
+    directory, flushed to disk, then moved into place with
+    :func:`os.replace`.  Readers only ever see the previous document or
+    the complete new one — the model registry relies on this for its
+    ``registry.json`` state file, which is read concurrently by the
+    serving daemon's version watcher while the CLI mutates it.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".json.tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(obj, handle, indent=indent)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def file_sha256(path: str | os.PathLike, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 of a file's raw bytes, read in ``chunk_size`` blocks.
+
+    Used by the model registry to pin every file copied into an
+    immutable ``versions/<vN>/`` directory; unlike the array-level
+    :func:`array_checksum` embedded inside ``.npz`` archives this covers
+    the container bytes themselves, so zip-level tampering and
+    truncation are caught before an archive is even opened.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def pack_json(obj: object) -> np.ndarray:

@@ -55,6 +55,7 @@ __all__ = [
     "TruncateCutout",
     "FailBatch",
     "WedgeBatch",
+    "ShiftScores",
     "BurstSchedule",
     "malformed_bodies",
     "send_slow_request",
@@ -391,6 +392,31 @@ class BurstSchedule:
             within = (uniform - window) / self.burst_factor
             times.append(window + within)
         return times
+
+
+class ShiftScores:
+    """Engine ``score_hook`` that shifts every served probability.
+
+    Models a *poisoned model version* — one whose weights load fine and
+    whose scorer never raises, but whose calibration is silently broken
+    (a bad retrain, a mismatched preprocessing constant).  Installed on
+    an :class:`~repro.serve.engine.InferenceEngine` via the registry
+    reload hook, it adds ``delta`` to each probability and clips to
+    ``[lo, hi]``, producing a sustained, deterministic divergence that
+    the daemon's drift monitor / shadow comparison must catch and answer
+    with an automatic rollback.  Pure arithmetic, no randomness.
+    """
+
+    def __init__(self, delta: float, lo: float = 0.005, hi: float = 0.995) -> None:
+        if not lo < hi:
+            raise ValueError("lo must be < hi")
+        self.delta = float(delta)
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def __call__(self, probs: np.ndarray) -> np.ndarray:
+        shifted = np.asarray(probs, dtype=np.float32) + np.float32(self.delta)
+        return np.clip(shifted, np.float32(self.lo), np.float32(self.hi))
 
 
 #: Canonical malformed /classify payloads, each a distinct failure class.

@@ -45,6 +45,32 @@ Endpoints: ``POST /classify``, ``GET /healthz`` (live/ready/draining),
 Responses are stamped with deterministic request ids
 (``<run_id>/r<admission_index>``), matching the ids the telemetry
 session's per-request audit uses.
+
+Model registry integration
+--------------------------
+Given a :class:`~repro.registry.ModelRegistry` the daemon closes the
+deploy loop (``repro serve --registry DIR``):
+
+* **hot reload** — a version watcher polls ``registry.json``; when the
+  production pointer moves it verifies + loads the new version off the
+  scoring path and swaps it in *between* micro-batches.  Each batch
+  captures one ``(engine, version)`` snapshot, so in-flight work drains
+  on the old engine, every request is scored wholly by a single version
+  and nothing is dropped.  A failed load (corrupt version dir, bad
+  weights) leaves the current model serving and emits a typed
+  ``registry.reload_failed`` event.
+* **shadow scoring** — when a candidate is staged (``repro models
+  promote --shadow``) admitted traffic is also scored on the candidate
+  from a bounded queue that sheds under load (the primary path is never
+  slowed), tracking per-sample score divergence |Δp|.
+* **automatic rollback** — a daemon-owned
+  :class:`~repro.obs.drift.DriftMonitor` watches the production scores
+  against the model's committed baseline; sustained PSI/KS drift (or a
+  candidate blowing the shadow-divergence budget) makes the
+  :class:`~repro.registry.RollbackGuard` trip: the daemon rolls back to
+  the last-known-good version (quarantining the bad one in the registry
+  as ``rolled_back``) and records a ``registry.rolled_back`` audit
+  event, all without dropping in-flight requests.
 """
 
 from __future__ import annotations
@@ -62,7 +88,9 @@ from typing import Callable
 import numpy as np
 
 from .. import obs
+from ..obs.drift import DriftMonitor
 from ..obs.metrics import MetricsRegistry
+from ..registry import GuardConfig, ModelRegistry, RegistryError, RollbackGuard
 from ..runtime.retry import RetrySpec
 from .engine import DegradedInputError, InferenceEngine, PredictionResult
 
@@ -76,6 +104,9 @@ DEFAULT_RESTART_SPEC = RetrySpec(
 
 #: Batch-size histogram buckets (requests per scored micro-batch).
 _BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Shadow score-divergence histogram buckets (per-sample |Δp|).
+_DIVERGENCE_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
 
 
 @dataclass(frozen=True)
@@ -104,6 +135,12 @@ class DaemonConfig:
     drain_timeout_s: float = 10.0
     run_id: str = "serve"
     worker_restarts: RetrySpec = field(default_factory=lambda: DEFAULT_RESTART_SPEC)
+    #: How often the version watcher re-reads ``registry.json`` (with a
+    #: registry attached); a promote becomes live within about one poll.
+    reload_poll_s: float = 0.25
+    #: Most shadow items (scored micro-batches) allowed to wait for the
+    #: shadow worker; beyond it shadow copies are shed, never queued.
+    shadow_queue_depth: int = 8
 
     def __post_init__(self) -> None:
         if self.batch_max_size < 1:
@@ -120,6 +157,10 @@ class DaemonConfig:
             raise ValueError("wedge_timeout_s must be positive")
         if self.drain_timeout_s <= 0:
             raise ValueError("drain_timeout_s must be positive")
+        if self.reload_poll_s <= 0:
+            raise ValueError("reload_poll_s must be positive")
+        if self.shadow_queue_depth < 1:
+            raise ValueError("shadow_queue_depth must be >= 1")
 
 
 def _error_payload(request_id: str | None, kind: str, message: str) -> dict:
@@ -362,6 +403,51 @@ class _Watchdog(threading.Thread):
                 owner._replace_wedged_worker(worker)
 
 
+class _RegistryWatcher(threading.Thread):
+    """Polls ``registry.json`` and drives hot reload / shadow sync.
+
+    All actual state changes happen in the daemon's ``_sync_with_registry``
+    under its reload lock; this thread only provides the cadence.
+    """
+
+    def __init__(self, daemon: "ServingDaemon") -> None:
+        super().__init__(name="repro-serve-registry", daemon=True)
+        self.owner = daemon
+        self.stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self.stop_event.wait(self.owner.config.reload_poll_s):
+            self.owner._sync_with_registry()
+
+
+class _ShadowWorker(threading.Thread):
+    """Scores shadow copies of admitted traffic on the candidate engine.
+
+    Feeds from the daemon's bounded shadow queue; the primary scoring
+    worker *offers* batches non-blockingly (a full queue sheds the copy)
+    so shadow scoring can never slow the production path.
+    """
+
+    def __init__(self, daemon: "ServingDaemon") -> None:
+        super().__init__(name="repro-serve-shadow", daemon=True)
+        self.owner = daemon
+        self.stop_event = threading.Event()
+
+    def run(self) -> None:
+        owner = self.owner
+        while True:
+            with owner._shadow_cond:
+                while not owner._shadow_queue and not self.stop_event.is_set():
+                    owner._shadow_cond.wait(0.1)
+                if self.stop_event.is_set() and not owner._shadow_queue:
+                    return
+                item = owner._shadow_queue.popleft()
+                engine = owner._shadow_engine
+                version = owner._shadow_version
+            if engine is not None and version is not None:
+                owner._score_shadow(engine, version, item)
+
+
 class _DaemonServer(ThreadingHTTPServer):
     # block_on_close: server_close() joins live handler threads, so every
     # admitted request's response hits the wire before the process exits.
@@ -529,22 +615,75 @@ class ServingDaemon:
     then ``drain()``.  ``fault_hook(batch_index, n_samples)`` is the
     chaos seam — the deterministic injectors in :mod:`repro.runtime.faults`
     (:class:`FailBatch`, :class:`WedgeBatch`) plug in here.
+
+    With ``registry`` set the daemon serves the registry's *production*
+    version (pass ``engine=None`` to have it loaded here), hot-reloads
+    on promote, shadow-scores the candidate and auto-rolls-back per
+    ``guard`` (a :class:`~repro.registry.GuardConfig`).  ``reload_hook
+    (engine, version)`` runs after every registry load — the seam the
+    chaos suite uses to poison a specific version's scores
+    (:class:`~repro.runtime.faults.ShiftScores`); ``engine_kwargs`` are
+    forwarded to :meth:`InferenceEngine.from_directory` on every reload
+    so precision/strictness survive a swap.
     """
 
     def __init__(
         self,
-        engine: InferenceEngine,
+        engine: InferenceEngine | None = None,
         config: DaemonConfig | None = None,
         fault_hook: Callable[[int, int], None] | None = None,
+        registry: ModelRegistry | None = None,
+        guard: GuardConfig | None = None,
+        reload_hook: Callable[[InferenceEngine, str], None] | None = None,
+        engine_kwargs: dict | None = None,
     ) -> None:
-        self.engine = engine
         self.config = config or DaemonConfig()
         self.fault_hook = fault_hook
+        self.registry = registry
+        self.reload_hook = reload_hook
+        self._engine_kwargs = dict(engine_kwargs or {})
         session = obs.active()
         self.metrics: MetricsRegistry = (
             session.metrics if session is not None else MetricsRegistry()
         )
         self.run_id = session.run_id if session is not None else self.config.run_id
+        # Registry / hot-reload state.  _engine_lock makes the
+        # (engine, version, monitor) triple a consistent snapshot for the
+        # scoring worker; _reload_lock serialises swaps (exactly-once).
+        self._engine_lock = threading.Lock()
+        self._reload_lock = threading.Lock()
+        self._engine_version: str | None = None
+        self._last_good: tuple[InferenceEngine, str] | None = None
+        self._failed_production: str | None = None
+        self._failed_candidate: str | None = None
+        self._guard: RollbackGuard | None = (
+            RollbackGuard(guard) if registry is not None else None
+        )
+        self._prod_monitor: DriftMonitor | None = None
+        self._rollback_lock = threading.Lock()
+        self._rollback_pending = False
+        self._registry_watcher: _RegistryWatcher | None = None
+        # Shadow scoring state (candidate engine + bounded queue).
+        self._shadow_cond = threading.Condition()
+        self._shadow_engine: InferenceEngine | None = None
+        self._shadow_version: str | None = None
+        self._shadow_queue: deque[tuple[np.ndarray, np.ndarray, list[float]]] = deque()
+        self._shadow_worker: _ShadowWorker | None = None
+        if engine is None:
+            if registry is None:
+                raise ValueError("ServingDaemon needs an engine or a registry")
+            version = registry.production()
+            if version is None:
+                raise RegistryError(
+                    "registry has no production version; "
+                    "`repro models promote` one first"
+                )
+            engine = self._load_version(version)
+            self._engine_version = version
+        elif registry is not None:
+            self._engine_version = registry.production()
+        self.engine = engine
+        self._prod_monitor = self._make_monitor(engine)
         self._batcher = _Batcher(
             self.config.queue_depth,
             self.config.batch_max_size,
@@ -602,6 +741,11 @@ class ServingDaemon:
             daemon=True,
         )
         self._serve_thread.start()
+        if self.registry is not None:
+            # Pick up a candidate staged before boot, then poll.
+            self._sync_with_registry()
+            self._registry_watcher = _RegistryWatcher(self)
+            self._registry_watcher.start()
         self._emit(
             "serve.listening",
             message=f"serving on {self.config.host}:{self.port}",
@@ -609,6 +753,7 @@ class ServingDaemon:
             port=self.port,
             queue_depth=self.config.queue_depth,
             batch_max_size=self.config.batch_max_size,
+            model_version=self._engine_version,
         )
 
     def install_signal_handlers(self) -> None:
@@ -650,6 +795,8 @@ class ServingDaemon:
             self._exit_code = exit_code
         self.metrics.gauge("daemon.draining").set(1)
         self._emit("serve.draining", message=f"drain started ({reason})", reason=reason)
+        if self._registry_watcher is not None:
+            self._registry_watcher.stop_event.set()
 
         # Flush: the worker keeps consuming until the queue is empty and
         # nothing is mid-score, bounded by the drain timeout.
@@ -675,6 +822,12 @@ class ServingDaemon:
                 self.metrics.counter("daemon.drain_refused").inc()
         if self._watchdog is not None:
             self._watchdog.stop_event.set()
+        if self._shadow_worker is not None:
+            self._shadow_worker.stop_event.set()
+            with self._shadow_cond:
+                self._shadow_queue.clear()
+                self._shadow_cond.notify_all()
+            self._shadow_worker.join(timeout=2.0)
         worker = self._worker
         if worker is not None and not worker.abandoned:
             worker.join(timeout=2.0)
@@ -798,13 +951,26 @@ class ServingDaemon:
         batch_index = self._next_batch_index()
         if self.fault_hook is not None:
             self.fault_hook(batch_index, len(group))
+        # One consistent (engine, version, monitor) snapshot per batch: a
+        # hot reload that lands mid-score only affects the *next* batch,
+        # so every request is scored wholly by a single version and the
+        # outgoing engine drains its in-flight work before it is dropped.
+        with self._engine_lock:
+            engine = self.engine
+            version = self._engine_version
+            monitor = self._prod_monitor
         pairs = np.stack([pending.pairs for pending in group])
         mjd = np.stack([pending.mjd for pending in group])
         started = time.monotonic()
-        results = self.engine.classify_arrays(
+        results = engine.classify_arrays(
             pairs, mjd, strict=group[0].strict, start_index=group[0].index
         )
         self._note_drained(len(group), time.monotonic() - started)
+        if version is not None:
+            self.metrics.counter(f"daemon.served.{version}").inc(len(results))
+        if monitor is not None and self._guard is not None:
+            self._observe_drift(monitor, version, results)
+        self._offer_shadow(pairs, mjd, results)
         return results
 
     #: EWMA weight of the newest batch's drain-rate observation.
@@ -858,6 +1024,327 @@ class ServingDaemon:
         )
 
     # ------------------------------------------------------------------
+    # Model registry: hot reload, shadow scoring, automatic rollback
+    # ------------------------------------------------------------------
+    def _load_version(self, version: str) -> InferenceEngine:
+        """Verify + load one registry version into a warm engine."""
+        assert self.registry is not None
+        self.registry.verify(version)
+        engine = InferenceEngine.from_directory(
+            self.registry.path(version), **self._engine_kwargs
+        )
+        engine.pipeline.cnn.eval()
+        engine.pipeline.classifier.eval()
+        if self.reload_hook is not None:
+            self.reload_hook(engine, version)
+        return engine
+
+    def _make_monitor(self, engine: InferenceEngine) -> DriftMonitor | None:
+        """Fresh production drift monitor for a newly swapped engine.
+
+        Daemon-owned (independent of the engine's obs-session monitor)
+        and recreated at every swap, so its window only ever holds
+        scores produced by the *current* version — the rollback guard
+        never blames a new model for its predecessor's traffic.
+        """
+        if self._guard is None or engine.drift_baseline is None:
+            return None
+        cfg = self._guard.config
+        return DriftMonitor(
+            engine.drift_baseline,
+            window=cfg.drift_window,
+            min_samples=cfg.drift_min_samples,
+            psi_threshold=cfg.psi_threshold,
+            ks_threshold=cfg.ks_threshold,
+        )
+
+    def _sync_with_registry(self) -> None:
+        """One watcher tick: reconcile with the registry state file."""
+        assert self.registry is not None
+        try:
+            state = self.registry.state()
+        except Exception as exc:  # noqa: BLE001 - keep serving on a bad state file
+            self._note_reload_failure(None, "state", exc)
+            return
+        production = state.get("production")
+        if (
+            production is not None
+            and production != self._engine_version
+            and production != self._failed_production
+        ):
+            self._reload_production(production)
+        candidate = state.get("candidate")
+        if candidate != self._shadow_version and candidate != self._failed_candidate:
+            self._sync_shadow(candidate)
+
+    def _reload_production(self, version: str) -> None:
+        """Hot-swap to a newly promoted version; exactly-once per version."""
+        with self._reload_lock:
+            if version == self._engine_version:
+                return  # another path already swapped it in
+            try:
+                engine = self._load_version(version)
+            except Exception as exc:  # noqa: BLE001 - typed event, keep serving
+                # Remember the bad version so one broken promote logs one
+                # typed failure instead of one per poll tick.
+                self._failed_production = version
+                self._note_reload_failure(version, "production", exc)
+                return
+            self._failed_production = None
+            self._swap_engine(engine, version)
+
+    def _swap_engine(self, engine: InferenceEngine, version: str,
+                     remember_previous: bool = True) -> None:
+        """Publish a new production engine (callers hold _reload_lock)."""
+        with self._engine_lock:
+            previous, previous_version = self.engine, self._engine_version
+            self.engine = engine
+            self._engine_version = version
+            self._prod_monitor = self._make_monitor(engine)
+            if self._guard is not None:
+                self._guard.reset_drift()
+            if remember_previous and previous_version is not None:
+                self._last_good = (previous, previous_version)
+            else:
+                self._last_good = None
+        self.metrics.counter("daemon.reloads").inc()
+        self._emit(
+            "registry.reloaded",
+            message=f"now serving {version} (was {previous_version})",
+            version=version,
+            previous=previous_version,
+        )
+
+    def _note_reload_failure(self, version: str | None, role: str,
+                             exc: Exception) -> None:
+        self.metrics.counter("daemon.reload_failures").inc()
+        self._emit(
+            "registry.reload_failed",
+            level="error",
+            message=f"failed to load {role} version {version}: {exc}",
+            version=version,
+            role=role,
+            error_type=type(exc).__name__,
+        )
+
+    def _observe_drift(self, monitor: DriftMonitor, version: str | None,
+                       results: list[PredictionResult]) -> None:
+        """Feed one scored batch to the production monitor; maybe roll back."""
+        report = monitor.observe(
+            [result.probability for result in results],
+            [result.flux_feature for result in results],
+        )
+        assert self._guard is not None
+        if self._guard.note_drift(report.flagged):
+            self._request_rollback(
+                f"sustained drift on {version}: {'; '.join(report.reasons)}"
+            )
+
+    def _request_rollback(self, reason: str) -> None:
+        """Kick off at most one asynchronous rollback.
+
+        Runs on its own thread so the scoring worker never blocks on a
+        model load — traffic keeps flowing (on the bad version, briefly)
+        while the last-known-good engine is brought back.
+        """
+        with self._rollback_lock:
+            if self._rollback_pending or self.registry is None:
+                return
+            self._rollback_pending = True
+        threading.Thread(
+            target=self._auto_rollback,
+            args=(self._engine_version, reason),
+            name="repro-serve-rollback",
+            daemon=True,
+        ).start()
+
+    def _auto_rollback(self, bad_version: str | None, reason: str) -> None:
+        assert self.registry is not None
+        try:
+            with self._reload_lock:
+                if bad_version is None or self._engine_version != bad_version:
+                    return  # already swapped away from the flagged version
+                try:
+                    quarantined, restored = self.registry.rollback(
+                        reason=reason, by=f"daemon:{self.run_id}"
+                    )
+                except RegistryError as exc:
+                    self._emit(
+                        "registry.rollback_failed",
+                        level="error",
+                        message=f"cannot roll back {bad_version}: {exc}",
+                        version=bad_version,
+                    )
+                    return
+                engine = None
+                if self._last_good is not None and self._last_good[1] == restored:
+                    engine = self._last_good[0]  # still warm from the swap
+                if engine is None:
+                    try:
+                        engine = self._load_version(restored)
+                    except Exception as exc:  # noqa: BLE001
+                        self._note_reload_failure(restored, "rollback", exc)
+                        return
+                self._swap_engine(engine, restored, remember_previous=False)
+                self.metrics.counter("daemon.rollbacks").inc()
+                self._emit(
+                    "registry.rolled_back",
+                    level="warning",
+                    message=f"rolled back {quarantined} -> {restored}: {reason}",
+                    version=quarantined,
+                    restored=restored,
+                    role="production",
+                    reason=reason,
+                )
+        finally:
+            with self._rollback_lock:
+                self._rollback_pending = False
+
+    # -- shadow scoring -------------------------------------------------
+    def _sync_shadow(self, candidate: str | None) -> None:
+        """Start/stop/replace shadow scoring to match the registry candidate."""
+        with self._reload_lock:
+            if candidate is None:
+                self._stop_shadow("candidate cleared")
+                return
+            if candidate == self._shadow_version:
+                return
+            try:
+                engine = self._load_version(candidate)
+            except Exception as exc:  # noqa: BLE001
+                self._failed_candidate = candidate
+                self._note_reload_failure(candidate, "candidate", exc)
+                return
+            self._failed_candidate = None
+            with self._shadow_cond:
+                self._shadow_engine = engine
+                self._shadow_version = candidate
+                self._shadow_queue.clear()
+            if self._guard is not None:
+                self._guard.reset_divergence()
+            if self._shadow_worker is None or not self._shadow_worker.is_alive():
+                self._shadow_worker = _ShadowWorker(self)
+                self._shadow_worker.start()
+            self._emit(
+                "registry.shadow_started",
+                message=f"shadow-scoring candidate {candidate}",
+                version=candidate,
+            )
+
+    def _stop_shadow(self, reason: str) -> str | None:
+        """Detach the shadow engine (worker thread stays for reuse)."""
+        with self._shadow_cond:
+            version = self._shadow_version
+            self._shadow_engine = None
+            self._shadow_version = None
+            self._shadow_queue.clear()
+            self._shadow_cond.notify_all()
+        if version is not None:
+            self._emit(
+                "registry.shadow_stopped",
+                message=f"shadow scoring of {version} stopped: {reason}",
+                version=version,
+                reason=reason,
+            )
+        return version
+
+    def _offer_shadow(self, pairs: np.ndarray, mjd: np.ndarray,
+                      results: list[PredictionResult]) -> None:
+        """Non-blocking hand-off of one scored batch to the shadow queue."""
+        if self._shadow_engine is None:
+            return
+        primary = [result.probability for result in results]
+        with self._shadow_cond:
+            if self._shadow_engine is None:
+                return
+            if len(self._shadow_queue) >= self.config.shadow_queue_depth:
+                # Shedding, not waiting: the primary path must never slow
+                # down because the candidate cannot keep up.
+                self.metrics.counter("daemon.shadow_shed").inc(len(results))
+                return
+            self._shadow_queue.append((pairs, mjd, primary))
+            self._shadow_cond.notify()
+
+    def _score_shadow(self, engine: InferenceEngine, version: str,
+                      item: tuple[np.ndarray, np.ndarray, list[float]]) -> None:
+        """Score one batch on the candidate; track divergence vs production."""
+        pairs, mjd, primary = item
+        try:
+            results = engine.classify_arrays(pairs, mjd, strict=False)
+        except Exception as exc:  # noqa: BLE001 - a crashing candidate is poison
+            self.metrics.counter("daemon.shadow_errors").inc()
+            self._quarantine_candidate(
+                version, f"candidate {version} failed scoring: {exc}"
+            )
+            return
+        divergences = [
+            abs(result.probability - reference)
+            for result, reference in zip(results, primary)
+        ]
+        self.metrics.counter("shadow.scored").inc(len(divergences))
+        self.metrics.counter(f"shadow.scored.{version}").inc(len(divergences))
+        histogram = self.metrics.histogram(
+            "shadow.divergence", buckets=_DIVERGENCE_BUCKETS
+        )
+        for value in divergences:
+            histogram.observe(value)
+        if self._guard is None:
+            return
+        exceeded = self._guard.note_divergence(divergences)
+        mean = self._guard.divergence_mean()
+        if math.isfinite(mean):
+            self.metrics.gauge("shadow.divergence_mean").set(round(mean, 6))
+        if exceeded:
+            self._quarantine_candidate(
+                version,
+                f"shadow divergence {mean:.4f} > budget "
+                f"{self._guard.config.divergence_budget} over "
+                f"{self._guard.divergence_count()} samples",
+            )
+
+    def _quarantine_candidate(self, version: str, reason: str) -> None:
+        """Kill a bad candidate: stop shadowing, quarantine in the registry."""
+        with self._reload_lock:
+            if self._shadow_version != version:
+                return  # already stopped or replaced
+            self._stop_shadow(reason)
+            if self.registry is not None:
+                try:
+                    self.registry.quarantine(
+                        version, reason, by=f"daemon:{self.run_id}"
+                    )
+                except RegistryError:
+                    pass  # e.g. promoted out from under us; state wins
+            self.metrics.counter("daemon.quarantined").inc()
+            self._emit(
+                "registry.rolled_back",
+                level="warning",
+                message=f"candidate {version} quarantined: {reason}",
+                version=version,
+                restored=self._engine_version,
+                role="candidate",
+                reason=reason,
+            )
+
+    def shadow_stats(self) -> dict | None:
+        """Shadow snapshot for /healthz; ``None`` when nothing is shadowed."""
+        with self._shadow_cond:
+            version = self._shadow_version
+            queued = len(self._shadow_queue)
+        if version is None:
+            return None
+        stats = {
+            "version": version,
+            "queued": queued,
+            "scored": int(self.metrics.counter("shadow.scored").value),
+            "shed": int(self.metrics.counter("daemon.shadow_shed").value),
+        }
+        if self._guard is not None:
+            mean = self._guard.divergence_mean()
+            stats["divergence_mean"] = round(mean, 6) if math.isfinite(mean) else None
+        return stats
+
+    # ------------------------------------------------------------------
     # Watchdog support
     # ------------------------------------------------------------------
     def _replace_wedged_worker(self, worker: _ScoringWorker) -> None:
@@ -908,7 +1395,12 @@ class ServingDaemon:
     # Introspection endpoints
     # ------------------------------------------------------------------
     def health(self) -> tuple[int, dict]:
-        """``/healthz`` body: live/ready/draining plus queue stats."""
+        """``/healthz`` body: liveness, queue stats and deploy state.
+
+        ``model_version`` / ``reloads`` / ``rollbacks`` let an
+        orchestrator detect a flapping deploy (version oscillating,
+        rollback counter climbing) without scraping /metrics.
+        """
         draining = self._draining
         payload = {
             "live": True,
@@ -917,6 +1409,15 @@ class ServingDaemon:
             "queue_depth": self._batcher.waiting(),
             "admitted": self._admitted,
             "worker_generation": self._worker_generation,
+            "model_version": self._engine_version,
+            "precision": self.engine.precision,
+            "reloads": int(self.metrics.counter("daemon.reloads").value),
+            "reload_failures": int(
+                self.metrics.counter("daemon.reload_failures").value
+            ),
+            "rollbacks": int(self.metrics.counter("daemon.rollbacks").value),
+            "quarantined": int(self.metrics.counter("daemon.quarantined").value),
+            "shadow": self.shadow_stats(),
         }
         return (503 if draining else 200), payload
 
@@ -941,7 +1442,8 @@ class ServingDaemon:
             for name in (
                 "admitted", "responses", "shed", "timeouts", "bad_requests",
                 "request_errors", "poison_batches", "worker_restarts",
-                "drain_refused",
+                "drain_refused", "reloads", "reload_failures", "rollbacks",
+                "quarantined",
             )
         }
         counters["exit_code"] = self._exit_code

@@ -268,6 +268,11 @@ class InferenceEngine:
             DriftMonitor(drift_baseline) if drift_baseline is not None else None
         )
         self._drift_lock = threading.Lock()
+        #: Chaos-only seam: when set, called with the classifier's raw
+        #: probability array and its return value is served instead
+        #: (see :class:`repro.runtime.faults.ShiftScores`).  Never set
+        #: in production paths.
+        self.score_hook = None
 
     # ------------------------------------------------------------------
     # Persistence
@@ -291,6 +296,18 @@ class InferenceEngine:
         pipeline = SupernovaPipeline.load(directory)
         prior = FluxPrior.load(directory)
         baseline = DriftBaseline.load(directory)
+        if baseline is None:
+            session = obs.active()
+            if session is not None:
+                session.emit(
+                    "serve.no_drift_baseline",
+                    level="warning",
+                    message=(
+                        f"model dir {os.fspath(directory)} has no drift baseline; "
+                        "drift monitoring and drift-triggered rollback are disabled"
+                    ),
+                    model_dir=os.fspath(directory),
+                )
         return cls(pipeline, prior=prior, repair=repair, strict=strict,
                    drift_baseline=baseline, fused=fused, precision=precision)
 
@@ -470,6 +487,8 @@ class InferenceEngine:
                 prior_flux_feature=self.prior.flux_feature,
             )
             probs = self.pipeline.classifier.predict_proba(features)
+        if self.score_hook is not None:
+            probs = np.asarray(self.score_hook(probs))
 
         # Per-sample mean signed-log flux over usable visits: the
         # input-side statistic the drift monitor compares to training.

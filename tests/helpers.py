@@ -103,6 +103,30 @@ def running_daemon(engine, config=None, fault_hook=None) -> Iterator:
         daemon.wait()
 
 
+@contextlib.contextmanager
+def running_registry_daemon(
+    registry, config=None, guard=None, reload_hook=None
+) -> Iterator:
+    """Start a registry-backed daemon serving the production version.
+
+    The engine is loaded from the registry (``engine=None``), exercising
+    the same verify + ``from_directory`` path the ``repro serve
+    --registry`` CLI uses.  ``reload_hook(engine, version)`` is the chaos
+    seam for poisoning a specific version's scores.
+    """
+    from repro.serve import ServingDaemon
+
+    daemon = ServingDaemon(
+        None, config, registry=registry, guard=guard, reload_hook=reload_hook
+    )
+    daemon.start()
+    try:
+        yield daemon
+    finally:
+        daemon.drain(reason="test-teardown")
+        daemon.wait()
+
+
 def post_classify(port: int, body: bytes, timeout: float = 30.0):
     """POST one body to ``/classify``; returns ``(status, decoded_json)``.
 

@@ -1,0 +1,462 @@
+"""Registry-backed serving: hot reload, shadow scoring, automatic rollback.
+
+The deploy-loop chaos suite.  Every test drives a real in-process
+:class:`ServingDaemon` loaded *from* a :class:`ModelRegistry` (the
+``repro serve --registry`` path) and mutates the registry out-of-band,
+exactly as an operator's ``repro models`` invocations would.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import EVENTS_FILE, read_events
+from repro.obs.drift import DriftBaseline
+from repro.registry import GuardConfig, ModelRegistry, RegistryError
+from repro.runtime import BurstSchedule, ShiftScores
+from repro.serve import InferenceEngine
+from repro.serve.daemon import DaemonConfig
+
+from .helpers import (
+    classify_body,
+    http_get,
+    make_serve_engine,
+    make_serve_sample,
+    post_classify,
+    running_registry_daemon,
+)
+
+pytestmark = pytest.mark.registry
+
+
+def _wait_for(predicate, timeout_s=10.0, interval_s=0.02):
+    """Poll ``predicate`` until truthy; fail the test on timeout."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    pytest.fail(f"condition not reached within {timeout_s}s")
+
+
+def _build_model_dir(directory, seed=0, baseline_scores=None):
+    """Save a tiny engine (optionally with a committed drift baseline)."""
+    engine = make_serve_engine(seed=seed)
+    if baseline_scores is not None:
+        engine.drift_baseline = DriftBaseline.from_samples(
+            np.asarray(baseline_scores, dtype=float)
+        )
+    engine.save(str(directory))
+    return engine
+
+
+@pytest.fixture()
+def two_version_registry(tmp_path):
+    """v1 promoted to production, v2 registered (same weights)."""
+    model = tmp_path / "model"
+    _build_model_dir(model, seed=0)
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.promote(registry.register(model))
+    registry.register(model)
+    return registry
+
+
+def _healthz(port):
+    status, raw = http_get(port, "/healthz")
+    assert status == 200
+    return json.loads(raw)
+
+
+class TestHotReload:
+    def test_burst_traffic_across_a_promote_drops_nothing(self, tmp_path):
+        """Satellite: concurrent hot reload under a BurstSchedule.
+
+        Conservation must hold across the swap (every request answered
+        exactly once, ``sent == 200 + 429 + 504``), the swap must happen
+        exactly once, and every 200 must carry a score bit-identical to
+        one of the two versions — no request may see a half-swapped
+        engine.
+        """
+        model_a = tmp_path / "model-a"
+        model_b = tmp_path / "model-b"
+        _build_model_dir(model_a, seed=0)
+        _build_model_dir(model_b, seed=1)
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.promote(registry.register(model_a))
+        registry.register(model_b)
+
+        # The daemon loads via verify + from_directory; the expected
+        # per-version scores come from the exact same path.
+        engine_v1 = InferenceEngine.from_directory(registry.path("v1"))
+        engine_v2 = InferenceEngine.from_directory(registry.path("v2"))
+        pairs, mjd = make_serve_sample(engine_v1, seed=7)
+        expected = {
+            round(engine.classify_arrays(pairs[None], mjd[None])[0].probability, 6)
+            for engine in (engine_v1, engine_v2)
+        }
+        assert len(expected) == 2  # the two versions genuinely disagree
+
+        body = classify_body(pairs, mjd, deadline_ms=30000)
+        offsets = BurstSchedule(qps=60.0, duration_s=1.0, burst_factor=4.0).offsets()
+        config = DaemonConfig(
+            queue_depth=8, batch_max_size=4, batch_deadline_ms=5.0,
+            reload_poll_s=0.05,
+        )
+        with running_registry_daemon(registry, config) as daemon:
+            assert daemon._engine_version == "v1"
+            results = [None] * len(offsets)
+            start = time.monotonic()
+
+            def fire(k, offset):
+                delay = start + offset - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                results[k] = post_classify(daemon.port, body)
+
+            threads = [
+                threading.Thread(target=fire, args=(k, offset), daemon=True)
+                for k, offset in enumerate(offsets)
+            ]
+            for thread in threads:
+                thread.start()
+            # Promote mid-burst, from outside the daemon process's view.
+            time.sleep(0.4)
+            registry.promote("v2")
+            for thread in threads:
+                thread.join(timeout=60.0)
+            _wait_for(lambda: daemon._engine_version == "v2")
+
+            assert all(result is not None for result in results)
+            statuses = [status for status, _ in results]
+            assert set(statuses) <= {200, 429, 504}
+
+            # Conservation: nothing dropped, nothing double-answered.
+            admitted = int(daemon.metrics.counter("daemon.admitted").value)
+            responses = int(daemon.metrics.counter("daemon.responses").value)
+            timeouts = int(daemon.metrics.counter("daemon.timeouts").value)
+            shed = int(daemon.metrics.counter("daemon.shed").value)
+            assert admitted + shed == len(offsets)
+            assert responses + timeouts == admitted
+            assert statuses.count(200) == responses
+            assert statuses.count(429) == shed
+            assert statuses.count(504) == timeouts
+
+            # Exactly-once swap, and every scored request saw exactly one
+            # whole version.
+            assert int(daemon.metrics.counter("daemon.reloads").value) == 1
+            scored = [
+                doc["result"]["probability"]
+                for status, doc in results if status == 200
+            ]
+            assert scored and set(scored) <= expected
+            served_v1 = int(daemon.metrics.counter("daemon.served.v1").value)
+            served_v2 = int(daemon.metrics.counter("daemon.served.v2").value)
+            assert served_v1 + served_v2 == responses
+
+            health = _healthz(daemon.port)
+            assert health["model_version"] == "v2"
+            assert health["reloads"] == 1
+
+    def test_healthz_reports_deploy_state(self, two_version_registry):
+        """Satellite: /healthz carries version, precision and counters."""
+        with running_registry_daemon(two_version_registry) as daemon:
+            health = _healthz(daemon.port)
+            assert health["model_version"] == "v1"
+            assert health["precision"] in ("float32", "float16")
+            for key in ("reloads", "reload_failures", "rollbacks", "quarantined"):
+                assert health[key] == 0
+            assert health["shadow"] is None
+
+    def test_failed_load_keeps_serving_and_emits_one_typed_event(
+        self, two_version_registry, tmp_path
+    ):
+        """A promote whose load blows up must not take the daemon down."""
+        registry = two_version_registry
+
+        def explode_on_v2(engine, version):
+            if version == "v2":
+                raise RuntimeError("injected load failure")
+
+        telemetry = tmp_path / "telemetry"
+        obs.start(telemetry, run_id="run-reloadfail")
+        try:
+            config = DaemonConfig(reload_poll_s=0.05)
+            with running_registry_daemon(
+                registry, config, reload_hook=explode_on_v2
+            ) as daemon:
+                engine_v1 = daemon.engine
+                pairs, mjd = make_serve_sample(engine_v1, seed=3)
+                body = classify_body(pairs, mjd)
+                assert post_classify(daemon.port, body)[0] == 200
+                registry.promote("v2")
+                _wait_for(
+                    lambda: int(
+                        daemon.metrics.counter("daemon.reload_failures").value
+                    ) >= 1
+                )
+                # Let several more polls tick: the failed-version memo
+                # must keep this at one typed event, not one per poll.
+                time.sleep(0.3)
+                status, doc = post_classify(daemon.port, body)
+                assert status == 200
+                assert daemon._engine_version == "v1"
+                assert daemon.engine is engine_v1
+                health = _healthz(daemon.port)
+                assert health["model_version"] == "v1"
+                assert health["reload_failures"] == 1
+        finally:
+            obs.stop()
+        failures = [
+            record for record in read_events(telemetry / EVENTS_FILE)
+            if record["event"] == "registry.reload_failed"
+        ]
+        assert len(failures) == 1
+        assert failures[0]["version"] == "v2"
+        assert failures[0]["role"] == "production"
+        assert failures[0]["error_type"] == "RuntimeError"
+
+    def test_boot_refuses_a_corrupt_production_version(self, tmp_path):
+        model = tmp_path / "model"
+        _build_model_dir(model, seed=0)
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.promote(registry.register(model))
+        target = registry.path("v1") + "/classifier.npz"
+        with open(target, "r+b") as handle:
+            handle.write(b"\xde\xad\xbe\xef")
+        from repro.runtime import CorruptArtifactError
+        from repro.serve import ServingDaemon
+
+        with pytest.raises(CorruptArtifactError) as info:
+            ServingDaemon(None, DaemonConfig(), registry=registry)
+        assert info.value.path == target
+
+
+class TestShadowScoring:
+    def test_divergent_candidate_is_quarantined(self, two_version_registry, tmp_path):
+        """A shadow candidate over the divergence budget never reaches
+        production: the daemon quarantines it in the registry."""
+        registry = two_version_registry
+        probe = InferenceEngine.from_directory(registry.path("v1"))
+        probe_pairs, probe_mjd = make_serve_sample(probe, seed=5)
+        clean = probe.classify_arrays(probe_pairs[None], probe_mjd[None])[0].probability
+        # Shift away from the clean score so the clip bounds cannot eat
+        # the injected divergence.
+        delta = 0.4 if clean < 0.5 else -0.4
+
+        def poison_v2(engine, version):
+            if version == "v2":
+                engine.score_hook = ShiftScores(delta)
+
+        guard = GuardConfig(divergence_budget=0.15, divergence_min_samples=4)
+        config = DaemonConfig(reload_poll_s=0.05, batch_deadline_ms=2.0)
+        telemetry = tmp_path / "telemetry"
+        obs.start(telemetry, run_id="run-shadow")
+        try:
+            with running_registry_daemon(
+                registry, config, guard=guard, reload_hook=poison_v2
+            ) as daemon:
+                engine = daemon.engine
+                pairs, mjd = make_serve_sample(engine, seed=5)
+                body = classify_body(pairs, mjd)
+                registry.shadow("v2")
+                _wait_for(lambda: daemon._shadow_version == "v2")
+                assert _healthz(daemon.port)["shadow"]["version"] == "v2"
+                for _ in range(12):
+                    status, _doc = post_classify(daemon.port, body)
+                    assert status == 200
+                    if daemon._shadow_version is None:
+                        break
+                    time.sleep(0.05)
+                _wait_for(lambda: daemon._shadow_version is None)
+                _wait_for(lambda: registry.candidate() is None)
+                state = registry.state()
+                assert state["versions"]["v2"]["status"] == "rolled_back"
+                assert "divergence" in state["versions"]["v2"]["reason"]
+                # Production was never touched.
+                assert daemon._engine_version == "v1"
+                assert int(daemon.metrics.counter("daemon.quarantined").value) == 1
+                assert int(daemon.metrics.counter("shadow.scored").value) >= 4
+        finally:
+            obs.stop()
+        records = list(read_events(telemetry / EVENTS_FILE))
+        started = [r for r in records if r["event"] == "registry.shadow_started"]
+        assert [r["version"] for r in started] == ["v2"]
+        quarantined = [
+            r for r in records
+            if r["event"] == "registry.rolled_back" and r["role"] == "candidate"
+        ]
+        assert len(quarantined) == 1
+        assert quarantined[0]["version"] == "v2"
+        assert quarantined[0]["restored"] == "v1"
+
+    def test_clean_candidate_keeps_shadowing(self, two_version_registry):
+        """Identical weights diverge by ~0: the candidate must survive."""
+        registry = two_version_registry
+        guard = GuardConfig(divergence_budget=0.15, divergence_min_samples=4)
+        config = DaemonConfig(reload_poll_s=0.05, batch_deadline_ms=2.0)
+        with running_registry_daemon(registry, config, guard=guard) as daemon:
+            pairs, mjd = make_serve_sample(daemon.engine, seed=5)
+            body = classify_body(pairs, mjd)
+            registry.shadow("v2")
+            _wait_for(lambda: daemon._shadow_version == "v2")
+            for _ in range(8):
+                assert post_classify(daemon.port, body)[0] == 200
+                time.sleep(0.03)
+            _wait_for(
+                lambda: int(daemon.metrics.counter("shadow.scored").value) >= 4
+            )
+            assert daemon._shadow_version == "v2"
+            assert registry.candidate() == "v2"
+            stats = _healthz(daemon.port)["shadow"]
+            assert stats["version"] == "v2"
+            assert stats["divergence_mean"] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestAutomaticRollback:
+    def test_poisoned_promote_rolls_back_under_load(self, tmp_path):
+        """The acceptance-criteria chaos drill, end to end.
+
+        Under sustained traffic, promoting a candidate whose scores are
+        diverted (``ShiftScores`` via the reload hook) must: keep every
+        in-flight request answered (zero drops), trip the drift guard,
+        roll production back to the last-known-good version, quarantine
+        the bad version in ``registry.json`` and leave a
+        ``registry.rolled_back`` audit event.
+        """
+        # Commit a drift baseline built from the model's own score on the
+        # exact sample the test sends, so v1 never drifts and the
+        # poisoned v2 (+0.4 on every score) immediately does.
+        probe = make_serve_engine(seed=0)
+        pairs, mjd = make_serve_sample(probe, seed=7)
+        clean_score = probe.classify_arrays(pairs[None], mjd[None])[0].probability
+        delta = 0.5 if clean_score < 0.5 else -0.5
+        model = tmp_path / "model"
+        _build_model_dir(model, seed=0, baseline_scores=[clean_score] * 64)
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.promote(registry.register(model, note="good"))
+        registry.register(model, note="poisoned retrain")
+
+        def poison_v2(engine, version):
+            if version == "v2":
+                engine.score_hook = ShiftScores(delta)
+
+        guard = GuardConfig(
+            drift_window=32, drift_min_samples=8, sustained_checks=2,
+        )
+        config = DaemonConfig(reload_poll_s=0.05, batch_deadline_ms=2.0)
+        telemetry = tmp_path / "telemetry"
+        obs.start(telemetry, run_id="run-rollback")
+        try:
+            with running_registry_daemon(
+                registry, config, guard=guard, reload_hook=poison_v2
+            ) as daemon:
+                body = classify_body(pairs, mjd, deadline_ms=30000)
+                statuses = []
+                # Warm traffic on v1: enough for the monitor to fill
+                # without flagging (scores match the committed baseline).
+                for _ in range(10):
+                    statuses.append(post_classify(daemon.port, body)[0])
+                assert daemon._engine_version == "v1"
+                assert int(daemon.metrics.counter("daemon.rollbacks").value) == 0
+
+                registry.promote("v2")
+                _wait_for(lambda: daemon._engine_version == "v2")
+
+                # Sustained load on the poisoned version until the guard
+                # trips and the daemon swaps back — bounded, not open-loop.
+                for _ in range(80):
+                    statuses.append(post_classify(daemon.port, body)[0])
+                    if daemon._engine_version == "v1":
+                        break
+                    time.sleep(0.01)
+                _wait_for(
+                    lambda: int(daemon.metrics.counter("daemon.rollbacks").value) == 1
+                )
+                _wait_for(lambda: daemon._engine_version == "v1")
+
+                # Zero dropped requests: every send was answered, and
+                # under this light load none were shed or timed out.
+                assert statuses and set(statuses) == {200}
+                responses = int(daemon.metrics.counter("daemon.responses").value)
+                assert responses == len(statuses)
+
+                # The registry quarantined v2 and restored v1...
+                state = registry.state()
+                assert state["production"] == "v1"
+                assert state["versions"]["v2"]["status"] == "rolled_back"
+                assert "drift" in state["versions"]["v2"]["reason"]
+                rollbacks = [
+                    entry for entry in state["history"]
+                    if entry["action"] == "rollback"
+                ]
+                assert len(rollbacks) == 1
+                assert rollbacks[0]["by"].startswith("daemon:")
+
+                # ...and the quarantined version is refused by promote.
+                with pytest.raises(RegistryError, match="rolled back"):
+                    registry.promote("v2")
+
+                health = _healthz(daemon.port)
+                assert health["model_version"] == "v1"
+                assert health["rollbacks"] == 1
+
+                # Traffic keeps flowing on the restored version.
+                assert post_classify(daemon.port, body)[0] == 200
+        finally:
+            obs.stop()
+
+        records = list(read_events(telemetry / EVENTS_FILE))
+        rolled = [
+            r for r in records
+            if r["event"] == "registry.rolled_back" and r["role"] == "production"
+        ]
+        assert len(rolled) == 1
+        assert rolled[0]["version"] == "v2"
+        assert rolled[0]["restored"] == "v1"
+        assert "drift" in rolled[0]["reason"]
+        reloads = [r for r in records if r["event"] == "registry.reloaded"]
+        # v1 -> v2 (promote), v2 -> v1 (rollback).
+        assert [(r["previous"], r["version"]) for r in reloads] == [
+            ("v1", "v2"), ("v2", "v1"),
+        ]
+
+    def test_rollback_without_prior_good_version_keeps_serving(self, tmp_path):
+        """Drift on the only version ever deployed: nothing to restore,
+        so the daemon logs rollback_failed and keeps answering."""
+        probe = make_serve_engine(seed=0)
+        pairs, mjd = make_serve_sample(probe, seed=2)
+        # Baseline deliberately far from the model's actual scores: v1
+        # itself drifts immediately.
+        model = tmp_path / "model"
+        _build_model_dir(
+            model, seed=0, baseline_scores=np.linspace(0.0, 0.05, 64)
+        )
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.promote(registry.register(model))
+        guard = GuardConfig(
+            drift_window=16, drift_min_samples=4, sustained_checks=2,
+        )
+        config = DaemonConfig(reload_poll_s=0.05, batch_deadline_ms=2.0)
+        telemetry = tmp_path / "telemetry"
+        obs.start(telemetry, run_id="run-norollback")
+        try:
+            with running_registry_daemon(registry, config, guard=guard) as daemon:
+                body = classify_body(pairs, mjd)
+                for _ in range(10):
+                    assert post_classify(daemon.port, body)[0] == 200
+                    time.sleep(0.01)
+                _wait_for(
+                    lambda: any(
+                        r["event"] == "registry.rollback_failed"
+                        for r in read_events(telemetry / EVENTS_FILE)
+                    )
+                )
+                assert daemon._engine_version == "v1"
+                assert post_classify(daemon.port, body)[0] == 200
+                assert registry.production() == "v1"
+        finally:
+            obs.stop()
