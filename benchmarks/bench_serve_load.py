@@ -10,6 +10,12 @@ rates and reports, per tier:
 * ``shed_rate`` — fraction of requests refused by admission control
   (a loaded daemon must shed predictably, not grow its queue).
 
+Every tier runs once per configured scoring-worker setting: ``0`` is
+the in-process scorer, ``>= 1`` routes micro-batches through a
+``repro.serve.pool.ScoringPool`` (the ``serve --scoring-workers``
+path), so the committed file carries a single-process and a
+multi-process QPS curve side by side.
+
 The highest tier deliberately offers more than the scorer can absorb,
 so the committed numbers pin both capacity *and* overload behaviour.
 Results are written next to the other tracked benchmarks in
@@ -39,14 +45,15 @@ import urllib.request
 import numpy as np
 
 from repro.core import SupernovaPipeline
+from repro.nn import blas_backend_info, blas_env_settings, cpu_count
 from repro.runtime import BurstSchedule
 from repro.serve import DaemonConfig, FluxPrior, InferenceEngine, ServingDaemon
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_throughput.json")
 
-#: Metric tracked by the regression guard (a rate: higher = better).
-TRACKED_METRICS = ("sustained_goodput_rps",)
+#: Metrics tracked by the regression guard (rates: higher = better).
+TRACKED_METRICS = ("sustained_goodput_rps", "sustained_goodput_mp_rps")
 
 
 def _build_engine(input_size: int, units: int, seed: int = 0) -> InferenceEngine:
@@ -154,21 +161,17 @@ def run_benchmark(smoke: bool) -> dict:
             "input_size": 36, "units": 8, "stamp": 40,
             "tiers_qps": [20.0, 60.0], "duration_s": 1.0,
             "queue_depth": 32, "batch_max_size": 16, "batch_deadline_ms": 10.0,
+            "scoring_workers": [0, 2],
         }
     else:
         config = {
             "input_size": 36, "units": 8, "stamp": 40,
             "tiers_qps": [50.0, 120.0, 250.0], "duration_s": 3.0,
             "queue_depth": 64, "batch_max_size": 32, "batch_deadline_ms": 10.0,
+            "scoring_workers": [0, 2, 4],
         }
     engine = _build_engine(config["input_size"], config["units"])
     body = _request_body(engine, config["stamp"])
-    daemon_config = DaemonConfig(
-        queue_depth=config["queue_depth"],
-        batch_max_size=config["batch_max_size"],
-        batch_deadline_ms=config["batch_deadline_ms"],
-        request_deadline_ms=10000.0,
-    )
     # Warm BLAS / allocator so tier 1 is not paying first-touch costs.
     doc = json.loads(body)
     engine.classify_arrays(
@@ -177,29 +180,51 @@ def run_benchmark(smoke: bool) -> dict:
     )
 
     tiers = []
-    for qps in config["tiers_qps"]:
-        tier = run_tier(engine, qps, config["duration_s"], daemon_config, body)
-        tiers.append(tier)
-        print(
-            f"qps {qps:6.0f}: goodput {tier['goodput_rps']:7.2f} rps  "
-            f"p50 {tier['p50_ms']} ms  p99 {tier['p99_ms']} ms  "
-            f"shed {tier['shed_rate']:.1%}  timeout {tier['timeout']}"
+    for workers in config["scoring_workers"]:
+        daemon_config = DaemonConfig(
+            queue_depth=config["queue_depth"],
+            batch_max_size=config["batch_max_size"],
+            batch_deadline_ms=config["batch_deadline_ms"],
+            request_deadline_ms=10000.0,
+            scoring_workers=workers,
         )
-        if tier["errors"]:
-            print(f"  WARNING: {tier['errors']} untyped transport errors")
+        for qps in config["tiers_qps"]:
+            tier = run_tier(engine, qps, config["duration_s"], daemon_config, body)
+            tier["scoring_workers"] = workers
+            tiers.append(tier)
+            print(
+                f"workers {workers}  qps {qps:6.0f}: "
+                f"goodput {tier['goodput_rps']:7.2f} rps  "
+                f"p50 {tier['p50_ms']} ms  p99 {tier['p99_ms']} ms  "
+                f"shed {tier['shed_rate']:.1%}  timeout {tier['timeout']}"
+            )
+            if tier["errors"]:
+                print(f"  WARNING: {tier['errors']} untyped transport errors")
 
     # Capacity = best goodput across tiers; the top tier may be past the
     # knee where shedding dominates, so take the max rather than the last.
-    goodput = max(tier["goodput_rps"] for tier in tiers)
+    goodput = max(
+        tier["goodput_rps"] for tier in tiers if tier["scoring_workers"] == 0
+    )
+    mp_goodputs = [
+        tier["goodput_rps"] for tier in tiers if tier["scoring_workers"] > 0
+    ]
+    metrics = {"sustained_goodput_rps": goodput}
+    if mp_goodputs:
+        metrics["sustained_goodput_mp_rps"] = max(mp_goodputs)
     return {
         "config": config,
         "env": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": cpu_count(),
+            "blas": blas_backend_info(),
+            "blas_env": blas_env_settings(),
+            "scoring_workers": config["scoring_workers"],
         },
         "tiers": tiers,
-        "metrics": {"sustained_goodput_rps": goodput},
+        "metrics": metrics,
     }
 
 

@@ -12,12 +12,21 @@ measures the three serving/training hot paths:
   :meth:`InferenceEngine.classify_arrays` (validate/repair + fused CNN +
   features + classifier) on clean traffic;
 * ``classify_arrays_float16_samples_per_s`` — the same path with
-  half-precision activation storage (float32 GEMM accumulation).
+  half-precision activation storage (float32 GEMM accumulation);
+* ``classify_arrays_mp{W}_samples_per_s`` — the same clean-traffic
+  workload scattered over a ``repro.serve.pool.ScoringPool`` of W
+  BLAS-pinned worker processes (W in ``MP_WORKER_COUNTS``), the
+  ``repro classify --mp`` / ``repro serve --scoring-workers`` path.
 
 ``--check`` additionally runs the deterministic accuracy gates: the
-fused float32 path must match chunked ``predict`` bit for bit, and the
+fused float32 path must match chunked ``predict`` bit for bit, the
 float16 path's AUC on a labelled synthetic batch must stay within
-``AUC_GATE`` of float32.
+``AUC_GATE`` of float32, and a two-worker scoring pool must reproduce
+the single-process scores at wire precision.  On machines with at
+least ``MP_GATE_MIN_CORES`` cores it also enforces the
+``MP_SPEEDUP_GATE``x multi-process speedup at four workers; on smaller
+machines the speedup gate is reported but skipped (process scatter
+cannot beat one core), while the parity gate always runs.
 
 Results are written to ``BENCH_throughput.json`` at the repo root (one
 section per mode, so the committed file carries both the ``full``
@@ -48,8 +57,10 @@ import numpy as np
 from repro import nn
 from repro.core import SupernovaPipeline
 from repro.core.flux_cnn import BandwiseCNN
+from repro.nn import blas_backend_info, blas_env_settings, cpu_count
 from repro.perf import instrument as perf
 from repro.serve import FluxPrior, InferenceEngine
+from repro.serve.pool import PoolConfig, ScoringPool
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_throughput.json")
@@ -60,10 +71,33 @@ TRACKED_METRICS = (
     "cnn_predict_samples_per_s",
     "classify_arrays_samples_per_s",
     "classify_arrays_float16_samples_per_s",
+    "classify_arrays_mp4_samples_per_s",
 )
 
 #: The float16 fast path may not shift AUC by more than this vs float32.
 AUC_GATE = 2e-3
+
+#: Scoring-pool sizes measured for the multi-process scaling curve.
+MP_WORKER_COUNTS = (1, 2, 4)
+
+#: Required mp4 speedup over single-process classify, and the core count
+#: below which the speedup gate is informational only (a 1-2 core box
+#: cannot express 4-way process parallelism; parity still gates there).
+MP_SPEEDUP_GATE = 3.0
+MP_GATE_MIN_CORES = 4
+
+
+def env_block(scoring_workers: tuple[int, ...] = MP_WORKER_COUNTS) -> dict:
+    """Hardware/runtime provenance committed next to every measurement."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": cpu_count(),
+        "blas": blas_backend_info(),
+        "blas_env": blas_env_settings(),
+        "scoring_workers": list(scoring_workers),
+    }
 
 
 def _synth_pairs(
@@ -130,15 +164,10 @@ def bench_cnn_predict(
     return n / elapsed
 
 
-def _classify_workload(
-    input_size: int,
-    stamp: int,
-    n: int,
-    batch: int,
-    seed: int,
-    precision: str = "float32",
+def _classify_inputs(
+    input_size: int, stamp: int, n: int, seed: int, precision: str = "float32"
 ):
-    """Build the end-to-end serving workload; returns its ``run()`` closure."""
+    """Engine + synthetic traffic shared by the serving benchmarks."""
     rng = np.random.default_rng(seed)
     pipeline = SupernovaPipeline(input_size=input_size, epochs_used=1, seed=seed)
     pipeline.cnn.eval()
@@ -148,6 +177,21 @@ def _classify_workload(
     pairs = _synth_pairs(n, stamp, rng, visits=visits)
     mjd = (57000.0 + np.arange(n * visits).reshape(n, visits) * 0.01).astype(
         np.float64
+    )
+    return engine, pairs, mjd
+
+
+def _classify_workload(
+    input_size: int,
+    stamp: int,
+    n: int,
+    batch: int,
+    seed: int,
+    precision: str = "float32",
+):
+    """Build the end-to-end serving workload; returns its ``run()`` closure."""
+    engine, pairs, mjd = _classify_inputs(
+        input_size, stamp, n, seed, precision=precision
     )
 
     def run() -> list:
@@ -188,6 +232,80 @@ def bench_classify(
         perf.disable()
         perf.reset()
     return n / elapsed, timers
+
+
+def bench_classify_mp(
+    input_size: int,
+    stamp: int,
+    n: int,
+    batch: int,
+    repeats: int,
+    workers: int,
+    seed: int = 2,
+) -> tuple[float, dict]:
+    """Multi-process serving throughput through a :class:`ScoringPool`.
+
+    Each dispatch hands the pool ``batch x workers`` samples so every
+    worker's shard matches the single-process benchmark's GEMM batch;
+    pool startup (spawn + per-worker numpy import) is excluded from the
+    timed region, mirroring a warm ``repro serve`` daemon.  Returns the
+    rate plus the pool's own stats for the drill-down section.
+    """
+    engine, pairs, mjd = _classify_inputs(input_size, stamp, n, seed)
+    dispatch = batch * workers
+    with ScoringPool(engine=engine, config=PoolConfig(workers=workers)) as pool:
+
+        def run() -> list:
+            results = []
+            for start in range(0, n, dispatch):
+                results.extend(
+                    pool.classify_arrays(
+                        pairs[start : start + dispatch],
+                        mjd[start : start + dispatch],
+                    )
+                )
+            return results
+
+        elapsed = _timeit(run, repeats)
+        stats = pool.stats()
+    keep = (
+        "workers", "blas_threads", "slots", "slot_bytes",
+        "batches", "samples", "shm_overflow",
+        "scatter_s_total", "gather_s_total",
+    )
+    return n / elapsed, {key: stats[key] for key in keep}
+
+
+def pool_parity_gate(
+    input_size: int, stamp: int, n: int, seed: int = 11, workers: int = 2
+) -> list[str]:
+    """Deterministic gate: pool scores == single-process at wire precision.
+
+    Probability/confidence are compared at the daemon's round-6 wire
+    precision (raw float32 GEMM output varies at the last ulp with
+    batch shape — see ``TestCleanTrafficParity``); degraded flags and
+    usable bands must match exactly.  Returns failure strings.
+    """
+    engine, pairs, mjd = _classify_inputs(input_size, stamp, n, seed)
+    solo = engine.classify_arrays(pairs, mjd)
+    with ScoringPool(engine=engine, config=PoolConfig(workers=workers)) as pool:
+        pooled = pool.classify_arrays(pairs, mjd)
+    bad = [
+        i
+        for i, (a, b) in enumerate(zip(solo, pooled))
+        if round(a.probability, 6) != round(b.probability, 6)
+        or round(a.confidence, 6) != round(b.confidence, 6)
+        or a.degraded != b.degraded
+        or a.usable_bands != b.usable_bands
+    ]
+    status = "OK" if not bad else "FAIL"
+    print(f"pool parity: {workers} workers vs single-process, {n} samples {status}")
+    if bad:
+        return [
+            f"scoring pool ({workers} workers) diverged from single-process "
+            f"scores at wire precision for samples {bad[:5]}"
+        ]
+    return []
 
 
 def _rank_auc(scores: np.ndarray, labels: np.ndarray) -> float:
@@ -444,19 +562,40 @@ def run_benchmark(smoke: bool) -> dict:
         f"(batch {config['classify_batch']})"
     )
 
+    mp_metrics: dict = {}
+    mp_scaling: dict = {}
+    for workers in MP_WORKER_COUNTS:
+        mp_rate, pool_stats = bench_classify_mp(
+            config["input_size"],
+            config["stamp"],
+            config["classify_n"],
+            config["classify_batch"],
+            config["repeats"],
+            workers,
+        )
+        speedup = mp_rate / classify_rate if classify_rate else float("nan")
+        print(
+            f"classify (mp, {workers} worker{'s' if workers > 1 else ''}): "
+            f"{mp_rate:8.2f} samples/s ({speedup:.2f}x single-process)"
+        )
+        mp_metrics[f"classify_arrays_mp{workers}_samples_per_s"] = round(mp_rate, 2)
+        mp_scaling[str(workers)] = {
+            "samples_per_s": round(mp_rate, 2),
+            "speedup_vs_single": round(speedup, 3),
+            "pool": pool_stats,
+        }
+
     return {
         "config": config,
-        "env": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "env": env_block(MP_WORKER_COUNTS),
         "metrics": {
             "train_steps_per_s": round(train_rate, 2),
             "cnn_predict_samples_per_s": round(predict_rate, 2),
             "classify_arrays_samples_per_s": round(classify_rate, 2),
             "classify_arrays_float16_samples_per_s": round(classify16_rate, 2),
+            **mp_metrics,
         },
+        "mp_scaling": mp_scaling,
         "timers": timers.get("timers", {}),
     }
 
@@ -549,6 +688,34 @@ def main(argv: list[str] | None = None) -> int:
             section["config"]["input_size"],
             n=max(section["config"]["classify_n"], 160),
         )
+        failures += pool_parity_gate(
+            section["config"]["input_size"],
+            section["config"]["stamp"],
+            n=section["config"]["classify_n"],
+        )
+        # The speedup gate only means something when the hardware can
+        # express 4-way process parallelism; the committed env block
+        # records the core count either way.
+        cores = cpu_count()
+        single = section["metrics"]["classify_arrays_samples_per_s"]
+        mp4 = section["metrics"].get("classify_arrays_mp4_samples_per_s")
+        if cores < MP_GATE_MIN_CORES:
+            print(
+                f"mp speedup gate skipped: {cores} core(s) < "
+                f"{MP_GATE_MIN_CORES} (mp4 {mp4} vs single {single} samples/s)"
+            )
+        elif mp4 is not None and single:
+            ratio = mp4 / single
+            status = "OK" if ratio >= MP_SPEEDUP_GATE else "FAIL"
+            print(
+                f"mp speedup gate: mp4 {mp4:.2f} / single {single:.2f} = "
+                f"{ratio:.2f}x (gate {MP_SPEEDUP_GATE:.1f}x) {status}"
+            )
+            if ratio < MP_SPEEDUP_GATE:
+                failures.append(
+                    f"mp4 throughput {mp4:.2f} samples/s is only {ratio:.2f}x "
+                    f"single-process (gate {MP_SPEEDUP_GATE:.1f}x)"
+                )
 
     if not args.no_write and not failures:
         document[mode] = section

@@ -249,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="classify batches on N threads (BLAS releases the GIL); "
         "results still stream in order",
     )
+    cl.add_argument(
+        "--mp", action="store_true",
+        help="score on N worker *processes* (a shared-memory ScoringPool) "
+        "instead of threads; bit-compatible with the single-process "
+        "path and still streams in order.  With --workers 1 this is a "
+        "pool of one process — the single-process fallback",
+    )
     _add_telemetry_arg(cl)
 
     srv = sub.add_parser(
@@ -301,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--wedge-timeout-s", type=float, default=5.0, metavar="S",
         help="scoring batches older than this get the worker restarted",
+    )
+    srv.add_argument(
+        "--scoring-workers", type=int, default=0, metavar="N",
+        help="scatter each scoring micro-batch across N warm worker "
+        "processes over shared memory (0 = score in-process); BLAS "
+        "threads are split N ways so the workers never oversubscribe",
     )
     srv.add_argument(
         "--strict", action="store_true",
@@ -544,22 +557,41 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_classify(args: argparse.Namespace) -> int:
     from .serve import InferenceEngine
 
-    engine = InferenceEngine.from_directory(args.model)
     dataset = load_dataset(args.dataset, require_finite=args.strict)
     n_degraded = 0
     confidences = []
     sink = open(args.out, "w") if args.out else sys.stdout
-    try:
-        for result in engine.stream(
+    pool = None
+    if args.mp:
+        from .serve import PoolConfig, ScoringPool
+
+        pool = ScoringPool(
+            model_source=args.model,
+            config=PoolConfig(workers=max(1, args.workers)),
+            engine_kwargs={"strict": args.strict},
+        ).start()
+        stream = pool.stream(
+            dataset, batch_size=args.batch_size, strict=args.strict
+        )
+    else:
+        engine = InferenceEngine.from_directory(args.model)
+        stream = engine.stream(
             dataset,
             batch_size=args.batch_size,
             strict=args.strict,
             workers=args.workers,
-        ):
+            # Thread tasks amortize GEMM setup over at least 32 samples
+            # even when --batch-size streams finer-grained.
+            min_task_size=32 if args.workers > 1 else None,
+        )
+    try:
+        for result in stream:
             n_degraded += result.degraded
             confidences.append(result.confidence)
             print(result.to_json(), file=sink, flush=args.out is None)
     finally:
+        if pool is not None:
+            pool.close()
         if args.out:
             sink.close()
     if confidences:
@@ -601,6 +633,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wedge_timeout_s=args.wedge_timeout_s,
         strict=args.strict,
         reload_poll_s=args.reload_poll_s,
+        scoring_workers=args.scoring_workers,
     )
     if args.registry is not None:
         daemon = ServingDaemon(
@@ -634,7 +667,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     code = daemon.wait()
     if code == 4:
         print(
-            "error: scoring-worker restart budget exhausted; drained",
+            "error: scoring restart budget exhausted; drained",
             file=sys.stderr,
         )
     return code

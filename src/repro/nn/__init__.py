@@ -37,7 +37,23 @@ from .layers import (
 )
 from .losses import BCEWithLogitsLoss, CrossEntropyLoss, HuberLoss, L1Loss, MSELoss
 from .module import Module, ModuleList, Parameter, Sequential
-from .ops import avg_pool2d, conv2d, max_pool2d, workspace_clear, workspace_stats
+from .ops import (
+    avg_pool2d,
+    conv2d,
+    max_pool2d,
+    workspace_clear,
+    workspace_metrics_source,
+    workspace_stats,
+    workspace_total_stats,
+)
+from .threads import (
+    BLAS_ENV_VARS,
+    blas_backend_info,
+    blas_env_settings,
+    blas_thread_plan,
+    cpu_count,
+    pinned_blas_env,
+)
 from .optim import SGD, Adam, Optimizer, StepLR, clip_grad_norm
 from .serialization import load_module, save_module
 from .tensor import (
@@ -93,7 +109,15 @@ __all__ = [
     "max_pool2d",
     "avg_pool2d",
     "workspace_stats",
+    "workspace_total_stats",
+    "workspace_metrics_source",
     "workspace_clear",
+    "BLAS_ENV_VARS",
+    "blas_backend_info",
+    "blas_env_settings",
+    "blas_thread_plan",
+    "cpu_count",
+    "pinned_blas_env",
     "Optimizer",
     "SGD",
     "Adam",

@@ -23,6 +23,7 @@ batches allocate only their output.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 
 import numpy as np
@@ -37,6 +38,8 @@ __all__ = [
     "avg_pool2d",
     "pad2d",
     "workspace_stats",
+    "workspace_total_stats",
+    "workspace_metrics_source",
     "workspace_clear",
 ]
 
@@ -46,6 +49,53 @@ __all__ = [
 _MAX_WORKSPACES = 32
 
 _workspaces = threading.local()
+
+
+class _WorkspaceState:
+    """One thread's cache plus counters; weakly tracked for aggregation.
+
+    The only strong reference lives in the owning thread's
+    ``threading.local`` slot, so a dead thread's state (and its cached
+    buffers) is garbage-collected and silently drops out of
+    :data:`_all_states` — :func:`workspace_total_stats` never counts
+    memory that has already been freed.
+    """
+
+    __slots__ = ("cache", "hits", "misses", "evictions", "__weakref__")
+
+    def __init__(self) -> None:
+        self.cache: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def bytes(self) -> int:
+        return sum(buf.nbytes for buf in self.cache.values())
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self.cache),
+            "bytes": self.bytes(),
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+_all_states: "weakref.WeakSet[_WorkspaceState]" = weakref.WeakSet()
+_all_states_lock = threading.Lock()
+
+
+def _state() -> _WorkspaceState:
+    state: _WorkspaceState | None = getattr(_workspaces, "state", None)
+    if state is None:
+        state = _WorkspaceState()
+        _workspaces.state = state
+        with _all_states_lock:
+            _all_states.add(state)
+    return state
 
 
 def _bucket_batch(batch: int) -> int:
@@ -69,46 +119,77 @@ def _workspace(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
     unusual shapes cannot flush the steady-state working set the way the
     previous clear-everything policy did.
     """
-    cache: OrderedDict | None = getattr(_workspaces, "cache", None)
-    if cache is None:
-        cache = OrderedDict()
-        _workspaces.cache = cache
-        _workspaces.hits = 0
-        _workspaces.misses = 0
+    state = _state()
+    cache = state.cache
     batch = shape[0]
     cap = _bucket_batch(batch)
     key = (cap, *shape[1:], np.dtype(dtype).str)
     buf = cache.get(key)
     if buf is None:
-        _workspaces.misses += 1
+        state.misses += 1
         while len(cache) >= _MAX_WORKSPACES:
             cache.popitem(last=False)
+            state.evictions += 1
         buf = np.empty((cap, *shape[1:]), dtype=dtype)
         cache[key] = buf
     else:
-        _workspaces.hits += 1
+        state.hits += 1
         cache.move_to_end(key)
     return buf[:batch]
 
 
 def workspace_stats() -> dict:
-    """Hit/miss counters and size of this thread's workspace cache."""
-    hits = getattr(_workspaces, "hits", 0)
-    misses = getattr(_workspaces, "misses", 0)
-    cache = getattr(_workspaces, "cache", None)
-    return {
-        "hits": hits,
-        "misses": misses,
-        "entries": len(cache) if cache is not None else 0,
-        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+    """Hit/miss/eviction counters and size of this thread's cache."""
+    return _state().stats()
+
+
+def workspace_total_stats() -> dict:
+    """Aggregate workspace stats across every live thread.
+
+    The serving daemon's thread pool keeps one cache per worker thread;
+    this is the process-wide view the `/metrics` gauges export.  Dead
+    threads' states have been garbage-collected by the time they leave
+    :data:`_all_states`, so ``bytes`` reflects memory still held.
+    """
+    totals = {
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "entries": 0,
+        "bytes": 0,
+        "threads": 0,
     }
+    with _all_states_lock:
+        states = list(_all_states)
+    for state in states:
+        stats = state.stats()
+        totals["threads"] += 1
+        for key in ("hits", "misses", "evictions", "entries", "bytes"):
+            totals[key] += stats[key]
+    lookups = totals["hits"] + totals["misses"]
+    totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+    return totals
+
+
+def workspace_metrics_source() -> dict:
+    """:func:`workspace_total_stats` under the metrics-source contract.
+
+    A telemetry session registers this with its
+    :class:`~repro.obs.metrics.MetricsRegistry` so ``repro metrics``
+    reports the conv workspace-cache behaviour next to the obs
+    counters; the daemon mirrors the same numbers as ``nn.workspace_*``
+    gauges on `/metrics`.
+    """
+    return workspace_total_stats()
 
 
 def workspace_clear() -> None:
     """Drop this thread's workspace cache and reset the counters."""
-    _workspaces.cache = OrderedDict()
-    _workspaces.hits = 0
-    _workspaces.misses = 0
+    state = _state()
+    state.cache = OrderedDict()
+    state.hits = 0
+    state.misses = 0
+    state.evictions = 0
 
 
 def _im2col(

@@ -1,0 +1,114 @@
+"""BLAS thread-count guard for multi-process scoring.
+
+NumPy's BLAS backend (OpenBLAS in the wheels this repo pins) sizes its
+thread pool once, when the library is first loaded, from environment
+variables such as ``OPENBLAS_NUM_THREADS``.  A scoring pool that spawns
+N worker processes on an M-core machine must therefore pin each
+worker's BLAS pool *before the worker imports numpy* — otherwise every
+worker spins up M threads and N x M threads thrash the machine instead
+of speeding it up.
+
+:func:`pinned_blas_env` is the seam :mod:`repro.serve.pool` uses: the
+parent sets the pinning variables in its own environment around
+``Process.start()`` (spawned children inherit the environment at exec
+time, before their numpy import) and restores them afterwards so the
+parent's own BLAS pool is untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+__all__ = [
+    "BLAS_ENV_VARS",
+    "cpu_count",
+    "blas_backend_info",
+    "blas_env_settings",
+    "blas_thread_plan",
+    "pinned_blas_env",
+]
+
+#: Every knob the common BLAS backends read at load time.  All are set
+#: together — a machine may route through any of them (OpenBLAS, MKL,
+#: BLIS via OMP, Accelerate) and an unset one silently defaults to
+#: "every core".
+BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def cpu_count() -> int:
+    """Cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def blas_backend_info() -> dict:
+    """Name/version of the BLAS library numpy was built against.
+
+    Parsed from ``np.show_config(mode="dicts")`` (numpy >= 1.25 on both
+    supported majors); degrades to ``{"name": "unknown"}`` rather than
+    raising, since this only feeds benchmark env blocks.
+    """
+    try:
+        import numpy as np
+
+        config = np.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        info = {
+            "name": str(blas.get("name", "unknown")),
+            "version": str(blas.get("version", "unknown")),
+        }
+    except Exception:  # noqa: BLE001 - diagnostics only, never fatal
+        info = {"name": "unknown", "version": "unknown"}
+    return info
+
+
+def blas_env_settings() -> dict:
+    """Current values of every pinning variable (``None`` = unset)."""
+    return {var: os.environ.get(var) for var in BLAS_ENV_VARS}
+
+
+def blas_thread_plan(workers: int, total_cores: int | None = None) -> int:
+    """BLAS threads each of ``workers`` processes should get.
+
+    An even split of the available cores, floored at 1 — the plan that
+    keeps ``workers x blas_threads <= cores`` so the pool scales by
+    process parallelism instead of oversubscribed BLAS pools.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    total = total_cores if total_cores is not None else cpu_count()
+    return max(1, total // workers)
+
+
+@contextlib.contextmanager
+def pinned_blas_env(threads: int) -> Iterator[None]:
+    """Temporarily pin every BLAS env knob to ``threads`` in ``os.environ``.
+
+    Used *in the parent* around spawning scoring workers: children
+    exec'd inside the context inherit the pinned values before their
+    numpy import; on exit the parent's environment is restored exactly
+    (unset variables stay unset).
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    saved = blas_env_settings()
+    for var in BLAS_ENV_VARS:
+        os.environ[var] = str(threads)
+    try:
+        yield
+    finally:
+        for var, old in saved.items():
+            if old is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = old

@@ -147,6 +147,9 @@ def start(
             perf.reset()
             perf.enable()
             session.metrics.register_source("perf", perf.metrics_source)
+        from ..nn import workspace_metrics_source
+
+        session.metrics.register_source("nn.workspace", workspace_metrics_source)
         session._open(**start_fields)
         _SESSION = session
     return session

@@ -48,6 +48,7 @@ __all__ = [
     "NanBatchFault",
     "KillSwitch",
     "truncate_file",
+    "CrashWorkerOnMarker",
     "InputCorruption",
     "DropBand",
     "NaNPixels",
@@ -163,6 +164,48 @@ class KillSwitch:
         """Raise :class:`SimulatedCrash` when the target epoch finishes."""
         if epoch >= self.after_epoch:
             raise SimulatedCrash(f"simulated kill after epoch {epoch}")
+
+
+class CrashWorkerOnMarker:
+    """Picklable pool ``worker_init`` that SIGKILLs on a marked sample.
+
+    The process-pool analogue of :class:`FailBatch`: instances travel
+    into :class:`~repro.serve.pool.ScoringPool` workers (via the
+    ``worker_init`` seam) and wrap the worker engine's
+    ``classify_arrays`` so a batch whose first pixel carries the magic
+    ``marker`` value kills the worker process mid-batch — a real
+    ``SIGKILL``, not an exception, exercising the pool's crash
+    detection, respawn budget and per-sample culprit isolation.
+
+    ``min_batch`` scopes the blast radius: with the default 1 the marked
+    sample kills every worker that ever scores it (a repeat offender the
+    pool must eventually give up on); with ``min_batch=2`` only grouped
+    batches die, so the pool's per-sample re-score heals the batch and
+    every sample still gets its bit-exact score.
+    """
+
+    def __init__(self, marker: float, min_batch: int = 1) -> None:
+        self.marker = float(marker)
+        self.min_batch = int(min_batch)
+
+    def __call__(self, engine, worker_id: int) -> None:
+        """Wrap ``engine.classify_arrays`` with the marker tripwire."""
+        import signal as _signal
+
+        inner = engine.classify_arrays
+        marker, min_batch = self.marker, self.min_batch
+
+        def classify_arrays(pairs, mjd, strict=None, start_index=0):
+            arr = np.asarray(pairs)
+            if (
+                arr.ndim == 5
+                and arr.shape[0] >= min_batch
+                and np.any(arr[:, 0, 0, 0, 0] == marker)
+            ):
+                os.kill(os.getpid(), _signal.SIGKILL)
+            return inner(pairs, mjd, strict=strict, start_index=start_index)
+
+        engine.classify_arrays = classify_arrays
 
 
 class InputCorruption:

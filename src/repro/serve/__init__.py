@@ -21,6 +21,13 @@ else fails — imputes, so every sample comes back as a
 
 from .daemon import DaemonConfig, ServingDaemon
 from .engine import DegradedInputError, FluxPrior, InferenceEngine, PredictionResult
+from .pool import (
+    PoolBrokenError,
+    PoolConfig,
+    PoolError,
+    ScoringPool,
+    WorkerCrashError,
+)
 from .validation import (
     DEFAULT_SATURATION_LEVEL,
     InputDiagnostics,
@@ -38,6 +45,11 @@ __all__ = [
     "DegradedInputError",
     "ServingDaemon",
     "DaemonConfig",
+    "ScoringPool",
+    "PoolConfig",
+    "PoolError",
+    "PoolBrokenError",
+    "WorkerCrashError",
     "InputDiagnostics",
     "RepairConfig",
     "diagnose_and_repair",

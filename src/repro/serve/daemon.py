@@ -88,11 +88,13 @@ from typing import Callable
 import numpy as np
 
 from .. import obs
+from ..nn import workspace_total_stats
 from ..obs.drift import DriftMonitor
 from ..obs.metrics import MetricsRegistry
 from ..registry import GuardConfig, ModelRegistry, RegistryError, RollbackGuard
 from ..runtime.retry import RetrySpec
 from .engine import DegradedInputError, InferenceEngine, PredictionResult
+from .pool import PoolBrokenError, PoolConfig, ScoringPool
 
 __all__ = ["DaemonConfig", "ServingDaemon", "DEFAULT_RESTART_SPEC"]
 
@@ -141,6 +143,11 @@ class DaemonConfig:
     #: Most shadow items (scored micro-batches) allowed to wait for the
     #: shadow worker; beyond it shadow copies are shed, never queued.
     shadow_queue_depth: int = 8
+    #: Scoring worker *processes*.  0 (the default) scores in-process on
+    #: the daemon's scoring thread; N >= 1 scatters each micro-batch
+    #: across a :class:`~repro.serve.pool.ScoringPool` of N warm spawned
+    #: workers over shared memory, with BLAS threads split N ways.
+    scoring_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.batch_max_size < 1:
@@ -161,6 +168,8 @@ class DaemonConfig:
             raise ValueError("reload_poll_s must be positive")
         if self.shadow_queue_depth < 1:
             raise ValueError("shadow_queue_depth must be >= 1")
+        if self.scoring_workers < 0:
+            raise ValueError("scoring_workers must be >= 0")
 
 
 def _error_payload(request_id: str | None, kind: str, message: str) -> dict:
@@ -636,12 +645,17 @@ class ServingDaemon:
         guard: GuardConfig | None = None,
         reload_hook: Callable[[InferenceEngine, str], None] | None = None,
         engine_kwargs: dict | None = None,
+        pool: ScoringPool | None = None,
     ) -> None:
         self.config = config or DaemonConfig()
         self.fault_hook = fault_hook
         self.registry = registry
         self.reload_hook = reload_hook
         self._engine_kwargs = dict(engine_kwargs or {})
+        #: Multi-process scoring pool; built in start() when
+        #: ``config.scoring_workers > 0`` (or injected here by tests).
+        self._pool = pool
+        self._pool_broken_noted = False
         session = obs.active()
         self.metrics: MetricsRegistry = (
             session.metrics if session is not None else MetricsRegistry()
@@ -726,6 +740,7 @@ class ServingDaemon:
         # train/eval while handler threads are alive.
         self.engine.pipeline.cnn.eval()
         self.engine.pipeline.classifier.eval()
+        self._start_pool()
         self._server = _DaemonServer(
             (self.config.host, self.config.port), _Handler
         )
@@ -754,7 +769,37 @@ class ServingDaemon:
             queue_depth=self.config.queue_depth,
             batch_max_size=self.config.batch_max_size,
             model_version=self._engine_version,
+            scoring_workers=(
+                self._pool.config.workers if self._pool is not None else 0
+            ),
         )
+
+    def _start_pool(self) -> None:
+        """Spawn the scoring pool (if configured) before traffic arrives.
+
+        Registry mode hands workers the production version's directory —
+        the same bytes every future :meth:`_swap_engine` hands them via
+        ``pool.reload`` — while engine mode persists the live engine to
+        a pool-owned temp directory.  A pool that cannot boot fails
+        ``start()`` outright: better a loud refusal than a daemon that
+        silently serves single-process at N-times the advertised
+        latency.
+        """
+        if self._pool is None:
+            if self.config.scoring_workers < 1:
+                return
+            kwargs: dict = {
+                "config": PoolConfig(workers=self.config.scoring_workers),
+                "engine_kwargs": self._engine_kwargs,
+            }
+            if self.registry is not None and self._engine_version is not None:
+                kwargs["model_source"] = self.registry.path(self._engine_version)
+            else:
+                kwargs["engine"] = self.engine
+            self._pool = ScoringPool(**kwargs)
+        if not self._pool._started:
+            self._pool.start()
+        self.metrics.gauge("pool.workers").set(self._pool.config.workers)
 
     def install_signal_handlers(self) -> None:
         """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
@@ -831,6 +876,8 @@ class ServingDaemon:
         worker = self._worker
         if worker is not None and not worker.abandoned:
             worker.join(timeout=2.0)
+        if self._pool is not None:
+            self._pool.close()
         if self._server is not None:
             self._server.shutdown()
         self._emit_terminal(reason)
@@ -951,20 +998,41 @@ class ServingDaemon:
         batch_index = self._next_batch_index()
         if self.fault_hook is not None:
             self.fault_hook(batch_index, len(group))
-        # One consistent (engine, version, monitor) snapshot per batch: a
-        # hot reload that lands mid-score only affects the *next* batch,
-        # so every request is scored wholly by a single version and the
-        # outgoing engine drains its in-flight work before it is dropped.
-        with self._engine_lock:
-            engine = self.engine
-            version = self._engine_version
-            monitor = self._prod_monitor
         pairs = np.stack([pending.pairs for pending in group])
         mjd = np.stack([pending.mjd for pending in group])
         started = time.monotonic()
-        results = engine.classify_arrays(
-            pairs, mjd, strict=group[0].strict, start_index=group[0].index
-        )
+        if self._pool is not None:
+            # Pool mode holds _engine_lock across the dispatch: the pool
+            # is shared mutable state (unlike an engine snapshot), so a
+            # hot reload must not land between reading the version label
+            # and the workers scoring — _swap_engine calls pool.reload()
+            # under this same lock, which both serialises the swap
+            # against in-flight batches and keeps the (scores, version)
+            # pair consistent.
+            with self._engine_lock:
+                version = self._engine_version
+                monitor = self._prod_monitor
+                try:
+                    results = self._pool.classify_arrays(
+                        pairs, mjd,
+                        strict=group[0].strict, start_index=group[0].index,
+                    )
+                except PoolBrokenError:
+                    self._note_pool_broken()
+                    raise
+        else:
+            # One consistent (engine, version, monitor) snapshot per
+            # batch: a hot reload that lands mid-score only affects the
+            # *next* batch, so every request is scored wholly by a
+            # single version and the outgoing engine drains its
+            # in-flight work before it is dropped.
+            with self._engine_lock:
+                engine = self.engine
+                version = self._engine_version
+                monitor = self._prod_monitor
+            results = engine.classify_arrays(
+                pairs, mjd, strict=group[0].strict, start_index=group[0].index
+            )
         self._note_drained(len(group), time.monotonic() - started)
         if version is not None:
             self.metrics.counter(f"daemon.served.{version}").inc(len(results))
@@ -1094,9 +1162,26 @@ class ServingDaemon:
             self._swap_engine(engine, version)
 
     def _swap_engine(self, engine: InferenceEngine, version: str,
-                     remember_previous: bool = True) -> None:
-        """Publish a new production engine (callers hold _reload_lock)."""
+                     remember_previous: bool = True) -> bool:
+        """Publish a new production engine (callers hold _reload_lock).
+
+        With a scoring pool attached the swap happens *inside* the
+        engine lock the scoring path holds across each pool dispatch:
+        ``pool.reload`` therefore waits for the in-flight batch, swaps
+        every worker exactly once, and the next batch reads the new
+        version label with the new workers — no batch ever mixes
+        versions, no request is dropped.  A failed pool reload (the
+        pool rolls its workers back internally) aborts the publish and
+        leaves the previous version serving; returns False in that
+        case.
+        """
         with self._engine_lock:
+            if self._pool is not None and self.registry is not None:
+                try:
+                    self._pool.reload(self.registry.path(version))
+                except Exception as exc:  # noqa: BLE001 - keep serving previous
+                    self._note_reload_failure(version, "pool", exc)
+                    return False
             previous, previous_version = self.engine, self._engine_version
             self.engine = engine
             self._engine_version = version
@@ -1114,6 +1199,7 @@ class ServingDaemon:
             version=version,
             previous=previous_version,
         )
+        return True
 
     def _note_reload_failure(self, version: str | None, role: str,
                              exc: Exception) -> None:
@@ -1185,7 +1271,8 @@ class ServingDaemon:
                     except Exception as exc:  # noqa: BLE001
                         self._note_reload_failure(restored, "rollback", exc)
                         return
-                self._swap_engine(engine, restored, remember_previous=False)
+                if not self._swap_engine(engine, restored, remember_previous=False):
+                    return
                 self.metrics.counter("daemon.rollbacks").inc()
                 self._emit(
                     "registry.rolled_back",
@@ -1391,6 +1478,29 @@ class ServingDaemon:
             self._worker = _ScoringWorker(self, self._worker_generation)
             self._worker.start()
 
+    def _note_pool_broken(self) -> None:
+        """The pool's respawn budget is spent: drain with exit code 4.
+
+        The process-pool analogue of an exhausted scoring-thread restart
+        budget — the daemon refuses to flap between broken pool states
+        and instead drains loudly so an orchestrator restarts it whole.
+        """
+        with self._restart_lock:
+            if self._pool_broken_noted:
+                return
+            self._pool_broken_noted = True
+        self._emit(
+            "serve.pool_broken",
+            level="error",
+            message="scoring pool respawn budget exhausted; draining",
+        )
+        threading.Thread(
+            target=self.drain,
+            kwargs={"reason": "pool_failure", "exit_code": 4},
+            name="repro-serve-drain",
+            daemon=True,
+        ).start()
+
     # ------------------------------------------------------------------
     # Introspection endpoints
     # ------------------------------------------------------------------
@@ -1418,6 +1528,9 @@ class ServingDaemon:
             "rollbacks": int(self.metrics.counter("daemon.rollbacks").value),
             "quarantined": int(self.metrics.counter("daemon.quarantined").value),
             "shadow": self.shadow_stats(),
+            "scoring_pool": (
+                self._pool.stats() if self._pool is not None else None
+            ),
         }
         return (503 if draining else 200), payload
 
@@ -1425,7 +1538,27 @@ class ServingDaemon:
         """``/metrics`` body: the registry in text exposition format."""
         self.metrics.gauge("daemon.queue_depth").set(self._batcher.waiting())
         self.metrics.gauge("daemon.draining").set(1 if self._draining else 0)
+        if self._pool is not None:
+            self._export_pool_metrics()
+        for name, value in workspace_total_stats().items():
+            if name == "hit_rate":
+                continue  # derivable from hits/misses; gauges stay raw counts
+            self.metrics.gauge(f"nn.workspace_{name}").set(value)
         return self.metrics.to_prometheus()
+
+    def _export_pool_metrics(self) -> None:
+        """Fold the pool's stats into the registry as gauges."""
+        stats = self._pool.stats()
+        per_worker = stats.pop("per_worker")
+        stats.pop("broken", None)
+        for name, value in stats.items():
+            self.metrics.gauge(f"pool.{name}").set(value)
+        for entry in per_worker:
+            wid = entry["worker"]
+            self.metrics.gauge(f"pool.worker_utilization.{wid}").set(
+                entry["utilization"]
+            )
+            self.metrics.gauge(f"pool.worker_samples.{wid}").set(entry["samples"])
 
     # ------------------------------------------------------------------
     # Telemetry plumbing

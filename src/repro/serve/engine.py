@@ -627,6 +627,7 @@ class InferenceEngine:
         batch_size: int = 64,
         strict: bool | None = None,
         workers: int = 1,
+        min_task_size: int | None = None,
     ) -> Iterator[PredictionResult]:
         """Yield :class:`PredictionResult` objects batch by batch.
 
@@ -637,6 +638,13 @@ class InferenceEngine:
         With ``workers > 1`` micro-batches are classified on a thread
         pool — the BLAS GEMMs behind the CNN release the GIL, so batches
         genuinely overlap — while results still stream in request order.
+        ``min_task_size`` coalesces adjacent micro-batches into thread
+        tasks of at least that many samples (rounded up to whole
+        batches): small ``--batch-size`` values keep their streaming
+        granularity on the single-threaded path while the threaded path
+        amortizes per-GEMM setup over engine-sized batches instead of
+        scoring slivers.  ``None`` (the default) keeps one task per
+        micro-batch, which is also the containment granularity below.
 
         A non-strict exception escaping one worker's batch (a scoring
         bug, a poison payload the validators missed) is contained to
@@ -651,6 +659,8 @@ class InferenceEngine:
             raise ValueError("batch_size must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if min_task_size is not None and min_task_size < 1:
+            raise ValueError("min_task_size must be >= 1")
         effective_strict = self.strict if strict is None else strict
         starts = range(0, len(dataset), batch_size)
         if workers == 1:
@@ -670,12 +680,16 @@ class InferenceEngine:
         self.pipeline.classifier.eval()
         from concurrent.futures import ThreadPoolExecutor
 
+        task_size = batch_size
+        if min_task_size is not None and min_task_size > batch_size:
+            task_size = -(-min_task_size // batch_size) * batch_size
+        starts = range(0, len(dataset), task_size)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
                     self.classify_arrays,
-                    dataset.pairs[start : start + batch_size],
-                    dataset.visit_mjd[start : start + batch_size],
+                    dataset.pairs[start : start + task_size],
+                    dataset.visit_mjd[start : start + task_size],
                     strict,
                     start,
                 )
@@ -688,7 +702,7 @@ class InferenceEngine:
                     except Exception as exc:
                         if effective_strict:
                             raise
-                        stop = min(start + batch_size, len(dataset))
+                        stop = min(start + task_size, len(dataset))
                         _count("serve.contained_batch_failures")
                         session = obs.active()
                         if session is not None:

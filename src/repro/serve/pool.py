@@ -1,0 +1,1123 @@
+"""Multi-process scoring pool with zero-copy shared-memory IPC.
+
+One Python process cannot scale ``classify_arrays`` past a single
+core's BLAS throughput — the interpreter serialises everything around
+the GEMMs.  :class:`ScoringPool` runs N warm worker *processes*, each
+holding its own :class:`~repro.serve.engine.InferenceEngine`, and
+scatters micro-batches onto them:
+
+* **Zero pickle of pixel data.**  Request tensors and result arrays
+  move through a :class:`multiprocessing.shared_memory.SharedMemory`
+  ring of fixed-size slots; only ``(task_id, slot, shape)`` tuples and
+  per-sample diagnostics cross the pipe.  A batch too large for a slot
+  falls back to pickle transport (counted in :meth:`stats`).
+* **BLAS thread pinning.**  Workers are spawned (never forked — the
+  daemon owns threads) under :func:`repro.nn.pinned_blas_env`, so each
+  child's numpy import sizes its BLAS pool to ``cores // workers``
+  threads and N workers never oversubscribe the machine.
+* **Deterministic gather.**  A batch of ``n`` samples is split into
+  contiguous shards, one per worker, and results are reassembled in
+  request order.  At float32 the engine's scores are chunk-size
+  invariant, so pool output is bit-identical to the single-process
+  path; float16 is covered by the benchmark's AUC gate.
+* **Crash isolation.**  A worker dying mid-shard (OOM-killed, SIGKILL)
+  is respawned under a :class:`~repro.runtime.retry.RetrySpec` budget
+  and its shard is re-scored sample by sample; a sample that kills the
+  replacement too comes back as a flagged
+  :meth:`PredictionResult.failed` placeholder instead of sinking the
+  batch.  Budget exhaustion marks the pool broken
+  (:class:`PoolBrokenError`) so the daemon can drain with exit code 4.
+* **Hot reload.**  :meth:`reload` broadcasts a new model directory and
+  an incremented version epoch; it returns only once every worker has
+  acked the epoch, and it holds the dispatch lock, so a registry swap
+  is exactly-once pool-wide and no in-flight batch ever mixes versions.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import multiprocessing
+from multiprocessing import connection, shared_memory
+
+import numpy as np
+
+from ..nn.threads import blas_env_settings, blas_thread_plan, pinned_blas_env
+from ..perf.instrument import count as _count
+from ..perf.instrument import timed as _timed
+from ..photometry import GRIZY
+from ..runtime.retry import RetrySpec
+from .engine import DegradedInputError, InferenceEngine, PredictionResult
+
+__all__ = [
+    "PoolConfig",
+    "PoolError",
+    "PoolBrokenError",
+    "WorkerCrashError",
+    "ScoringPool",
+    "DEFAULT_RESPAWN_SPEC",
+]
+
+#: Worker-respawn budget: generous enough to heal a poison batch (one
+#: group crash plus the culprit's single-sample crash) a few times over,
+#: bounded so a worker that dies on every batch cannot flap forever.
+DEFAULT_RESPAWN_SPEC = RetrySpec(
+    max_attempts=8, base_delay_s=0.05, factor=1.5, max_delay_s=1.0, jitter=0.0
+)
+
+
+class PoolError(RuntimeError):
+    """Scoring-pool failure that is not a per-sample scoring error."""
+
+
+class PoolBrokenError(PoolError):
+    """The pool exhausted its respawn budget (or was closed) — drain."""
+
+
+class WorkerCrashError(PoolError):
+    """A scoring worker process died while scoring a sample."""
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Tunables of :class:`ScoringPool`.
+
+    ``slot_bytes`` bounds the largest batch served through shared
+    memory: a shard needing more falls back to pickle transport (still
+    correct, just slower).  The default fits a 16-sample batch of
+    5-visit 160x160 stamp pairs with room to spare.
+    """
+
+    workers: int = 2
+    #: Ring slots; 0 means ``2 * workers`` (dispatch never blocks on a
+    #: free slot: at most ``workers`` tasks are in flight at once).
+    slots: int = 0
+    slot_bytes: int = 16 << 20
+    #: BLAS threads per worker; 0 means ``max(1, cores // workers)``.
+    blas_threads: int = 0
+    respawn: RetrySpec = field(default_factory=lambda: DEFAULT_RESPAWN_SPEC)
+    start_timeout_s: float = 120.0
+    reload_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.slots < 0:
+            raise ValueError("slots must be >= 0")
+        if self.slot_bytes < 4096:
+            raise ValueError("slot_bytes must be >= 4096")
+        if self.blas_threads < 0:
+            raise ValueError("blas_threads must be >= 0")
+        if self.start_timeout_s <= 0 or self.reload_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+
+
+# ----------------------------------------------------------------------
+# Shared-memory slot layout
+# ----------------------------------------------------------------------
+_ALIGN = 8
+
+#: Result record: probability/confidence/flux_feature float64 + the
+#: degraded flag and usable-band bitmask as single bytes per sample.
+_RESULT_BYTES_PER_SAMPLE = 8 * 3 + 2
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _slot_layout(n: int, v: int, s: int) -> tuple[int, int, int]:
+    """``(mjd_offset, result_offset, total_bytes)`` for one task.
+
+    Both sides derive the layout from the ``(n, v, s)`` shape tuple in
+    the task message — nothing but indices and shapes crosses the pipe.
+    """
+    pairs_bytes = n * v * 2 * s * s * 4
+    mjd_off = _align(pairs_bytes)
+    res_off = _align(mjd_off + n * v * 4)
+    return mjd_off, res_off, res_off + n * _RESULT_BYTES_PER_SAMPLE
+
+
+def _result_views(
+    buf, res_off: int, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    prob = np.ndarray((n,), dtype=np.float64, buffer=buf, offset=res_off)
+    conf = np.ndarray((n,), dtype=np.float64, buffer=buf, offset=res_off + 8 * n)
+    flux = np.ndarray((n,), dtype=np.float64, buffer=buf, offset=res_off + 16 * n)
+    degraded = np.ndarray((n,), dtype=np.uint8, buffer=buf, offset=res_off + 24 * n)
+    bands = np.ndarray((n,), dtype=np.uint8, buffer=buf, offset=res_off + 25 * n)
+    return prob, conf, flux, degraded, bands
+
+
+_BAND_BIT = {band.name: 1 << band.index for band in GRIZY}
+
+
+def _store_results(buf, res_off: int, results: list[PredictionResult]) -> dict:
+    """Worker side: pack results into the slot; return pipe extras.
+
+    Everything numeric goes through shared memory at full float64
+    precision (bit-exact round trip); only the per-visit diagnostics of
+    non-clean samples — absent entirely on the clean hot path — are
+    returned for pipe transport.
+    """
+    n = len(results)
+    prob, conf, flux, degraded, bands = _result_views(buf, res_off, n)
+    diags: dict[int, list] = {}
+    for i, result in enumerate(results):
+        prob[i] = result.probability
+        conf[i] = result.confidence
+        flux[i] = result.flux_feature
+        degraded[i] = 1 if result.degraded else 0
+        mask = 0
+        for name in result.usable_bands:
+            mask |= _BAND_BIT[name]
+        bands[i] = mask
+        if result.diagnostics:
+            diags[i] = result.diagnostics
+    return diags
+
+
+def _load_results(
+    buf, res_off: int, n: int, start_index: int, diags: dict
+) -> list[PredictionResult]:
+    """Parent side: rebuild :class:`PredictionResult` objects from a slot."""
+    prob, conf, flux, degraded, bands = _result_views(buf, res_off, n)
+    results = []
+    for i in range(n):
+        mask = int(bands[i])
+        results.append(
+            PredictionResult(
+                index=start_index + i,
+                probability=float(prob[i]),
+                degraded=bool(degraded[i]),
+                usable_bands=[
+                    band.name for band in GRIZY if mask & (1 << band.index)
+                ],
+                confidence=float(conf[i]),
+                diagnostics=diags.get(i, []),
+                flux_feature=float(flux[i]),
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Exception transport: descriptors over the pipe, rebuilt parent-side
+# ----------------------------------------------------------------------
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "KeyError": KeyError,
+    "RuntimeError": RuntimeError,
+    "OverflowError": OverflowError,
+    "FloatingPointError": FloatingPointError,
+}
+
+
+def _describe_error(exc: BaseException) -> dict:
+    """A picklable descriptor — custom ``__init__`` signatures (e.g.
+    :class:`DegradedInputError`) make default exception pickling lossy."""
+    desc = {"type": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, DegradedInputError):
+        desc["index"] = exc.index
+        desc["request_id"] = exc.request_id
+    return desc
+
+
+def _rebuild_error(desc: dict) -> Exception:
+    if desc["type"] == "DegradedInputError":
+        return DegradedInputError(
+            desc["message"],
+            index=desc.get("index"),
+            request_id=desc.get("request_id"),
+        )
+    cls = _ERROR_TYPES.get(desc["type"])
+    if cls is not None:
+        return cls(desc["message"])
+    return PoolError(f"{desc['type']}: {desc['message']}")
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _load_worker_engine(
+    model_source: str,
+    engine_kwargs: dict,
+    worker_init: Callable | None,
+    worker_id: int,
+) -> InferenceEngine:
+    engine = InferenceEngine.from_directory(model_source, **engine_kwargs)
+    engine.pipeline.cnn.eval()
+    engine.pipeline.classifier.eval()
+    if worker_init is not None:
+        worker_init(engine, worker_id)
+    return engine
+
+
+def _run_task(engine: InferenceEngine, buf, slot_bytes: int, msg: tuple) -> tuple:
+    """Score one shm task; views over ``buf`` die at function exit."""
+    _, task_id, slot, shape, strict, start_index = msg
+    n, v, s = shape
+    base = slot * slot_bytes
+    mjd_off, res_off, _ = _slot_layout(n, v, s)
+    pairs = np.ndarray((n, v, 2, s, s), dtype=np.float32, buffer=buf, offset=base)
+    mjd = np.ndarray((n, v), dtype=np.float32, buffer=buf, offset=base + mjd_off)
+    started = time.perf_counter()
+    try:
+        results = engine.classify_arrays(
+            pairs, mjd, strict=strict, start_index=start_index
+        )
+        diags = _store_results(buf, base + res_off, results)
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent, typed
+        return ("task_error", task_id, _describe_error(exc),
+                time.perf_counter() - started)
+    return ("task_done", task_id, len(results), diags,
+            time.perf_counter() - started)
+
+
+def _run_task_pickle(engine: InferenceEngine, msg: tuple) -> tuple:
+    """Pickle-transport fallback for batches larger than one slot."""
+    _, task_id, pairs, mjd, strict, start_index = msg
+    started = time.perf_counter()
+    try:
+        results = engine.classify_arrays(
+            pairs, mjd, strict=strict, start_index=start_index
+        )
+    except Exception as exc:  # noqa: BLE001
+        return ("task_error", task_id, _describe_error(exc),
+                time.perf_counter() - started)
+    return ("results_pickle", task_id, results, time.perf_counter() - started)
+
+
+def _worker_main(
+    conn,
+    shm_name: str,
+    slot_bytes: int,
+    worker_id: int,
+    model_source: str,
+    engine_kwargs: dict,
+    worker_init: Callable | None,
+) -> None:
+    """Entry point of one spawned scoring worker.
+
+    Spawned (not forked) so the pinned BLAS environment is read by a
+    fresh numpy import and no daemon thread state leaks in.  The worker
+    owns one warm engine, answers ``task`` messages against the shared
+    ring and swaps its engine on ``reload`` broadcasts, acking each
+    version epoch so the parent can prove an exactly-once swap.
+    """
+    shm = None
+    try:
+        # Attaching re-registers the segment with the resource tracker the
+        # spawned child shares with the parent — a set-add no-op.  Do NOT
+        # unregister here: that would strip the parent's registration and
+        # break its own unlink-at-close bookkeeping.
+        shm = shared_memory.SharedMemory(name=shm_name)
+        engine = _load_worker_engine(
+            model_source, engine_kwargs, worker_init, worker_id
+        )
+    except Exception as exc:  # noqa: BLE001 - boot failures go to the parent
+        try:
+            conn.send(("boot_error", worker_id, _describe_error(exc)))
+        except OSError:
+            pass
+        if shm is not None:
+            shm.close()
+        return
+    conn.send(("ready", worker_id, os.getpid(), blas_env_settings()))
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg[0]
+        if kind == "stop":
+            break
+        if kind == "reload":
+            _, epoch, source = msg
+            try:
+                engine = _load_worker_engine(
+                    source, engine_kwargs, worker_init, worker_id
+                )
+                conn.send(("reload_ack", worker_id, epoch, None))
+            except Exception as exc:  # noqa: BLE001
+                conn.send(("reload_ack", worker_id, epoch, _describe_error(exc)))
+            continue
+        if kind == "task":
+            reply = _run_task(engine, shm.buf, slot_bytes, msg)
+        elif kind == "task_pickle":
+            reply = _run_task_pickle(engine, msg)
+        else:  # pragma: no cover - protocol bug
+            reply = ("task_error", None,
+                     {"type": "PoolError", "message": f"unknown message {kind}"},
+                     0.0)
+        try:
+            conn.send((reply[0], worker_id) + reply[1:])
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a leaked view; exiting anyway
+        pass
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = (
+        "id", "process", "conn", "pid", "blas_env",
+        "tasks", "samples", "busy_s", "crashes",
+    )
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.id = worker_id
+        self.process = process
+        self.conn = conn
+        self.pid: int | None = None
+        self.blas_env: dict | None = None
+        self.tasks = 0
+        self.samples = 0
+        self.busy_s = 0.0
+        self.crashes = 0
+
+
+class _Shard:
+    """One in-flight scatter unit: a contiguous sample range on a worker."""
+
+    __slots__ = ("task_id", "worker", "slot", "res_off", "offset", "count",
+                 "start_index", "outcome")
+
+    def __init__(self, task_id: int, worker: _Worker, slot: int | None,
+                 res_off: int | None, offset: int, count: int,
+                 start_index: int) -> None:
+        self.task_id = task_id
+        self.worker = worker
+        self.slot = slot
+        self.res_off = res_off
+        self.offset = offset
+        self.count = count
+        self.start_index = start_index
+        #: ("ok", results) | ("error", exception) | ("crash", None)
+        self.outcome: tuple | None = None
+
+
+class ScoringPool:
+    """A warm pool of scoring worker processes (see module docstring).
+
+    Construct with either ``model_source`` (a saved model directory —
+    what ``repro serve --registry`` and ``repro classify --model``
+    already have) or a live ``engine`` (persisted once to a pool-owned
+    temp directory so spawned workers can load it).  ``engine_kwargs``
+    are forwarded to :meth:`InferenceEngine.from_directory` in every
+    worker and on every reload, mirroring the daemon's contract.
+
+    ``worker_init(engine, worker_id)`` is the chaos seam: a *picklable*
+    callable applied to each worker's engine after load (the pool
+    equivalent of ``reload_hook``); the fault suite uses it to plant
+    deterministic crashes inside worker processes.
+    """
+
+    def __init__(
+        self,
+        model_source: str | os.PathLike | None = None,
+        engine: InferenceEngine | None = None,
+        config: PoolConfig | None = None,
+        engine_kwargs: dict | None = None,
+        worker_init: Callable | None = None,
+    ) -> None:
+        if (model_source is None) == (engine is None):
+            raise ValueError("pass exactly one of model_source or engine")
+        self.config = config or PoolConfig()
+        self._engine_kwargs = dict(engine_kwargs or {})
+        self._default_strict = bool(self._engine_kwargs.get("strict", False))
+        self._worker_init = worker_init
+        self._engine = engine
+        self._model_source = (
+            os.fspath(model_source) if model_source is not None else None
+        )
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        self._ctx = multiprocessing.get_context("spawn")
+        self._lock = threading.RLock()
+        self._workers: list[_Worker] = []
+        self._free_slots: deque[int] = deque()
+        self._shm: shared_memory.SharedMemory | None = None
+        self._n_slots = self.config.slots or 2 * self.config.workers
+        self._blas_threads = self.config.blas_threads or blas_thread_plan(
+            self.config.workers
+        )
+        self._respawn_delays = self.config.respawn.delays()
+        self._started_at: float | None = None
+        self._started = False
+        self._closed = False
+        self._broken: str | None = None
+        self._task_counter = 0
+        self._next_worker = 0
+        self._epoch = 0
+        self._respawns = 0
+        self._crashes = 0
+        self._overflow = 0
+        self._tasks = 0
+        self._samples = 0
+        self._scatter_s = 0.0
+        self._gather_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ScoringPool":
+        """Create the shm ring and spawn + await every worker."""
+        with self._lock:
+            if self._started:
+                raise PoolError("pool already started")
+            if self._closed:
+                raise PoolBrokenError("pool is closed")
+            if self._model_source is None:
+                self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-pool-")
+                self._engine.save(self._tmpdir.name)
+                self._model_source = self._tmpdir.name
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=self._n_slots * self.config.slot_bytes
+            )
+            self._free_slots = deque(range(self._n_slots))
+            try:
+                for worker_id in range(self.config.workers):
+                    self._workers.append(self._spawn(worker_id))
+                for worker in self._workers:
+                    self._await_ready(worker, self.config.start_timeout_s)
+            except BaseException:
+                self._teardown()
+                raise
+            self._started = True
+            self._started_at = time.monotonic()
+            return self
+
+    def __enter__(self) -> "ScoringPool":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop every worker and release the shm ring; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for worker in self._workers:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            deadline = time.monotonic() + timeout_s
+            for worker in self._workers:
+                worker.process.join(max(0.1, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(1.0)
+                if worker.process.is_alive():  # pragma: no cover - last resort
+                    worker.process.kill()
+                    worker.process.join(1.0)
+                worker.conn.close()
+            self._teardown()
+
+    def _teardown(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self._shm = None
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def pids(self) -> list[int]:
+        """Live worker process ids (the chaos suite's SIGKILL targets)."""
+        return [w.process.pid for w in self._workers if w.process.pid]
+
+    # ------------------------------------------------------------------
+    # Worker management
+    # ------------------------------------------------------------------
+    def _spawn(self, worker_id: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self._shm.name,
+                self.config.slot_bytes,
+                worker_id,
+                self._model_source,
+                self._engine_kwargs,
+                self._worker_init,
+            ),
+            name=f"repro-pool-{worker_id}",
+            daemon=True,
+        )
+        with pinned_blas_env(self._blas_threads):
+            process.start()
+        child_conn.close()
+        return _Worker(worker_id, process, parent_conn)
+
+    def _await_ready(self, worker: _Worker, timeout_s: float) -> None:
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise PoolError(f"worker {worker.id} not ready after {timeout_s}s")
+            if worker.conn.poll(min(remaining, 0.5)):
+                try:
+                    msg = worker.conn.recv()
+                except (EOFError, OSError):
+                    raise PoolError(
+                        f"worker {worker.id} died during boot "
+                        f"(exitcode {worker.process.exitcode})"
+                    ) from None
+                if msg[0] == "ready":
+                    worker.pid = msg[2]
+                    worker.blas_env = msg[3]
+                    return
+                if msg[0] == "boot_error":
+                    raise PoolError(
+                        f"worker {worker.id} failed to boot: "
+                        f"{msg[2]['type']}: {msg[2]['message']}"
+                    )
+            elif not worker.process.is_alive():
+                raise PoolError(
+                    f"worker {worker.id} died during boot "
+                    f"(exitcode {worker.process.exitcode})"
+                )
+
+    def _note_crash(self, worker: _Worker) -> _Worker:
+        """Respawn a dead worker under the budget; broken pool raises."""
+        current = self._workers[worker.id]
+        if current is not worker:
+            return current  # another path already replaced it
+        worker.crashes += 1
+        self._crashes += 1
+        _count("pool.worker_crashes")
+        worker.process.join(1.0)
+        worker.conn.close()
+        delay = next(self._respawn_delays, None)
+        if delay is None:
+            self._broken = (
+                f"worker {worker.id} died and the respawn budget "
+                f"({self.config.respawn.max_attempts - 1} respawns) is exhausted"
+            )
+            raise PoolBrokenError(self._broken)
+        time.sleep(delay)
+        self._respawns += 1
+        _count("pool.worker_respawns")
+        replacement = self._spawn(worker.id)
+        replacement.crashes = worker.crashes
+        self._await_ready(replacement, self.config.start_timeout_s)
+        self._workers[worker.id] = replacement
+        return replacement
+
+    def _ensure_live(self) -> None:
+        if self._broken is not None:
+            raise PoolBrokenError(self._broken)
+        if not self._started:
+            raise PoolError("pool not started")
+        if self._closed:
+            raise PoolBrokenError("pool is closed")
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def classify_arrays(
+        self,
+        pairs: np.ndarray,
+        mjd: np.ndarray,
+        strict: bool | None = None,
+        start_index: int = 0,
+    ) -> list[PredictionResult]:
+        """Scatter one batch across the pool; gather in request order.
+
+        Mirrors :meth:`InferenceEngine.classify_arrays` exactly: at
+        float32 the returned scores are bit-identical to the
+        single-process path, scoring exceptions (strict degradation,
+        malformed batches) re-raise with the same types, and a worker
+        crash is healed internally (respawn + per-sample re-score) with
+        only repeat offenders flagged as failed placeholders.
+        """
+        pairs_arr = np.asarray(pairs)
+        mjd_arr = np.asarray(mjd)
+        # Mirror the engine's batch-level checks the shm layout depends
+        # on (same messages), before any bytes move.
+        if pairs_arr.ndim != 5 or pairs_arr.shape[2] != 2:
+            raise ValueError(
+                f"expected (N, V, 2, S, S) stamp pairs, got shape {pairs_arr.shape}"
+            )
+        if pairs_arr.shape[3] != pairs_arr.shape[4]:
+            raise ValueError(
+                f"stamps must be square, got {pairs_arr.shape[3]}x{pairs_arr.shape[4]}"
+            )
+        if not np.issubdtype(pairs_arr.dtype, np.number):
+            raise ValueError(f"pairs must be numeric, got dtype {pairs_arr.dtype}")
+        if mjd_arr.shape != pairs_arr.shape[:2]:
+            raise ValueError(
+                f"visit_mjd shape {mjd_arr.shape} does not match pairs "
+                f"{pairs_arr.shape[:2]}"
+            )
+        n = pairs_arr.shape[0]
+        if n == 0:
+            return []
+        # The engine casts to float32 on entry anyway; casting here means
+        # the ring carries half the bytes with zero numeric difference.
+        pairs32 = np.ascontiguousarray(pairs_arr, dtype=np.float32)
+        mjd32 = np.ascontiguousarray(mjd_arr, dtype=np.float32)
+        with self._lock:
+            self._ensure_live()
+            shards = self._run_shards(pairs32, mjd32, strict, start_index)
+            results = self._settle(shards, pairs32, mjd32, strict, start_index)
+        self._tasks += 1
+        self._samples += n
+        _count("pool.batches")
+        _count("pool.samples", n)
+        return results
+
+    def _plan_shards(self, n: int) -> list[tuple[int, int]]:
+        """Contiguous ``(offset, count)`` shards, one per worker."""
+        shard_count = min(self.config.workers, n)
+        base, extra = divmod(n, shard_count)
+        plan = []
+        offset = 0
+        for k in range(shard_count):
+            count = base + (1 if k < extra else 0)
+            plan.append((offset, count))
+            offset += count
+        return plan
+
+    def _run_shards(
+        self,
+        pairs32: np.ndarray,
+        mjd32: np.ndarray,
+        strict: bool | None,
+        start_index: int,
+    ) -> list[_Shard]:
+        shards: list[_Shard] = []
+        for offset, count in self._plan_shards(pairs32.shape[0]):
+            worker = self._pick_worker()
+            shards.append(
+                self._submit(worker, pairs32, mjd32, offset, count,
+                             strict, start_index)
+            )
+        self._gather(shards)
+        return shards
+
+    def _pick_worker(self) -> _Worker:
+        """Round-robin over workers, respawning one found already dead."""
+        worker = self._workers[self._next_worker % len(self._workers)]
+        self._next_worker += 1
+        if not worker.process.is_alive():
+            worker = self._note_crash(worker)
+        return worker
+
+    def _submit(
+        self,
+        worker: _Worker,
+        pairs32: np.ndarray,
+        mjd32: np.ndarray,
+        offset: int,
+        count: int,
+        strict: bool | None,
+        start_index: int,
+    ) -> _Shard:
+        shard_pairs = pairs32[offset : offset + count]
+        shard_mjd = mjd32[offset : offset + count]
+        n, v, s = count, pairs32.shape[1], pairs32.shape[3]
+        mjd_off, res_off, needed = _slot_layout(n, v, s)
+        task_id = self._task_counter
+        self._task_counter += 1
+        started = time.perf_counter()
+        slot: int | None = None
+        if needed <= self.config.slot_bytes and self._free_slots:
+            slot = self._free_slots.popleft()
+            base = slot * self.config.slot_bytes
+            with _timed("pool.scatter"):
+                self._write_slot(base, mjd_off, shard_pairs, shard_mjd)
+                message = ("task", task_id, slot, (n, v, s), strict,
+                           start_index + offset)
+        else:
+            self._overflow += 1
+            res_off = None
+            _count("pool.shm_overflow")
+            with _timed("pool.scatter"):
+                message = ("task_pickle", task_id, shard_pairs, shard_mjd,
+                           strict, start_index + offset)
+        shard = _Shard(task_id, worker, slot, res_off, offset, count,
+                       start_index + offset)
+        try:
+            worker.conn.send(message)
+        except (BrokenPipeError, OSError):
+            shard.outcome = ("crash", None)
+            self._free_slot(shard)
+        self._scatter_s += time.perf_counter() - started
+        return shard
+
+    def _write_slot(self, base: int, mjd_off: int,
+                    shard_pairs: np.ndarray, shard_mjd: np.ndarray) -> None:
+        buf = self._shm.buf
+        dst_pairs = np.ndarray(
+            shard_pairs.shape, dtype=np.float32, buffer=buf, offset=base
+        )
+        dst_pairs[...] = shard_pairs
+        dst_mjd = np.ndarray(
+            shard_mjd.shape, dtype=np.float32, buffer=buf, offset=base + mjd_off
+        )
+        dst_mjd[...] = shard_mjd
+
+    def _free_slot(self, shard: _Shard) -> None:
+        if shard.slot is not None:
+            self._free_slots.append(shard.slot)
+            shard.slot = None
+
+    def _gather(self, shards: list[_Shard]) -> None:
+        """Wait for every shard's outcome; crashes become outcomes too."""
+        started = time.perf_counter()
+        pending = {s.task_id: s for s in shards if s.outcome is None}
+        with _timed("pool.gather"):
+            while pending:
+                workers = {s.worker for s in pending.values()}
+                sentinels = {w.process.sentinel: w for w in workers}
+                conns = {w.conn: w for w in workers}
+                ready = connection.wait(list(conns) + list(sentinels), timeout=1.0)
+                progressed = False
+                for item in ready:
+                    worker = conns.get(item)
+                    if worker is None:
+                        continue
+                    progressed |= self._drain_conn(worker, pending)
+                if progressed:
+                    continue
+                for item in ready:
+                    worker = sentinels.get(item)
+                    if worker is None or worker.process.is_alive():
+                        continue
+                    # Dead with no message for its shard: a mid-task crash.
+                    for shard in list(pending.values()):
+                        if shard.worker is worker:
+                            shard.outcome = ("crash", None)
+                            self._free_slot(shard)
+                            del pending[shard.task_id]
+        self._gather_s += time.perf_counter() - started
+
+    def _drain_conn(self, worker: _Worker, pending: dict[int, _Shard]) -> bool:
+        progressed = False
+        try:
+            while worker.conn.poll():
+                msg = worker.conn.recv()
+                progressed |= self._handle_message(worker, msg, pending)
+        except (EOFError, OSError):
+            pass
+        return progressed
+
+    def _handle_message(
+        self, worker: _Worker, msg: tuple, pending: dict[int, _Shard]
+    ) -> bool:
+        kind = msg[0]
+        if kind == "task_done":
+            _, _, task_id, count, diags, elapsed = msg
+            shard = pending.pop(task_id, None)
+            if shard is None:  # pragma: no cover - stale reply
+                return False
+            base = shard.slot * self.config.slot_bytes
+            results = _load_results(
+                self._shm.buf, base + shard.res_off, count,
+                shard.start_index, diags
+            )
+            self._free_slot(shard)
+            shard.outcome = ("ok", results)
+            self._note_done(worker, shard, elapsed)
+            return True
+        if kind == "results_pickle":
+            _, _, task_id, results, elapsed = msg
+            shard = pending.pop(task_id, None)
+            if shard is None:  # pragma: no cover
+                return False
+            shard.outcome = ("ok", results)
+            self._note_done(worker, shard, elapsed)
+            return True
+        if kind == "task_error":
+            _, _, task_id, desc, elapsed = msg
+            shard = pending.pop(task_id, None)
+            if shard is None:  # pragma: no cover
+                return False
+            self._free_slot(shard)
+            shard.outcome = ("error", _rebuild_error(desc))
+            self._note_done(worker, shard, elapsed)
+            return True
+        # reload_ack or unknown mid-scoring: impossible under the dispatch
+        # lock; ignore defensively.
+        return False  # pragma: no cover
+
+    def _note_done(self, worker: _Worker, shard: _Shard, elapsed: float) -> None:
+        worker.tasks += 1
+        worker.samples += shard.count
+        worker.busy_s += elapsed
+
+    def _settle(
+        self,
+        shards: list[_Shard],
+        pairs32: np.ndarray,
+        mjd32: np.ndarray,
+        strict: bool | None,
+        start_index: int,
+    ) -> list[PredictionResult]:
+        """Combine shard outcomes; heal crashes; re-raise scoring errors."""
+        errors = [
+            (shard.start_index, shard.outcome[1])
+            for shard in shards
+            if shard.outcome is not None and shard.outcome[0] == "error"
+        ]
+        if errors:
+            errors.sort(key=lambda item: item[0])
+            raise errors[0][1]
+        results: list[PredictionResult] = []
+        for shard in shards:
+            kind = shard.outcome[0] if shard.outcome else "crash"
+            if kind == "ok":
+                results.extend(shard.outcome[1])
+                continue
+            # Crash: respawn the dead worker(s) eagerly (under the retry
+            # budget), then re-score one sample at a time so the culprit
+            # is isolated, not the whole shard.
+            _count("pool.crashed_shards")
+            for dead in list(self._workers):
+                if not dead.process.is_alive():
+                    self._note_crash(dead)
+            results.extend(
+                self._rescore_singles(
+                    pairs32, mjd32, shard.offset, shard.count, strict,
+                    start_index
+                )
+            )
+        return results
+
+    def _rescore_singles(
+        self,
+        pairs32: np.ndarray,
+        mjd32: np.ndarray,
+        offset: int,
+        count: int,
+        strict: bool | None,
+        start_index: int,
+    ) -> list[PredictionResult]:
+        effective_strict = (
+            self._default_strict if strict is None else bool(strict)
+        )
+        healed: list[PredictionResult] = []
+        for i in range(offset, offset + count):
+            worker = self._pick_worker()
+            shard = self._submit(worker, pairs32, mjd32, i, 1, strict,
+                                 start_index)
+            self._gather([shard])
+            kind = shard.outcome[0] if shard.outcome else "crash"
+            if kind == "ok":
+                healed.extend(shard.outcome[1])
+            elif kind == "error":
+                raise shard.outcome[1]
+            else:
+                # This sample killed a worker twice: flag it, keep going.
+                self._note_crash(shard.worker)
+                crash = WorkerCrashError(
+                    f"sample {start_index + i} crashed the scoring worker; "
+                    "served at the no-information prior"
+                )
+                if effective_strict:
+                    raise crash
+                _count("pool.poison_samples")
+                healed.append(PredictionResult.failed(start_index + i, crash))
+        return healed
+
+    def stream(
+        self,
+        dataset,
+        batch_size: int = 64,
+        strict: bool | None = None,
+    ) -> Iterator[PredictionResult]:
+        """Yield results for a dataset, ``workers`` batches in flight.
+
+        The pool-backed analogue of :meth:`InferenceEngine.stream`:
+        chunks of ``batch_size * workers`` samples are scattered so every
+        worker scores one engine-sized batch per round, and results
+        stream in request order.  Non-strict chunk failures are contained
+        as :meth:`PredictionResult.failed` placeholders, matching the
+        thread path's contract.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        effective_strict = (
+            self._default_strict if strict is None else bool(strict)
+        )
+        step = batch_size * self.config.workers
+        total = len(dataset)
+        for start in range(0, total, step):
+            stop = min(start + step, total)
+            try:
+                results = self.classify_arrays(
+                    dataset.pairs[start:stop],
+                    dataset.visit_mjd[start:stop],
+                    strict=strict,
+                    start_index=start,
+                )
+            except PoolBrokenError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - containment contract
+                if effective_strict:
+                    raise
+                _count("pool.contained_chunk_failures")
+                results = [
+                    PredictionResult.failed(i, exc) for i in range(start, stop)
+                ]
+            yield from results
+
+    # ------------------------------------------------------------------
+    # Hot reload
+    # ------------------------------------------------------------------
+    def reload(self, model_source: str | os.PathLike) -> int:
+        """Swap every worker to a new model directory; exactly-once.
+
+        Holds the dispatch lock, so no batch is in flight during the
+        swap and no batch ever mixes versions; blocks until every worker
+        acks the new epoch.  On any worker failing the load, the
+        remaining workers are rolled back to the previous source and the
+        error re-raises — the pool never serves a half-swapped state.
+        """
+        source = os.fspath(model_source)
+        with self._lock:
+            self._ensure_live()
+            previous = self._model_source
+            self._epoch += 1
+            epoch = self._epoch
+            self._model_source = source
+            with _timed("pool.reload"):
+                try:
+                    self._broadcast_reload(source, epoch)
+                except PoolError:
+                    self._model_source = previous
+                    self._epoch += 1
+                    self._broadcast_reload(previous, self._epoch)
+                    raise
+            _count("pool.reloads")
+            return epoch
+
+    def _broadcast_reload(self, source: str, epoch: int) -> None:
+        for worker in self._workers:
+            if not worker.process.is_alive():
+                # A fresh spawn loads self._model_source — already `source`.
+                self._note_crash(worker)
+        pending: dict[int, _Worker] = {}
+        for worker in self._workers:
+            try:
+                worker.conn.send(("reload", epoch, source))
+                pending[worker.id] = worker
+            except (BrokenPipeError, OSError):
+                self._note_crash(worker)
+        deadline = time.monotonic() + self.config.reload_timeout_s
+        failures: list[str] = []
+        while pending:
+            if time.monotonic() > deadline:
+                raise PoolError(
+                    f"reload epoch {epoch} not acked by workers "
+                    f"{sorted(pending)} within {self.config.reload_timeout_s}s"
+                )
+            workers = list(pending.values())
+            sentinels = {w.process.sentinel: w for w in workers}
+            conns = {w.conn: w for w in workers}
+            ready = connection.wait(list(conns) + list(sentinels), timeout=0.5)
+            for item in ready:
+                worker = conns.get(item)
+                if worker is None:
+                    continue
+                try:
+                    while worker.conn.poll():
+                        msg = worker.conn.recv()
+                        if msg[0] != "reload_ack" or msg[2] != epoch:
+                            continue
+                        pending.pop(worker.id, None)
+                        if msg[3] is not None:
+                            failures.append(
+                                f"worker {worker.id}: {msg[3]['type']}: "
+                                f"{msg[3]['message']}"
+                            )
+                except (EOFError, OSError):
+                    pass
+            for item in ready:
+                worker = sentinels.get(item)
+                if worker is None or worker.process.is_alive():
+                    continue
+                if worker.id in pending:
+                    del pending[worker.id]
+                    # The respawn loads the new source directly.
+                    self._note_crash(worker)
+        if failures:
+            raise PoolError("reload failed: " + "; ".join(failures))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The version epoch every live worker has acked."""
+        return self._epoch
+
+    @property
+    def blas_threads(self) -> int:
+        """BLAS threads pinned into each worker's environment."""
+        return self._blas_threads
+
+    def stats(self) -> dict:
+        """Pool-level and per-worker utilization/queue/occupancy stats."""
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        per_worker = []
+        for worker in self._workers:
+            per_worker.append(
+                {
+                    "worker": worker.id,
+                    "pid": worker.pid,
+                    "alive": worker.process.is_alive(),
+                    "tasks": worker.tasks,
+                    "samples": worker.samples,
+                    "busy_s": round(worker.busy_s, 6),
+                    "utilization": (
+                        round(worker.busy_s / uptime, 6) if uptime > 0 else 0.0
+                    ),
+                    "crashes": worker.crashes,
+                }
+            )
+        return {
+            "workers": len(self._workers),
+            "blas_threads": self._blas_threads,
+            "slots": self._n_slots,
+            "slots_free": len(self._free_slots),
+            "slot_bytes": self.config.slot_bytes,
+            "batches": self._tasks,
+            "samples": self._samples,
+            "crashes": self._crashes,
+            "respawns": self._respawns,
+            "shm_overflow": self._overflow,
+            "reload_epoch": self._epoch,
+            "scatter_s_total": round(self._scatter_s, 6),
+            "gather_s_total": round(self._gather_s, 6),
+            "broken": self._broken,
+            "per_worker": per_worker,
+        }

@@ -97,6 +97,9 @@ class TestRoundTrip:
             text = body.decode()
             assert "daemon_admitted 1" in text
             assert "daemon_responses 1" in text
+            # conv workspace-cache gauges ride along on every scrape
+            assert "nn_workspace_hits" in text
+            assert "nn_workspace_entries" in text
 
     def test_unknown_routes_are_typed_404(self, engine, sample):
         pairs, mjd = sample

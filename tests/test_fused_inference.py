@@ -200,6 +200,40 @@ class TestWorkspaceCache:
         assert buf.shape == (5, 4)
         assert buf.flags["C_CONTIGUOUS"]
 
+    def test_total_stats_aggregate_across_threads(self, cnn):
+        import threading
+
+        rng = np.random.default_rng(11)
+        cnn.fused_forward(_pairs(4, rng))
+        cnn.fused_forward(_pairs(4, rng))  # second pass hits the cache
+        done = threading.Event()
+
+        def work():
+            cnn.fused_forward(_pairs(4, np.random.default_rng(12)))
+            done.set()
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert done.is_set()
+        local = nn.workspace_stats()
+        total = nn.workspace_total_stats()
+        # the process-wide view is at least this thread's view
+        assert total["threads"] >= 1
+        assert total["hits"] >= local["hits"] >= 1
+        assert total["misses"] >= local["misses"] >= 1
+        assert total["bytes"] >= local["bytes"] > 0
+        assert 0.0 <= total["hit_rate"] <= 1.0
+
+    def test_metrics_source_matches_total_stats_contract(self, cnn):
+        cnn.fused_forward(_pairs(4, np.random.default_rng(13)))
+        sourced = nn.workspace_metrics_source()
+        assert set(sourced) == {
+            "hits", "misses", "evictions", "entries",
+            "bytes", "threads", "hit_rate",
+        }
+        assert all(isinstance(v, (int, float)) for v in sourced.values())
+
 
 class TestSatelliteRegressions:
     def test_features_integer_input_stays_float32(self):

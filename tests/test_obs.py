@@ -279,6 +279,15 @@ class TestSession:
         finally:
             obs.stop()
 
+    def test_workspace_source_registered_on_start(self, tmp_path):
+        session = obs.start(tmp_path / "t")
+        try:
+            snapshot = session.metrics.snapshot()
+        finally:
+            obs.stop()
+        workspace = snapshot["sources"]["nn.workspace"]
+        assert {"hits", "misses", "evictions", "entries", "bytes"} <= set(workspace)
+
     def test_error_status_recorded(self, tmp_path):
         obs.start(tmp_path / "t")
         obs.stop(status="error", exit_code=3)

@@ -1,0 +1,398 @@
+"""Multi-process scoring pool: parity, crash healing, hot reload, stream.
+
+The pool's promise is that scattering a batch across worker processes
+changes *nothing* observable but the wall clock.  The parity tests pin
+that at two levels:
+
+* **transport parity** — against a single-process reference scored with
+  the pool's own contiguous shard plan, every field is bit-exact: the
+  shared-memory ring and result marshaling add zero numerical change;
+* **wire parity** — against the *full-batch* single-process reference,
+  probabilities and confidences agree at the round-6 wire precision the
+  daemon serves (``TestCleanTrafficParity`` pins the same contract for
+  thread-timing-dependent micro-batch compositions: BLAS GEMM blocking
+  varies with batch shape, so raw float32 scores may move one ULP while
+  the served values must not).
+
+Crash tests use real ``SIGKILL`` — both external (``pool.pids()``) and
+from inside a worker via the picklable
+:class:`~repro.runtime.faults.CrashWorkerOnMarker` seam — and assert
+the respawn budget, per-sample culprit isolation and the
+:class:`PoolBrokenError` endgame.
+"""
+
+import os
+import signal
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.runtime.faults import CrashWorkerOnMarker, DropBand, NaNPixels
+from repro.runtime.retry import RetrySpec
+from repro.serve import (
+    DegradedInputError,
+    InferenceEngine,
+    PoolBrokenError,
+    PoolConfig,
+    PredictionResult,
+    ScoringPool,
+    WorkerCrashError,
+)
+
+from .helpers import make_serve_engine
+
+pytestmark = pytest.mark.serve
+
+#: Magic first-pixel value CrashWorkerOnMarker kills on; far outside the
+#: N(0, 30) pixel distribution of the test batches.
+MARKER = 12345.0
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return make_serve_engine(seed=0)
+
+
+@pytest.fixture(scope="module")
+def batch(engine):
+    rng = np.random.default_rng(42)
+    n, v, s = 12, engine._n_used_visits, 40
+    pairs = rng.normal(0.0, 30.0, size=(n, v, 2, s, s)).astype(np.float32)
+    mjd = np.tile(
+        (57000.0 + np.arange(v) * 0.01).astype(np.float32), (n, 1)
+    )
+    return pairs, mjd
+
+
+@pytest.fixture(scope="module")
+def shared_pool(engine):
+    """One warm 2-worker pool reused by the read-only tests."""
+    pool = ScoringPool(engine=engine, config=PoolConfig(workers=2))
+    pool.start()
+    yield pool
+    pool.close()
+
+
+def shard_reference(engine, workers, pairs, mjd, strict=None, start_index=0):
+    """Single-process scoring with the pool's own contiguous shard plan."""
+    n = len(pairs)
+    shard_count = min(workers, n)
+    base, extra = divmod(n, shard_count)
+    results, offset = [], 0
+    for k in range(shard_count):
+        count = base + (1 if k < extra else 0)
+        results.extend(
+            engine.classify_arrays(
+                pairs[offset : offset + count],
+                mjd[offset : offset + count],
+                strict=strict,
+                start_index=start_index + offset,
+            )
+        )
+        offset += count
+    return results
+
+
+def assert_bit_exact(got, want):
+    """Every observable PredictionResult field matches bit for bit."""
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.index == w.index
+        assert g.probability == w.probability
+        assert g.confidence == w.confidence
+        assert (np.isnan(g.flux_feature) and np.isnan(w.flux_feature)) or (
+            g.flux_feature == w.flux_feature
+        )
+        assert g.degraded == w.degraded
+        assert g.usable_bands == w.usable_bands
+        assert g.error == w.error
+
+
+def assert_wire_parity(got, want):
+    """Round-6 score parity vs an arbitrary-composition reference."""
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert round(g.probability, 6) == round(w.probability, 6)
+        assert round(g.confidence, 6) == round(w.confidence, 6)
+        assert g.degraded == w.degraded
+        assert g.usable_bands == w.usable_bands
+        assert (np.isnan(g.flux_feature) and np.isnan(w.flux_feature)) or (
+            abs(g.flux_feature - w.flux_feature) <= 2e-6
+        )
+
+
+class TestPoolLifecycle:
+    def test_requires_exactly_one_source(self, engine):
+        with pytest.raises(ValueError, match="exactly one"):
+            ScoringPool()
+        with pytest.raises(ValueError, match="exactly one"):
+            ScoringPool(model_source="/tmp/x", engine=engine)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PoolConfig(workers=0)
+        with pytest.raises(ValueError):
+            PoolConfig(slot_bytes=16)
+
+    def test_close_is_idempotent_and_fatal(self, engine, batch):
+        pairs, mjd = batch
+        pool = ScoringPool(engine=engine, config=PoolConfig(workers=1))
+        pool.start()
+        assert len(pool.pids()) == 1
+        pool.close()
+        pool.close()
+        with pytest.raises(PoolBrokenError):
+            pool.classify_arrays(pairs, mjd)
+
+    def test_stats_shape(self, shared_pool, engine, batch):
+        pairs, mjd = batch
+        shared_pool.classify_arrays(pairs, mjd)
+        stats = shared_pool.stats()
+        assert stats["workers"] == 2
+        assert stats["slots_free"] == stats["slots"]  # all returned
+        assert stats["samples"] >= len(pairs)
+        assert stats["blas_threads"] >= 1
+        assert len(stats["per_worker"]) == 2
+        for entry in stats["per_worker"]:
+            assert entry["alive"]
+            assert 0.0 <= entry["utilization"] <= 1.0
+
+    def test_input_validation_matches_engine(self, shared_pool, engine, batch):
+        pairs, mjd = batch
+        with pytest.raises(ValueError, match=r"expected \(N, V, 2, S, S\)"):
+            shared_pool.classify_arrays(pairs[:, :, :1], mjd)
+        with pytest.raises(ValueError, match="does not match pairs"):
+            shared_pool.classify_arrays(pairs, mjd[:3])
+        assert shared_pool.classify_arrays(pairs[:0], mjd[:0]) == []
+
+
+class TestPoolParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_transport_bit_exact_clean(self, engine, batch, workers):
+        pairs, mjd = batch
+        want = shard_reference(engine, workers, pairs, mjd)
+        with ScoringPool(
+            engine=engine, config=PoolConfig(workers=workers)
+        ) as pool:
+            got = pool.classify_arrays(pairs, mjd)
+        assert_bit_exact(got, want)
+
+    def test_wire_parity_vs_full_batch(self, shared_pool, engine, batch):
+        pairs, mjd = batch
+        want = engine.classify_arrays(pairs, mjd)
+        got = shared_pool.classify_arrays(pairs, mjd)
+        assert_wire_parity(got, want)
+
+    @pytest.mark.parametrize(
+        "corruptor",
+        [DropBand([1, 3]), NaNPixels(fraction=0.2, seed=9)],
+        ids=["drop-band", "nan-pixels"],
+    )
+    def test_parity_under_corruptors(self, shared_pool, engine, batch, corruptor):
+        pairs, mjd = batch
+        corrupted = corruptor(pairs)
+        want = shard_reference(engine, 2, corrupted, mjd)
+        got = shared_pool.classify_arrays(corrupted, mjd)
+        assert any(r.degraded for r in want)  # the corruption bites
+        assert_bit_exact(got, want)
+
+    def test_float16_precision_parity(self, batch, tmp_path):
+        pairs, mjd = batch
+        engine16 = make_serve_engine(seed=0)
+        engine16.save(str(tmp_path / "model"))
+        engine16 = InferenceEngine.from_directory(
+            tmp_path / "model", precision="float16"
+        )
+        want = shard_reference(engine16, 2, pairs, mjd)
+        with ScoringPool(
+            model_source=tmp_path / "model",
+            config=PoolConfig(workers=2),
+            engine_kwargs={"precision": "float16"},
+        ) as pool:
+            got = pool.classify_arrays(pairs, mjd)
+        assert_bit_exact(got, want)
+
+    def test_strict_error_matches_single_process(self, engine, batch):
+        pairs, mjd = batch
+        corrupted = DropBand([0, 1, 2, 3, 4])(pairs[:4])  # fully masked
+        with pytest.raises(DegradedInputError) as single_exc:
+            engine.classify_arrays(corrupted, mjd[:4], strict=True)
+        with ScoringPool(
+            engine=engine, config=PoolConfig(workers=2)
+        ) as pool:
+            with pytest.raises(DegradedInputError) as pool_exc:
+                pool.classify_arrays(corrupted, mjd[:4], strict=True)
+        # Contiguous shards raise for the globally-first failing sample,
+        # so the typed error is identical to the single-process one.
+        assert str(pool_exc.value) == str(single_exc.value)
+        assert pool_exc.value.index == single_exc.value.index
+
+    def test_shm_overflow_falls_back_to_pickle(self, engine, batch):
+        pairs, mjd = batch
+        want = shard_reference(engine, 2, pairs, mjd)
+        config = PoolConfig(workers=2, slot_bytes=4096)  # far too small
+        with ScoringPool(engine=engine, config=config) as pool:
+            got = pool.classify_arrays(pairs, mjd)
+            assert pool.stats()["shm_overflow"] >= 2
+        assert_bit_exact(got, want)
+
+
+class TestPoolCrash:
+    def test_external_sigkill_heals_and_respawns(self, engine, batch):
+        pairs, mjd = batch
+        want = shard_reference(engine, 2, pairs, mjd)
+        with ScoringPool(
+            engine=engine, config=PoolConfig(workers=2)
+        ) as pool:
+            victim = pool.pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            healed = pool.classify_arrays(pairs, mjd)
+            stats = pool.stats()
+            assert stats["crashes"] >= 1
+            assert stats["respawns"] >= 1
+            assert victim not in pool.pids()
+            assert len(pool.pids()) == 2
+            # The healed batch re-scored crashed samples one at a time —
+            # wire parity holds; the *next* batch is bit-exact again.
+            assert_wire_parity(healed, want)
+            assert_bit_exact(pool.classify_arrays(pairs, mjd), want)
+
+    def test_marked_group_crash_is_healed_per_sample(self, engine, batch):
+        """A mid-batch SIGKILL hurts nobody: every sample still scores."""
+        pairs, mjd = batch
+        marked = pairs.copy()
+        marked[5, 0, 0, 0, 0] = MARKER
+        want = shard_reference(engine, 2, marked, mjd)
+        with ScoringPool(
+            engine=engine,
+            config=PoolConfig(workers=2),
+            worker_init=CrashWorkerOnMarker(MARKER, min_batch=2),
+        ) as pool:
+            got = pool.classify_arrays(marked, mjd)
+            stats = pool.stats()
+        # The culprit's shard died mid-batch; after respawn each of its
+        # samples re-scored alone (batch of 1 < min_batch passes).
+        assert stats["crashes"] >= 1
+        assert stats["respawns"] >= 1
+        assert [r.error for r in got] == [None] * len(got)
+        assert_wire_parity(got, want)
+
+    def test_repeat_offender_becomes_failed_placeholder(self, engine, batch):
+        """A sample that kills every worker that touches it is isolated."""
+        pairs, mjd = batch
+        marked = pairs.copy()
+        marked[7, 0, 0, 0, 0] = MARKER
+        with ScoringPool(
+            engine=engine,
+            config=PoolConfig(workers=2),
+            worker_init=CrashWorkerOnMarker(MARKER, min_batch=1),
+        ) as pool:
+            got = pool.classify_arrays(marked, mjd)
+        assert len(got) == len(pairs)
+        culprit = got[7]
+        assert culprit.error is not None and "WorkerCrashError" in culprit.error
+        assert culprit.probability == 0.5 and culprit.confidence == 0.0
+        clean = [r for i, r in enumerate(got) if i != 7]
+        assert all(r.error is None for r in clean)
+
+    def test_strict_mode_raises_worker_crash_error(self, engine, batch):
+        pairs, mjd = batch
+        marked = pairs.copy()
+        marked[2, 0, 0, 0, 0] = MARKER
+        with ScoringPool(
+            engine=engine,
+            config=PoolConfig(workers=2),
+            worker_init=CrashWorkerOnMarker(MARKER, min_batch=1),
+        ) as pool:
+            with pytest.raises(WorkerCrashError):
+                pool.classify_arrays(marked, mjd, strict=True)
+
+    def test_respawn_budget_exhaustion_breaks_the_pool(self, engine, batch):
+        pairs, mjd = batch
+        marked = pairs.copy()
+        marked[:, 0, 0, 0, 0] = MARKER  # every sample is poison
+        config = PoolConfig(
+            workers=2,
+            respawn=RetrySpec(max_attempts=2, base_delay_s=0.01, jitter=0.0),
+        )
+        with ScoringPool(
+            engine=engine,
+            config=config,
+            worker_init=CrashWorkerOnMarker(MARKER, min_batch=1),
+        ) as pool:
+            with pytest.raises(PoolBrokenError):
+                pool.classify_arrays(marked, mjd)
+            # Broken is terminal: the next dispatch refuses immediately.
+            with pytest.raises(PoolBrokenError):
+                pool.classify_arrays(pairs, mjd)
+
+
+class TestPoolReload:
+    def test_reload_swaps_exactly_once_and_is_deterministic(self, engine, batch):
+        pairs, mjd = batch
+        other = make_serve_engine(seed=77)
+        with tempfile.TemporaryDirectory() as td:
+            other.save(td)
+            want = shard_reference(other, 2, pairs, mjd)
+            with ScoringPool(
+                engine=engine, config=PoolConfig(workers=2)
+            ) as pool:
+                before = pool.classify_arrays(pairs, mjd)
+                assert pool.reload(td) == 1
+                assert pool.epoch == 1
+                after = pool.classify_arrays(pairs, mjd)
+        assert_bit_exact(after, want)
+        # The models genuinely disagree, so the swap demonstrably landed.
+        assert any(
+            round(a.probability, 6) != round(b.probability, 6)
+            for a, b in zip(before, after)
+        )
+
+    def test_failed_reload_rolls_back_every_worker(self, engine, batch, tmp_path):
+        pairs, mjd = batch
+        want = shard_reference(engine, 2, pairs, mjd)
+        bad = tmp_path / "not-a-model"
+        bad.mkdir()
+        with ScoringPool(
+            engine=engine, config=PoolConfig(workers=2)
+        ) as pool:
+            pool.classify_arrays(pairs, mjd)
+            with pytest.raises(Exception, match="reload failed"):
+                pool.reload(bad)
+            # Every worker is back on the previous model, bit for bit.
+            assert_bit_exact(pool.classify_arrays(pairs, mjd), want)
+
+
+class _ArrayDataset:
+    def __init__(self, pairs, mjd):
+        self.pairs = pairs
+        self.visit_mjd = mjd
+
+    def __len__(self):
+        return len(self.pairs)
+
+
+class TestPoolStream:
+    def test_stream_orders_and_matches_classify(self, shared_pool, engine, batch):
+        pairs, mjd = batch
+        dataset = _ArrayDataset(pairs, mjd)
+        want = shard_reference(engine, 2, pairs, mjd)
+        got = list(shared_pool.stream(dataset, batch_size=6))
+        assert [r.index for r in got] == list(range(len(pairs)))
+        assert_bit_exact(got, want)
+
+    def test_stream_contains_chunk_failures(self, engine, batch):
+        pairs, mjd = batch
+        marked = pairs.copy()
+        marked[3, 0, 0, 0, 0] = MARKER
+        dataset = _ArrayDataset(marked, mjd)
+        with ScoringPool(
+            engine=engine,
+            config=PoolConfig(workers=2),
+            worker_init=CrashWorkerOnMarker(MARKER, min_batch=1),
+        ) as pool:
+            got = list(pool.stream(dataset, batch_size=3))
+        assert len(got) == len(pairs)
+        assert got[3].error is not None
+        assert all(r.error is None for i, r in enumerate(got) if i != 3)

@@ -340,6 +340,37 @@ class TestInferenceEngine:
         assert len(healthy) == len(dataset) - 4
         assert all(r.error is None for r in healthy)
 
+    def test_stream_workers_coalesce_to_min_task_size(
+        self, engine, dataset, monkeypatch
+    ):
+        """Thread tasks carry >= min_task_size samples (whole batches)."""
+        real = engine.classify_arrays
+        task_sizes = []
+
+        def spying(pairs, mjd, strict=None, start_index=0):
+            task_sizes.append(len(pairs))
+            return real(pairs, mjd, strict=strict, start_index=start_index)
+
+        monkeypatch.setattr(engine, "classify_arrays", spying)
+        serial = list(engine.stream(dataset, batch_size=3))
+        task_sizes.clear()
+        coalesced = list(
+            engine.stream(dataset, batch_size=3, workers=2, min_task_size=5)
+        )
+        # 5 rounded up to whole batches of 3 -> tasks of 6 (last may be
+        # shorter); small --batch-size no longer means sliver GEMMs.
+        assert all(size == 6 for size in task_sizes[:-1])
+        assert [r.index for r in coalesced] == [r.index for r in serial]
+        np.testing.assert_allclose(
+            [r.probability for r in coalesced],
+            [r.probability for r in serial],
+            rtol=1e-6,
+        )
+
+    def test_stream_min_task_size_validation(self, engine, dataset):
+        with pytest.raises(ValueError, match="min_task_size"):
+            list(engine.stream(dataset, batch_size=3, min_task_size=0))
+
     def test_stream_workers_strict_reraises_batch_failure(
         self, engine, dataset, monkeypatch
     ):
