@@ -49,6 +49,8 @@ __all__ = [
     "KillSwitch",
     "truncate_file",
     "CrashWorkerOnMarker",
+    "WedgeWorkerOnMarker",
+    "RaiseWorkerOnMarker",
     "InputCorruption",
     "DropBand",
     "NaNPixels",
@@ -203,6 +205,74 @@ class CrashWorkerOnMarker:
                 and np.any(arr[:, 0, 0, 0, 0] == marker)
             ):
                 os.kill(os.getpid(), _signal.SIGKILL)
+            return inner(pairs, mjd, strict=strict, start_index=start_index)
+
+        engine.classify_arrays = classify_arrays
+
+
+class WedgeWorkerOnMarker:
+    """Picklable pool ``worker_init`` that hangs — alive but silent — on
+    a marked sample.
+
+    The wedge analogue of :class:`CrashWorkerOnMarker`: instead of a
+    ``SIGKILL`` the worker sleeps ``hang_s`` (default: effectively
+    forever) inside its scoring call, so neither its pipe nor its
+    process sentinel ever fires.  Exercises the pool gather's
+    no-progress deadline: the parent must declare the worker wedged,
+    terminate it and heal through the respawn path.  ``min_batch``
+    scopes the blast radius exactly as for the crash injector.
+    """
+
+    def __init__(self, marker: float, min_batch: int = 1,
+                 hang_s: float = 3600.0) -> None:
+        self.marker = float(marker)
+        self.min_batch = int(min_batch)
+        self.hang_s = float(hang_s)
+
+    def __call__(self, engine, worker_id: int) -> None:
+        """Wrap ``engine.classify_arrays`` with the marker tripwire."""
+        import time as _time
+
+        inner = engine.classify_arrays
+        marker, min_batch, hang_s = self.marker, self.min_batch, self.hang_s
+
+        def classify_arrays(pairs, mjd, strict=None, start_index=0):
+            arr = np.asarray(pairs)
+            if (
+                arr.ndim == 5
+                and arr.shape[0] >= min_batch
+                and np.any(arr[:, 0, 0, 0, 0] == marker)
+            ):
+                _time.sleep(hang_s)
+            return inner(pairs, mjd, strict=strict, start_index=start_index)
+
+        engine.classify_arrays = classify_arrays
+
+
+class RaiseWorkerOnMarker:
+    """Picklable pool ``worker_init`` raising a typed error on a marked
+    sample.
+
+    ``factory`` is a picklable zero-argument callable (a module-level
+    function) returning the exception instance to raise; it is invoked
+    inside the worker, so the raised exception exercises the pool's
+    exception transport end to end — descriptor fields for the repo's
+    typed errors, pickle round-trip for everything else.
+    """
+
+    def __init__(self, marker: float, factory) -> None:
+        self.marker = float(marker)
+        self.factory = factory
+
+    def __call__(self, engine, worker_id: int) -> None:
+        """Wrap ``engine.classify_arrays`` with the marker tripwire."""
+        inner = engine.classify_arrays
+        marker, factory = self.marker, self.factory
+
+        def classify_arrays(pairs, mjd, strict=None, start_index=0):
+            arr = np.asarray(pairs)
+            if arr.ndim == 5 and np.any(arr[:, 0, 0, 0, 0] == marker):
+                raise factory()
             return inner(pairs, mjd, strict=strict, start_index=start_index)
 
         engine.classify_arrays = classify_arrays

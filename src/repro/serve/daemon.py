@@ -783,13 +783,24 @@ class ServingDaemon:
         a pool-owned temp directory.  A pool that cannot boot fails
         ``start()`` outright: better a loud refusal than a daemon that
         silently serves single-process at N-times the advertised
-        latency.
+        latency.  An injected (test-seam) pool is started here too when
+        it isn't already; its own worker count is authoritative — it is
+        what /healthz and the ``pool.workers`` gauge report, regardless
+        of ``config.scoring_workers``.
         """
         if self._pool is None:
             if self.config.scoring_workers < 1:
                 return
             kwargs: dict = {
-                "config": PoolConfig(workers=self.config.scoring_workers),
+                # The pool detects its own wedged *processes* at half
+                # the daemon's wedge horizon, so it usually terminates,
+                # respawns and re-scores before the thread watchdog
+                # fires; the watchdog stays the bounded backstop for the
+                # scoring *thread*, and drain can never wait forever.
+                "config": PoolConfig(
+                    workers=self.config.scoring_workers,
+                    task_timeout_s=max(0.05, self.config.wedge_timeout_s / 2.0),
+                ),
                 "engine_kwargs": self._engine_kwargs,
             }
             if self.registry is not None and self._engine_version is not None:
@@ -797,7 +808,7 @@ class ServingDaemon:
             else:
                 kwargs["engine"] = self.engine
             self._pool = ScoringPool(**kwargs)
-        if not self._pool._started:
+        if not self._pool.started:
             self._pool.start()
         self.metrics.gauge("pool.workers").set(self._pool.config.workers)
 

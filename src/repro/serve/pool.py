@@ -25,8 +25,17 @@ scatters micro-batches onto them:
   and its shard is re-scored sample by sample; a sample that kills the
   replacement too comes back as a flagged
   :meth:`PredictionResult.failed` placeholder instead of sinking the
-  batch.  Budget exhaustion marks the pool broken
-  (:class:`PoolBrokenError`) so the daemon can drain with exit code 4.
+  batch.  A worker that is *alive but silent* — wedged inside a GEMM,
+  stopped, swapping — is caught by the gather's no-progress deadline
+  (``task_timeout_s``), terminated and healed through the same respawn
+  path, so a dispatch can never block forever.  The budget replenishes
+  after a crash-free ``respawn_reset_s`` period (it bounds *flapping*,
+  not lifetime crashes); exhausting it inside one unhealthy window
+  marks the pool broken (:class:`PoolBrokenError`) so the daemon can
+  drain with exit code 4.  :meth:`close` never waits on a stuck
+  dispatch: if the scoring lock cannot be acquired promptly it
+  terminates the workers outright and unlinks the shm ring, so a drain
+  cannot deadlock behind a wedge.
 * **Hot reload.**  :meth:`reload` broadcasts a new model directory and
   an incremented version epoch; it returns only once every worker has
   acked the epoch, and it holds the dispatch lock, so a registry swap
@@ -36,6 +45,7 @@ scatters micro-batches onto them:
 from __future__ import annotations
 
 import os
+import pickle
 import tempfile
 import threading
 import time
@@ -52,6 +62,7 @@ from ..nn.threads import blas_env_settings, blas_thread_plan, pinned_blas_env
 from ..perf.instrument import count as _count
 from ..perf.instrument import timed as _timed
 from ..photometry import GRIZY
+from ..runtime.errors import CorruptArtifactError
 from ..runtime.retry import RetrySpec
 from .engine import DegradedInputError, InferenceEngine, PredictionResult
 
@@ -104,6 +115,14 @@ class PoolConfig:
     respawn: RetrySpec = field(default_factory=lambda: DEFAULT_RESPAWN_SPEC)
     start_timeout_s: float = 120.0
     reload_timeout_s: float = 120.0
+    #: No-progress deadline per gather: a worker that is alive but has
+    #: sent nothing for this long while owing a shard is treated as
+    #: wedged — terminated, its shard marked crashed, healed via the
+    #: respawn path.  The daemon sets this from ``wedge_timeout_s``.
+    task_timeout_s: float = 30.0
+    #: A crash-free period this long replenishes the respawn budget, so
+    #: the budget bounds flapping rather than total lifetime crashes.
+    respawn_reset_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -114,7 +133,12 @@ class PoolConfig:
             raise ValueError("slot_bytes must be >= 4096")
         if self.blas_threads < 0:
             raise ValueError("blas_threads must be >= 0")
-        if self.start_timeout_s <= 0 or self.reload_timeout_s <= 0:
+        if (
+            self.start_timeout_s <= 0
+            or self.reload_timeout_s <= 0
+            or self.task_timeout_s <= 0
+            or self.respawn_reset_s <= 0
+        ):
             raise ValueError("timeouts must be positive")
 
 
@@ -214,19 +238,41 @@ _ERROR_TYPES: dict[str, type[Exception]] = {
     "ValueError": ValueError,
     "TypeError": TypeError,
     "KeyError": KeyError,
+    "IndexError": IndexError,
     "RuntimeError": RuntimeError,
     "OverflowError": OverflowError,
+    "ZeroDivisionError": ZeroDivisionError,
     "FloatingPointError": FloatingPointError,
+    "OSError": OSError,
+    "NotImplementedError": NotImplementedError,
 }
 
 
 def _describe_error(exc: BaseException) -> dict:
     """A picklable descriptor — custom ``__init__`` signatures (e.g.
-    :class:`DegradedInputError`) make default exception pickling lossy."""
+    :class:`DegradedInputError`) make default exception pickling lossy.
+
+    The repo's own typed errors travel by explicit field so pool callers
+    can catch the exact types the in-process path raises; anything else
+    outside the builtin allowlist is attached as a pickle blob when it
+    provably round-trips (same type, same message), with the descriptor
+    as the fallback wire format.
+    """
     desc = {"type": type(exc).__name__, "message": str(exc)}
     if isinstance(exc, DegradedInputError):
         desc["index"] = exc.index
         desc["request_id"] = exc.request_id
+    elif isinstance(exc, CorruptArtifactError):
+        desc["path"] = exc.path
+        desc["reason"] = exc.reason
+    elif type(exc).__name__ not in _ERROR_TYPES:
+        try:
+            blob = pickle.dumps(exc)
+            rebuilt = pickle.loads(blob)
+            if type(rebuilt) is type(exc) and str(rebuilt) == str(exc):
+                desc["pickle"] = blob
+        except Exception:  # noqa: BLE001 - descriptor fallback is always valid
+            pass
     return desc
 
 
@@ -237,6 +283,16 @@ def _rebuild_error(desc: dict) -> Exception:
             index=desc.get("index"),
             request_id=desc.get("request_id"),
         )
+    if desc["type"] == "CorruptArtifactError":
+        return CorruptArtifactError(desc["path"], desc["reason"])
+    blob = desc.get("pickle")
+    if blob is not None:
+        try:
+            exc = pickle.loads(blob)
+            if type(exc).__name__ == desc["type"]:
+                return exc
+        except Exception:  # noqa: BLE001 - fall back to the descriptor
+            pass
     cls = _ERROR_TYPES.get(desc["type"])
     if cls is not None:
         return cls(desc["message"])
@@ -448,6 +504,9 @@ class ScoringPool:
         self._tmpdir: tempfile.TemporaryDirectory | None = None
         self._ctx = multiprocessing.get_context("spawn")
         self._lock = threading.RLock()
+        #: Guards only the closed flag, so close() can make the pool
+        #: terminal without first winning the dispatch lock.
+        self._close_lock = threading.Lock()
         self._workers: list[_Worker] = []
         self._free_slots: deque[int] = deque()
         self._shm: shared_memory.SharedMemory | None = None
@@ -456,6 +515,7 @@ class ScoringPool:
             self.config.workers
         )
         self._respawn_delays = self.config.respawn.delays()
+        self._last_crash_at: float | None = None
         self._started_at: float | None = None
         self._started = False
         self._closed = False
@@ -465,6 +525,7 @@ class ScoringPool:
         self._epoch = 0
         self._respawns = 0
         self._crashes = 0
+        self._wedges = 0
         self._overflow = 0
         self._tasks = 0
         self._samples = 0
@@ -510,16 +571,29 @@ class ScoringPool:
         self.close()
 
     def close(self, timeout_s: float = 5.0) -> None:
-        """Stop every worker and release the shm ring; idempotent."""
-        with self._lock:
+        """Stop every worker and release the shm ring; idempotent.
+
+        Never blocks behind a stuck dispatch: when the scoring lock
+        cannot be acquired promptly (a wedged worker holding a gather
+        hostage), the worker processes are terminated outright and the
+        shm ring name is unlinked anyway.  The killed workers wake the
+        stuck gather (dead sentinels), its shards settle as crashes, and
+        the now-closed pool raises :class:`PoolBrokenError` out of the
+        dispatch instead of respawning into torn-down state — so a
+        daemon drain can always complete.
+        """
+        with self._close_lock:
             if self._closed:
                 return
             self._closed = True
-            for worker in self._workers:
-                try:
-                    worker.conn.send(("stop",))
-                except (BrokenPipeError, OSError):
-                    pass
+        acquired = self._lock.acquire(timeout=min(timeout_s, 2.0))
+        try:
+            if acquired:
+                for worker in self._workers:
+                    try:
+                        worker.conn.send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass
             deadline = time.monotonic() + timeout_s
             for worker in self._workers:
                 worker.process.join(max(0.1, deadline - time.monotonic()))
@@ -529,20 +603,46 @@ class ScoringPool:
                 if worker.process.is_alive():  # pragma: no cover - last resort
                     worker.process.kill()
                     worker.process.join(1.0)
-                worker.conn.close()
-            self._teardown()
+                if acquired:
+                    worker.conn.close()
+            if acquired:
+                self._teardown()
+            else:
+                # Forced path: the dispatch thread may still hold views
+                # over the slab, so only unlink the name (the mapping is
+                # freed with the process); conns stay open for the stuck
+                # gather to drain its error exits through.
+                self._broken = "pool closed while a dispatch was stuck"
+                self._unlink_shm()
+        finally:
+            if acquired:
+                self._lock.release()
 
     def _teardown(self) -> None:
         if self._shm is not None:
             self._shm.close()
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+            self._unlink_shm()
             self._shm = None
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None
+
+    def _unlink_shm(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    @property
+    def started(self) -> bool:
+        """True once :meth:`start` has completed (workers are warm)."""
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has begun; the pool is terminal."""
+        return self._closed
 
     def pids(self) -> list[int]:
         """Live worker process ids (the chaos suite's SIGKILL targets)."""
@@ -603,6 +703,10 @@ class ScoringPool:
 
     def _note_crash(self, worker: _Worker) -> _Worker:
         """Respawn a dead worker under the budget; broken pool raises."""
+        if self._closed:
+            # close() tore the workers down under us (forced drain);
+            # never respawn into unlinked shm — surface the endgame.
+            raise PoolBrokenError("pool is closed")
         current = self._workers[worker.id]
         if current is not worker:
             return current  # another path already replaced it
@@ -611,6 +715,15 @@ class ScoringPool:
         _count("pool.worker_crashes")
         worker.process.join(1.0)
         worker.conn.close()
+        now = time.monotonic()
+        if (
+            self._last_crash_at is not None
+            and now - self._last_crash_at >= self.config.respawn_reset_s
+        ):
+            # A sustained healthy period replenishes the budget: it
+            # bounds flapping, not total crashes over a long uptime.
+            self._respawn_delays = self.config.respawn.delays()
+        self._last_crash_at = now
         delay = next(self._respawn_delays, None)
         if delay is None:
             self._broken = (
@@ -787,15 +900,30 @@ class ScoringPool:
             shard.slot = None
 
     def _gather(self, shards: list[_Shard]) -> None:
-        """Wait for every shard's outcome; crashes become outcomes too."""
+        """Wait for every shard's outcome; crashes become outcomes too.
+
+        Bounded: any message (or a settled worker death) resets the
+        no-progress deadline, but a worker that stays *alive yet silent*
+        past ``task_timeout_s`` is declared wedged — terminated, its
+        shards settled as crashes for the respawn path to heal — so a
+        hung GEMM or a stopped process can never hold the dispatch lock
+        (and, through it, a daemon drain) forever.
+        """
         started = time.perf_counter()
         pending = {s.task_id: s for s in shards if s.outcome is None}
+        deadline = time.monotonic() + self.config.task_timeout_s
         with _timed("pool.gather"):
             while pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._kill_wedged(pending)
+                    break
                 workers = {s.worker for s in pending.values()}
                 sentinels = {w.process.sentinel: w for w in workers}
                 conns = {w.conn: w for w in workers}
-                ready = connection.wait(list(conns) + list(sentinels), timeout=1.0)
+                ready = connection.wait(
+                    list(conns) + list(sentinels), timeout=min(1.0, remaining)
+                )
                 progressed = False
                 for item in ready:
                     worker = conns.get(item)
@@ -803,6 +931,7 @@ class ScoringPool:
                         continue
                     progressed |= self._drain_conn(worker, pending)
                 if progressed:
+                    deadline = time.monotonic() + self.config.task_timeout_s
                     continue
                 for item in ready:
                     worker = sentinels.get(item)
@@ -814,7 +943,31 @@ class ScoringPool:
                             shard.outcome = ("crash", None)
                             self._free_slot(shard)
                             del pending[shard.task_id]
+                            progressed = True
+                if progressed:
+                    deadline = time.monotonic() + self.config.task_timeout_s
         self._gather_s += time.perf_counter() - started
+
+    def _kill_wedged(self, pending: dict[int, _Shard]) -> None:
+        """Terminate every silent worker still owing a shard.
+
+        The shards settle as crashes, so :meth:`_settle` heals them
+        through the exact path a SIGKILLed worker takes: respawn under
+        the retry budget, per-sample re-score, repeat offenders flagged.
+        """
+        for shard in list(pending.values()):
+            worker = shard.worker
+            if worker.process.is_alive():
+                self._wedges += 1
+                _count("pool.worker_wedges")
+                worker.process.terminate()
+                worker.process.join(1.0)
+                if worker.process.is_alive():  # pragma: no cover - last resort
+                    worker.process.kill()
+                    worker.process.join(1.0)
+            shard.outcome = ("crash", None)
+            self._free_slot(shard)
+            del pending[shard.task_id]
 
     def _drain_conn(self, worker: _Worker, pending: dict[int, _Shard]) -> bool:
         progressed = False
@@ -1113,6 +1266,7 @@ class ScoringPool:
             "batches": self._tasks,
             "samples": self._samples,
             "crashes": self._crashes,
+            "wedges": self._wedges,
             "respawns": self._respawns,
             "shm_overflow": self._overflow,
             "reload_epoch": self._epoch,

@@ -24,11 +24,20 @@ the respawn budget, per-sample culprit isolation and the
 import os
 import signal
 import tempfile
+import threading
+import time
 
 import numpy as np
 import pytest
 
-from repro.runtime.faults import CrashWorkerOnMarker, DropBand, NaNPixels
+from repro.runtime.errors import CorruptArtifactError, TrainingDiverged
+from repro.runtime.faults import (
+    CrashWorkerOnMarker,
+    DropBand,
+    NaNPixels,
+    RaiseWorkerOnMarker,
+    WedgeWorkerOnMarker,
+)
 from repro.runtime.retry import RetrySpec
 from repro.serve import (
     DegradedInputError,
@@ -134,14 +143,21 @@ class TestPoolLifecycle:
             PoolConfig(workers=0)
         with pytest.raises(ValueError):
             PoolConfig(slot_bytes=16)
+        with pytest.raises(ValueError):
+            PoolConfig(task_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            PoolConfig(respawn_reset_s=-1.0)
 
     def test_close_is_idempotent_and_fatal(self, engine, batch):
         pairs, mjd = batch
         pool = ScoringPool(engine=engine, config=PoolConfig(workers=1))
+        assert not pool.started and not pool.closed
         pool.start()
+        assert pool.started and not pool.closed
         assert len(pool.pids()) == 1
         pool.close()
         pool.close()
+        assert pool.closed
         with pytest.raises(PoolBrokenError):
             pool.classify_arrays(pairs, mjd)
 
@@ -396,3 +412,152 @@ class TestPoolStream:
         assert len(got) == len(pairs)
         assert got[3].error is not None
         assert all(r.error is None for i, r in enumerate(got) if i != 3)
+
+
+class TestPoolWedge:
+    """Workers that are alive but silent: the gather's no-progress deadline."""
+
+    def test_wedged_worker_is_terminated_and_healed(self, engine, batch):
+        """A hung worker is killed at task_timeout_s and its shard re-scored."""
+        pairs, mjd = batch
+        marked = pairs.copy()
+        marked[5, 0, 0, 0, 0] = MARKER
+        want = shard_reference(engine, 2, marked, mjd)
+        config = PoolConfig(
+            workers=2,
+            task_timeout_s=1.0,
+            respawn=RetrySpec(max_attempts=8, base_delay_s=0.01, jitter=0.0),
+        )
+        with ScoringPool(
+            engine=engine,
+            config=config,
+            worker_init=WedgeWorkerOnMarker(MARKER, min_batch=2),
+        ) as pool:
+            started = time.monotonic()
+            got = pool.classify_arrays(marked, mjd)
+            elapsed = time.monotonic() - started
+            stats = pool.stats()
+        # Bounded: one wedge window plus respawn + per-sample re-score.
+        assert elapsed < 30.0
+        assert stats["wedges"] >= 1
+        assert stats["crashes"] >= 1
+        assert stats["respawns"] >= 1
+        assert [r.error for r in got] == [None] * len(got)
+        assert_wire_parity(got, want)
+
+    def test_repeat_wedge_offender_is_flagged(self, engine, batch):
+        """A sample that wedges every worker becomes a failed placeholder."""
+        pairs, mjd = batch
+        marked = pairs.copy()
+        marked[7, 0, 0, 0, 0] = MARKER
+        config = PoolConfig(
+            workers=2,
+            task_timeout_s=0.5,
+            respawn=RetrySpec(max_attempts=8, base_delay_s=0.01, jitter=0.0),
+        )
+        with ScoringPool(
+            engine=engine,
+            config=config,
+            worker_init=WedgeWorkerOnMarker(MARKER, min_batch=1),
+        ) as pool:
+            got = pool.classify_arrays(marked, mjd)
+        assert len(got) == len(pairs)
+        culprit = got[7]
+        assert culprit.error is not None and "WorkerCrashError" in culprit.error
+        assert all(r.error is None for i, r in enumerate(got) if i != 7)
+
+    def test_close_never_deadlocks_behind_wedged_dispatch(self, engine, batch):
+        """drain() must finish even while a dispatch is stuck on a wedge.
+
+        The gather deadline here is far longer than the close timeout,
+        so the dispatch thread genuinely holds the pool lock when close
+        runs; close must tear down without it and the stuck dispatch
+        must surface PoolBrokenError instead of respawning.
+        """
+        pairs, mjd = batch
+        marked = pairs.copy()
+        marked[:, 0, 0, 0, 0] = MARKER  # every shard wedges its worker
+        pool = ScoringPool(
+            engine=engine,
+            config=PoolConfig(workers=2, task_timeout_s=120.0),
+            worker_init=WedgeWorkerOnMarker(MARKER, min_batch=1),
+        )
+        pool.start()
+        outcome = []
+
+        def dispatch():
+            try:
+                pool.classify_arrays(marked, mjd)
+                outcome.append(None)
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                outcome.append(exc)
+
+        thread = threading.Thread(target=dispatch, daemon=True)
+        thread.start()
+        time.sleep(1.0)  # let both shards dispatch and wedge
+        started = time.monotonic()
+        pool.close(timeout_s=2.0)
+        assert time.monotonic() - started < 15.0
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()
+        assert outcome and isinstance(outcome[0], PoolBrokenError)
+
+    def test_respawn_budget_replenishes_after_healthy_period(self, engine, batch):
+        """The budget bounds flapping, not lifetime crashes over weeks."""
+        pairs, mjd = batch
+        config = PoolConfig(
+            workers=2,
+            respawn=RetrySpec(max_attempts=2, base_delay_s=0.01, jitter=0.0),
+            respawn_reset_s=0.2,
+        )
+        with ScoringPool(engine=engine, config=config) as pool:
+            # Three isolated crashes, each fully healed, each separated
+            # by a crash-free period longer than respawn_reset_s: every
+            # one must respawn even though the budget alone (1 respawn)
+            # would have broken the pool at the second.
+            for _ in range(3):
+                os.kill(pool.pids()[0], signal.SIGKILL)
+                got = pool.classify_arrays(pairs, mjd)
+                assert len(got) == len(pairs)
+                time.sleep(0.35)
+            assert pool.stats()["respawns"] == 3
+            assert pool.stats()["broken"] is None
+
+
+def _corrupt_weights_error():
+    return CorruptArtifactError("weights.npz", "checksum mismatch (injected)")
+
+
+def _diverged_error():
+    return TrainingDiverged("loss went non-finite (injected)")
+
+
+class TestErrorTransport:
+    """Worker exceptions re-raise with the same types as the in-process path."""
+
+    def test_corrupt_artifact_error_round_trips(self, engine, batch):
+        pairs, mjd = batch
+        marked = pairs.copy()
+        marked[3, 0, 0, 0, 0] = MARKER
+        with ScoringPool(
+            engine=engine,
+            config=PoolConfig(workers=2),
+            worker_init=RaiseWorkerOnMarker(MARKER, _corrupt_weights_error),
+        ) as pool:
+            with pytest.raises(CorruptArtifactError) as excinfo:
+                pool.classify_arrays(marked, mjd)
+        assert excinfo.value.path == "weights.npz"
+        assert excinfo.value.reason == "checksum mismatch (injected)"
+
+    def test_pickled_custom_error_round_trips(self, engine, batch):
+        """Typed errors outside the allowlist survive via pickle transport."""
+        pairs, mjd = batch
+        marked = pairs.copy()
+        marked[3, 0, 0, 0, 0] = MARKER
+        with ScoringPool(
+            engine=engine,
+            config=PoolConfig(workers=2),
+            worker_init=RaiseWorkerOnMarker(MARKER, _diverged_error),
+        ) as pool:
+            with pytest.raises(TrainingDiverged, match="non-finite"):
+                pool.classify_arrays(marked, mjd)
