@@ -400,7 +400,13 @@ def bench_telemetry(
        the *entire* cost classify pays when telemetry is off — is
        microbenchmarked and its per-batch cost must stay under 2% of
        the measured per-batch classify time;
-    4. enabled rounds emit at least one event per served sample.
+    4. enabled rounds emit at least one event per served sample;
+    5. the disabled *tracing* hook (``repro.obs.trace.span`` returning
+       ``NULL_SPAN``) is microbenchmarked the same way — three
+       instrumented engine stages per batch must also stay under the
+       2% gate — and fully-traced rounds (``trace="always"`` with a
+       root span over each run) report the enabled-with-sampling
+       overhead informationally.
 
     Off/on rounds still interleave and the enabled overhead is reported
     informationally (median of paired per-round ratios, robust to
@@ -468,24 +474,77 @@ def bench_telemetry(
     batch_time = min(times_off) / batches_per_run
     disabled_overhead = hook_cost / batch_time
 
+    # The disabled tracing hook: span() reads one module reference and
+    # returns NULL_SPAN; each scored batch pays it once per instrumented
+    # engine stage (repair, cnn, features).
+    from repro.obs import trace as trace_mod
+
+    if trace_mod.tracer() is not None:
+        failures.append("a tracer was already installed before the bench")
+    start = time.perf_counter()
+    for _ in range(hook_iters):
+        with trace_mod.span("bench.hook"):
+            pass
+    trace_hook_cost = (time.perf_counter() - start) / hook_iters
+    trace_disabled_overhead = 3 * trace_hook_cost / batch_time
+
+    # Fully-traced rounds: telemetry + trace="always", with a root span
+    # over each run so every engine stage records a span.  Reported
+    # informationally — sampling policies (rate:F / slow:MS) only ever
+    # cost less than this ceiling.
+    times_traced: list[float] = []
+    n_spans = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for index in range(max(repeats, 2)):
+            round_dir = os.path.join(tmp, f"trace{index}")
+            session = obs.start(round_dir, command="bench-trace", trace="always")
+            try:
+                root = session.tracer.start_trace(f"bench/round{index}")
+                start = time.perf_counter()
+                with root:
+                    run()
+                times_traced.append(time.perf_counter() - start)
+            finally:
+                obs.stop()
+            n_spans += sum(
+                1
+                for event in obs.read_events(
+                    os.path.join(round_dir, obs.EVENTS_FILE)
+                )
+                if event.get("event") == trace_mod.SPAN_EVENT
+            )
+
     rate_off = n / min(times_off)
     rate_on = n / min(times_on)
+    rate_traced = n / min(times_traced)
     enabled_overhead = statistics.median(
         t_on / t_off for t_on, t_off in zip(times_on, times_off)
     ) - 1.0
+    traced_overhead = min(times_traced) / min(times_off) - 1.0
 
     print(f"telemetry off:      {rate_off:8.2f} samples/s")
     print(f"telemetry on:       {rate_on:8.2f} samples/s ({n_events} events)")
+    print(f"traced (always):    {rate_traced:8.2f} samples/s ({n_spans} spans)")
     print(
         f"disabled hook cost  {hook_cost * 1e9:6.0f} ns/batch = "
         f"{disabled_overhead:.4%} of batch time (gate <2%), "
         f"enabled overhead {enabled_overhead:6.2%}"
+    )
+    print(
+        f"disabled trace hook {trace_hook_cost * 1e9:6.0f} ns/span x3 = "
+        f"{trace_disabled_overhead:.4%} of batch time (gate <2%), "
+        f"traced overhead {traced_overhead:6.2%}"
     )
 
     if disabled_overhead > 0.02:
         failures.append(
             f"disabled telemetry hook costs {disabled_overhead:.2%} of classify "
             "batch time (gate 2%)"
+        )
+    if trace_disabled_overhead > 0.02:
+        failures.append(
+            f"disabled tracing hooks cost {trace_disabled_overhead:.2%} of "
+            "classify batch time (gate 2%)"
         )
     # Every enabled round serves n samples -> at least that many
     # serve.request events plus session bookkeeping.
@@ -494,13 +553,25 @@ def bench_telemetry(
             f"telemetry-enabled rounds emitted only {n_events} events for "
             f"{n * len(times_on)} served samples"
         )
+    # Each traced round must record the root plus the per-batch engine
+    # stage spans.
+    if n_spans < len(times_traced) * (1 + batches_per_run):
+        failures.append(
+            f"traced rounds recorded only {n_spans} spans for "
+            f"{len(times_traced)} runs of {batches_per_run} batches"
+        )
     section = {
         "disabled_samples_per_s": round(rate_off, 2),
         "enabled_samples_per_s": round(rate_on, 2),
+        "traced_samples_per_s": round(rate_traced, 2),
         "disabled_hook_ns": round(hook_cost * 1e9, 1),
         "disabled_overhead": round(disabled_overhead, 6),
         "enabled_overhead": round(enabled_overhead, 4),
+        "trace_hook_ns": round(trace_hook_cost * 1e9, 1),
+        "trace_disabled_overhead": round(trace_disabled_overhead, 6),
+        "traced_overhead": round(traced_overhead, 4),
         "n_events": n_events,
+        "n_spans": n_spans,
     }
     return section, failures
 

@@ -325,6 +325,17 @@ def build_parser() -> argparse.ArgumentParser:
         "path (GEMMs always accumulate in float32; float16 accuracy is "
         "gated by the benchmark's AUC check)",
     )
+    srv.add_argument(
+        "--trace", nargs="?", const="always", default=None, metavar="SPEC",
+        help="record per-request span trees into the telemetry directory "
+        "(requires --telemetry); SPEC is always (default), rate:FRACTION "
+        "or slow:MS (slow-request capture); analyze with `repro trace DIR`",
+    )
+    srv.add_argument(
+        "--latency-buckets-ms", default=None, metavar="MS,MS,...",
+        help="override the daemon.latency_s histogram buckets (comma-"
+        "separated milliseconds, strictly increasing)",
+    )
     _add_telemetry_arg(srv)
 
     mod = sub.add_parser(
@@ -410,6 +421,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate", action="store_true",
         help="check every event line against the schema first "
         "(exit 2 on any violation)",
+    )
+
+    tr = sub.add_parser(
+        "trace", help="analyze request traces recorded by serve --trace"
+    )
+    tr.add_argument(
+        "directory", help="telemetry directory written via --telemetry --trace"
+    )
+    tr.add_argument(
+        "--validate", action="store_true",
+        help="structurally check every span record first "
+        "(exit 2 on any violation)",
+    )
+    tr.add_argument(
+        "--request", default=None, metavar="ID",
+        help="render only the trace of this request id",
+    )
+    tr.add_argument(
+        "--waterfalls", type=int, default=3, metavar="N",
+        help="render the N slowest request waterfalls (default 3)",
     )
     return parser
 
@@ -623,6 +654,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if (args.model is None) == (args.registry is None):
         raise ValueError("pass exactly one of --model or --registry")
+    latency_buckets = None
+    if args.latency_buckets_ms is not None:
+        try:
+            latency_buckets = tuple(
+                float(part) for part in args.latency_buckets_ms.split(",") if part.strip()
+            )
+        except ValueError:
+            raise ValueError(
+                f"--latency-buckets-ms must be comma-separated numbers, "
+                f"got {args.latency_buckets_ms!r}"
+            )
     config = DaemonConfig(
         host=args.host,
         port=args.port,
@@ -634,6 +676,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         strict=args.strict,
         reload_poll_s=args.reload_poll_s,
         scoring_workers=args.scoring_workers,
+        latency_buckets_ms=latency_buckets,
     )
     if args.registry is not None:
         daemon = ServingDaemon(
@@ -793,6 +836,70 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render the trace analysis over a telemetry directory.
+
+    Three views, in order: the per-stage latency table (p50/p99 over
+    every span of each name), waterfalls of the slowest requests, and
+    the aggregated critical-path breakdown (the dominant stage chain
+    per request).  ``--validate`` structurally checks every span record
+    first and exits 2 on any violation.
+    """
+    from .obs import trace as trace_mod
+
+    if not os.path.isdir(args.directory):
+        print(f"error: {args.directory} is not a directory", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    spans = trace_mod.load_spans(args.directory)
+    if args.validate:
+        errors = trace_mod.validate_spans(spans)
+        if errors:
+            for err in errors[:20]:
+                print(f"error: {err}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"error: ... and {len(errors) - 20} more", file=sys.stderr)
+            return EXIT_BAD_INPUT
+        print(f"validated {len(spans)} span record(s)")
+    if not spans:
+        print(
+            "no span records found (run `repro serve --telemetry DIR --trace`)",
+            file=sys.stderr,
+        )
+        return 0
+    trees = trace_mod.build_trees(spans)
+    if args.request is not None:
+        trees = [t for t in trees if t.get("request_id") == args.request]
+        if not trees:
+            print(f"error: no trace for request {args.request!r}", file=sys.stderr)
+            return EXIT_BAD_INPUT
+    print(f"{len(spans)} span(s) across {len(trees)} trace(s)")
+    print()
+    print("per-stage latency:")
+    print(
+        f"  {'stage':<26} {'count':>6} {'p50 ms':>9} {'p99 ms':>9} {'total s':>9}"
+    )
+    for row in trace_mod.stage_table(spans):
+        print(
+            f"  {row['stage']:<26} {row['count']:>6} {row['p50_ms']:>9.3f} "
+            f"{row['p99_ms']:>9.3f} {row['total_s']:>9.3f}"
+        )
+    print()
+    for tree in trees[: max(0, args.waterfalls)]:
+        for line in trace_mod.render_waterfall(tree):
+            print(line)
+        print()
+    path_rows = trace_mod.critical_paths(trees)
+    if path_rows:
+        print("critical paths:")
+        for row in path_rows:
+            print(
+                f"  {row['count']:>5}x  {row['path']}  "
+                f"(leaf {row['mean_leaf_ms']:.1f}ms, "
+                f"{row['mean_fraction'] * 100.0:.0f}% of request)"
+            )
+    return 0
+
+
 _COMMANDS = {
     "build-dataset": _cmd_build,
     "train-flux-cnn": _cmd_train_cnn,
@@ -802,6 +909,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "models": _cmd_models,
     "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
 }
 
 
@@ -818,8 +926,17 @@ def main(argv: list[str] | None = None) -> int:
     """
     args = build_parser().parse_args(argv)
     telemetry_dir = getattr(args, "telemetry", None)
+    trace_spec = getattr(args, "trace", None)
+    if trace_spec is not None and not telemetry_dir:
+        print("error: --trace requires --telemetry DIR", file=sys.stderr)
+        return EXIT_BAD_INPUT
     if telemetry_dir:
-        obs.start(telemetry_dir, command=args.command)
+        try:
+            obs.start(telemetry_dir, command=args.command, trace=trace_spec)
+        except ValueError as exc:
+            # A malformed --trace spec must not leave a half-open session.
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_BAD_INPUT
     code: int | None = None  # None = a non-CLI exception escaped
     try:
         try:

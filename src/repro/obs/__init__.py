@@ -12,6 +12,10 @@ when) a telemetry session is active:
 * :mod:`repro.obs.session` — the on/off switch: ``start(dir)`` /
   ``stop()``; the disabled path is a single ``active() is None`` check,
   so library code is free to instrument unconditionally;
+* :mod:`repro.obs.trace` — request tracing: spans (trace_id / span_id /
+  parent_id, start, duration) recorded through the event log, with
+  cross-process propagation into pool workers, sampling, and the
+  ``repro trace`` analysis CLI;
 * :mod:`repro.obs.drift` — PSI/KS monitoring of the served score and
   flux distributions against a baseline committed with the model;
 * :mod:`repro.obs.schema` / :mod:`repro.obs.report` — validation and
@@ -51,6 +55,17 @@ from .metrics import (
 from .report import summarize_directory, tail_events
 from .schema import validate_event, validate_file
 from .session import TelemetrySession, active, new_id, start, stop
+from .trace import (
+    SLOW_EVENT,
+    SPAN_EVENT,
+    SegmentTracer,
+    Span,
+    TraceConfig,
+    Tracer,
+    derive_trace_id,
+    load_spans,
+    validate_spans,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -82,4 +97,13 @@ __all__ = [
     "new_id",
     "summarize_directory",
     "tail_events",
+    "SPAN_EVENT",
+    "SLOW_EVENT",
+    "Span",
+    "TraceConfig",
+    "Tracer",
+    "SegmentTracer",
+    "derive_trace_id",
+    "load_spans",
+    "validate_spans",
 ]

@@ -17,7 +17,7 @@ The stack has two layers:
 
 Records look like::
 
-    {"schema": 1, "ts": 1754400000.123, "seq": 7, "level": "info",
+    {"schema": 2, "ts": 1754400000.123, "seq": 7, "level": "info",
      "event": "train.epoch", "run_id": "run-...", "epoch": 3,
      "train_loss": 0.41, ...}
 
@@ -49,7 +49,9 @@ __all__ = [
 ]
 
 #: Version stamped into every record; bump on breaking field changes.
-SCHEMA_VERSION = 1
+#: v2 added the ``trace.span`` record family (trace_id/span_id/name/
+#: duration_s required on those lines — see :mod:`repro.obs.trace`).
+SCHEMA_VERSION = 2
 
 #: Recognised severity levels, least to most severe.
 LEVELS = ("debug", "info", "warning", "error")

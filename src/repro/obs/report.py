@@ -105,6 +105,8 @@ def summarize_directory(directory: str | os.PathLike) -> str:
     by_event: dict[str, int] = {}
     by_level: dict[str, int] = {}
     run_ids: dict[str, None] = {}
+    span_stats: dict[str, list[float]] = {}  # stage -> [count, total_s]
+    trace_ids: set[str] = set()
     first = last = None
     if has_events:
         for record in read_events(events_path):
@@ -117,6 +119,16 @@ def summarize_directory(directory: str | os.PathLike) -> str:
             rid = record.get("run_id")
             if rid:
                 run_ids[rid] = None
+            if record.get("event") == "trace.span":
+                name = record.get("name")
+                duration = record.get("duration_s")
+                if isinstance(name, str) and isinstance(duration, (int, float)):
+                    entry = span_stats.setdefault(name, [0, 0.0])
+                    entry[0] += 1
+                    entry[1] += float(duration)
+                tid = record.get("trace_id")
+                if isinstance(tid, str):
+                    trace_ids.add(tid)
 
     lines.append("")
     lines.append("session")
@@ -143,6 +155,18 @@ def summarize_directory(directory: str | os.PathLike) -> str:
         width = max(len(name) for name in by_event)
         for name in sorted(by_event):
             lines.append(f"  {name:<{width}}  {by_event[name]}")
+
+    if span_stats:
+        lines.append("")
+        lines.append(f"trace spans ({len(trace_ids)} trace(s); "
+                     "details via `repro trace DIR`)")
+        width = max(len(name) for name in span_stats)
+        for name in sorted(span_stats):
+            count, total = span_stats[name]
+            lines.append(
+                f"  {name:<{width}}  count={int(count)} total={total:.6f}s "
+                f"mean={total / count:.6f}s"
+            )
 
     counters = snapshot.get("counters", {})
     if counters:

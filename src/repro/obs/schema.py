@@ -8,6 +8,9 @@ validator stays honest:
   ``level`` (one of :data:`~repro.obs.log.LEVELS`), ``event``
   (dotted lower-case name, e.g. ``serve.request``);
 * identity (always): at least one of ``run_id`` / ``request_id``;
+* span records (``event == "trace.span"``, schema v2): additionally
+  ``trace_id`` / ``span_id`` / ``name`` (strings) and ``duration_s``
+  (number) — see :mod:`repro.obs.trace`;
 * everything else is free-form JSON owned by the emitting subsystem.
 
 :func:`validate_event` checks one record and returns the list of
@@ -23,6 +26,7 @@ import os
 import re
 
 from .log import LEVELS, SCHEMA_VERSION, read_events
+from .trace import SPAN_EVENT, SPAN_FIELDS
 
 __all__ = ["validate_event", "validate_file"]
 
@@ -65,6 +69,14 @@ def validate_event(record: object) -> list[str]:
         errors.append(f"event name {record['event']!r} is not dotted lower-case")
     if not any(isinstance(record.get(f), str) and record[f] for f in _ID_FIELDS):
         errors.append("record carries neither run_id nor request_id")
+    if record.get("event") == SPAN_EVENT:
+        for name, types in SPAN_FIELDS.items():
+            if name not in record:
+                errors.append(f"span record missing field {name!r}")
+            elif not isinstance(record[name], types) or isinstance(record[name], bool):
+                errors.append(
+                    f"span field {name!r} has type {type(record[name]).__name__}"
+                )
     return errors
 
 

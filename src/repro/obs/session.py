@@ -64,6 +64,7 @@ class TelemetrySession:
         self.run_id = run_id or new_id()
         self.log = EventLog(os.path.join(self.directory, EVENTS_FILE))
         self.metrics = MetricsRegistry()
+        self.tracer = None  # set by start(..., trace=...)
         self._context = context(scope="process", run_id=self.run_id)
         self._request_counter = 0
         self._counter_lock = threading.Lock()
@@ -125,6 +126,7 @@ def start(
     directory: str | os.PathLike,
     run_id: str | None = None,
     enable_perf: bool = True,
+    trace: object = None,
     **start_fields: object,
 ) -> TelemetrySession:
     """Enable telemetry into ``directory`` and return the live session.
@@ -132,7 +134,11 @@ def start(
     ``start_fields`` ride on the ``session.start`` event (the CLI passes
     the subcommand and its arguments).  With ``enable_perf`` (default)
     the :mod:`repro.perf` timers are reset, switched on, and registered
-    as the ``perf`` metrics source.
+    as the ``perf`` metrics source.  ``trace`` enables request tracing:
+    pass a :class:`repro.obs.trace.TraceConfig`, a spec string
+    (``"always"`` / ``"rate:0.1"`` / ``"slow:250"``), or ``True`` for
+    the default policy; the tracer sinks spans into this session's
+    event log and is uninstalled by :func:`stop`.
     """
     global _SESSION
     from .. import perf
@@ -150,6 +156,17 @@ def start(
         from ..nn import workspace_metrics_source
 
         session.metrics.register_source("nn.workspace", workspace_metrics_source)
+        if trace is not None and trace is not False:
+            from . import trace as trace_mod
+
+            if isinstance(trace, str):
+                config = trace_mod.TraceConfig.parse(trace)
+            elif trace is True:
+                config = trace_mod.TraceConfig()
+            else:
+                config = trace
+            session.tracer = trace_mod.Tracer(session, config)
+            trace_mod.install(session.tracer)
         session._open(**start_fields)
         _SESSION = session
     return session
@@ -165,6 +182,10 @@ def stop(status: str = "ok", **end_fields: object) -> dict:
         _SESSION = None
     if session is None:
         return {}
+    if session.tracer is not None:
+        from . import trace as trace_mod
+
+        trace_mod.uninstall()
     snapshot = session.close(status=status, **end_fields)
     perf.disable()
     return snapshot

@@ -1,0 +1,817 @@
+"""Request tracing: spans over the event log with cross-process propagation.
+
+A *span* is one timed stage of a request (``http.read``,
+``admission.queue_wait``, ``worker.compute``, ...) recorded as a
+``trace.span`` event in the session's schema-versioned event log.  Spans
+carry ``trace_id`` / ``span_id`` / ``parent_id`` and form a tree per
+request; trace ids derive deterministically from the request id
+(``<run_id>/r<index>``) so a request can be correlated across processes
+and across re-runs.
+
+Design mirrors :mod:`repro.obs.log`:
+
+- a process-wide plus thread-local *span-context stack* supplies the
+  ambient parent for nested spans, exactly like the event-context stack;
+- the disabled path is one module-level reference read
+  (:func:`tracer` / the ``_TRACER is None`` check inside :func:`span`),
+  so instrumentation points cost nothing when tracing is off;
+- sampling is decided once per trace: ``always``, deterministic
+  ``rate:F`` (hash of the request id), or ``slow:MS`` (buffer the span
+  tree, emit only if the root exceeds the threshold — the slow-request
+  capture).
+
+Cross-process: pool workers have no telemetry session.  They install a
+:class:`SegmentTracer` that appends span records to a per-worker JSONL
+segment (``trace-worker<id>.jsonl``); the parent merges new segment
+lines into the main event log at gather time, so worker spans end up in
+the same file, correctly parented via the wire context ``(trace_id,
+parent_span_id, request_id)`` that rides the task message across the
+pipe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MODES",
+    "SPAN_EVENT",
+    "SLOW_EVENT",
+    "WORKER_SEGMENT_PREFIX",
+    "TraceConfig",
+    "Span",
+    "Tracer",
+    "SegmentTracer",
+    "derive_trace_id",
+    "derive_span_id",
+    "install",
+    "uninstall",
+    "tracer",
+    "current_span",
+    "span",
+    "record",
+    "wire_context",
+    "load_spans",
+    "validate_spans",
+    "stage_table",
+    "build_trees",
+    "render_waterfall",
+    "critical_paths",
+]
+
+SPAN_EVENT = "trace.span"
+SLOW_EVENT = "trace.slow_request"
+WORKER_SEGMENT_PREFIX = "trace-worker"
+MODES = ("always", "rate", "slow")
+
+# Fields every span record must carry (validated by ``validate_spans``
+# and, for schema-v2 event lines, by ``repro.obs.schema``).
+SPAN_FIELDS: Dict[str, type | tuple] = {
+    "trace_id": str,
+    "span_id": str,
+    "name": str,
+    "duration_s": (int, float),
+}
+
+
+def derive_trace_id(request_id: str) -> str:
+    """Deterministic 16-hex trace id for a ``<run_id>/r<index>`` request id."""
+    return hashlib.sha256(request_id.encode("utf-8")).hexdigest()[:16]
+
+
+def derive_span_id(trace_id: str, seed: str) -> str:
+    """Deterministic span id from the trace id and a per-trace seed."""
+    return hashlib.sha256(f"{trace_id}/{seed}".encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Sampling policy for a tracer.
+
+    mode
+        ``always`` samples every trace; ``rate`` samples the
+        deterministic fraction ``rate`` of request ids; ``slow`` buffers
+        every trace and emits only those whose root span exceeds
+        ``slow_threshold_s`` (the slow-request capture).
+    slow_threshold_s
+        In ``always``/``rate`` mode a root over this threshold emits an
+        additional ``trace.slow_request`` event at warning level.
+    """
+
+    mode: str = "always"
+    rate: float = 1.0
+    slow_threshold_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"trace mode must be one of {MODES}, got {self.mode!r}")
+        if not 0.0 <= float(self.rate) <= 1.0:
+            raise ValueError(f"trace rate must be in [0, 1], got {self.rate!r}")
+        if not float(self.slow_threshold_s) > 0.0:
+            raise ValueError(
+                f"slow threshold must be positive, got {self.slow_threshold_s!r}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "TraceConfig":
+        """Parse a CLI spec: ``always`` | ``rate:0.1`` | ``slow:250`` (ms)."""
+        spec = spec.strip().lower()
+        if spec == "always":
+            return cls(mode="always")
+        if spec.startswith("rate:"):
+            return cls(mode="rate", rate=float(spec[len("rate:"):]))
+        if spec.startswith("slow:"):
+            ms = float(spec[len("slow:"):])
+            return cls(mode="slow", slow_threshold_s=ms / 1000.0)
+        raise ValueError(
+            f"bad trace spec {spec!r}: expected always | rate:FRACTION | slow:MS"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ambient span-context stack (process-wide + thread-local, mirroring the
+# event-context stack in repro.obs.log)
+# ----------------------------------------------------------------------
+_PROCESS_STACK: List["Span"] = []
+_PROCESS_LOCK = threading.Lock()
+_THREAD = threading.local()
+
+
+def _thread_stack() -> List["Span"]:
+    stack = getattr(_THREAD, "stack", None)
+    if stack is None:
+        stack = _THREAD.stack = []
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost ambient span: thread-local first, then process-wide."""
+    stack = getattr(_THREAD, "stack", None)
+    if stack:
+        return stack[-1]
+    if _PROCESS_STACK:
+        return _PROCESS_STACK[-1]
+    return None
+
+
+class _TraceState:
+    """Per-trace bookkeeping: span-id counter and the slow-mode buffer."""
+
+    __slots__ = ("trace_id", "request_id", "buffer", "counter", "lock")
+
+    def __init__(self, trace_id: str, request_id: str, buffered: bool) -> None:
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.buffer: Optional[List[dict]] = [] if buffered else None
+        self.counter = 0
+        self.lock = threading.Lock()
+
+    def next_seed(self) -> str:
+        with self.lock:
+            self.counter += 1
+            return str(self.counter)
+
+
+class Span:
+    """One timed stage.  Context-manager entry pushes it on the ambient
+    stack (``scope="thread"`` by default, ``"process"`` for run-level
+    roots); exit pops and ends it.  ``end()`` is idempotent."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "request_id",
+        "attrs",
+        "start_ts",
+        "duration_s",
+        "_t0",
+        "_tracer",
+        "_state",
+        "_scope",
+        "_ended",
+    )
+
+    def __init__(
+        self,
+        tracer: "_BaseTracer",
+        state: Optional[_TraceState],
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        request_id: Optional[str],
+        attrs: Optional[dict] = None,
+        scope: str = "thread",
+        t_offset_s: float = 0.0,
+    ) -> None:
+        if scope not in ("thread", "process"):
+            raise ValueError(f"span scope must be 'thread' or 'process', got {scope!r}")
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.request_id = request_id
+        self.attrs = dict(attrs) if attrs else {}
+        self.start_ts = round(time.time() - t_offset_s, 6)
+        self.duration_s: Optional[float] = None
+        self._t0 = time.perf_counter() - t_offset_s
+        self._tracer = tracer
+        self._state = state
+        self._scope = scope
+        self._ended = False
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    def annotate(self, **fields: Any) -> None:
+        self.attrs.update(fields)
+
+    def end(self, **fields: Any) -> None:
+        if self._ended:
+            return
+        self._ended = True
+        if fields:
+            self.attrs.update(fields)
+        self.duration_s = round(time.perf_counter() - self._t0, 6)
+        self._tracer._finish(self)
+
+    def to_record(self) -> dict:
+        record = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "start_ts": self.start_ts,
+            "duration_s": self.duration_s,
+        }
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
+        if self.request_id is not None:
+            record["request_id"] = self.request_id
+        record.update(self.attrs)
+        return record
+
+    def __enter__(self) -> "Span":
+        if self._scope == "process":
+            with _PROCESS_LOCK:
+                _PROCESS_STACK.append(self)
+        else:
+            _thread_stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._scope == "process":
+            with _PROCESS_LOCK:
+                if self in _PROCESS_STACK:
+                    _PROCESS_STACK.remove(self)
+        else:
+            stack = _thread_stack()
+            if self in stack:
+                stack.remove(self)
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, trace={self.trace_id}, span={self.span_id})"
+
+
+class _NullSpan:
+    """No-op stand-in returned on every disabled/unsampled path."""
+
+    __slots__ = ()
+    name = None
+    trace_id = None
+    span_id = None
+    parent_id = None
+    request_id = None
+    duration_s = None
+    is_root = False
+
+    def annotate(self, **fields: Any) -> None:
+        pass
+
+    def end(self, **fields: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _BaseTracer:
+    """Shared span-construction machinery; subclasses define the sink."""
+
+    directory: Optional[str] = None
+
+    def child(self, parent: Span, name: str, attrs: Optional[dict] = None) -> Span:
+        state = parent._state
+        seed = state.next_seed() if state is not None else self._next_seed()
+        return Span(
+            self,
+            state,
+            name,
+            parent.trace_id,
+            derive_span_id(parent.trace_id, seed),
+            parent.span_id,
+            parent.request_id,
+            attrs,
+        )
+
+    def resume(
+        self, wire: Tuple[str, str, Optional[str]], name: str, seed: str, **attrs: Any
+    ) -> Span:
+        """A span parented across a process boundary via a wire context."""
+        trace_id, parent_id, request_id = wire
+        return Span(
+            self,
+            None,
+            name,
+            trace_id,
+            derive_span_id(trace_id, seed),
+            parent_id,
+            request_id,
+            attrs,
+        )
+
+    def record(
+        self,
+        name: str,
+        duration_s: float,
+        parent: Optional[Span],
+        **attrs: Any,
+    ) -> None:
+        """Record an already-measured stage as a completed child span."""
+        if parent is None or parent is NULL_SPAN:
+            return
+        child = self.child(parent, name, attrs)
+        child.start_ts = round(time.time() - duration_s, 6)
+        child._ended = True
+        child.duration_s = round(float(duration_s), 6)
+        self._finish(child)
+
+    def _next_seed(self) -> str:
+        raise NotImplementedError
+
+    def _finish(self, span_obj: Span) -> None:
+        raise NotImplementedError
+
+
+class Tracer(_BaseTracer):
+    """Parent-process tracer: sinks spans into the session's event log
+    and per-stage latency histograms in the session's metrics registry."""
+
+    def __init__(self, session, config: Optional[TraceConfig] = None) -> None:
+        self._session = session
+        self.config = config or TraceConfig()
+        self.directory = getattr(session, "directory", None)
+        self._live: Dict[str, _TraceState] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    # -- sampling ------------------------------------------------------
+    def sample(self, request_id: str) -> bool:
+        mode = self.config.mode
+        if mode in ("always", "slow"):
+            return True
+        # Deterministic per-request-id fraction: the same request id is
+        # sampled (or not) identically across processes and re-runs.
+        digest = int(derive_trace_id(request_id), 16)
+        return digest / float(1 << 64) < self.config.rate
+
+    # -- trace lifecycle ----------------------------------------------
+    def start_trace(
+        self,
+        request_id: str,
+        name: str = "request",
+        scope: str = "thread",
+        t_offset_s: float = 0.0,
+        **attrs: Any,
+    ) -> Optional[Span]:
+        """Root span for one request, or ``None`` if not sampled."""
+        if not self.sample(request_id):
+            return None
+        trace_id = derive_trace_id(request_id)
+        state = _TraceState(trace_id, request_id, buffered=self.config.mode == "slow")
+        with self._lock:
+            self._live[trace_id] = state
+        return Span(
+            self,
+            state,
+            name,
+            trace_id,
+            derive_span_id(trace_id, "root"),
+            None,
+            request_id,
+            attrs,
+            scope=scope,
+            t_offset_s=t_offset_s,
+        )
+
+    def merge(self, record_dict: dict) -> None:
+        """Fold a worker-segment span record into this tracer's sink.
+
+        Routed into the live trace's buffer when the trace is still
+        slow-mode buffered, otherwise emitted directly.
+        """
+        state = None
+        trace_id = record_dict.get("trace_id")
+        if isinstance(trace_id, str):
+            with self._lock:
+                state = self._live.get(trace_id)
+        if state is not None and state.buffer is not None:
+            with state.lock:
+                state.buffer.append(dict(record_dict))
+            return
+        self._emit_record(dict(record_dict))
+
+    # -- internals -----------------------------------------------------
+    def _next_seed(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"x{self._counter}"
+
+    def _finish(self, span_obj: Span) -> None:
+        state = span_obj._state
+        record_dict = span_obj.to_record()
+        if state is not None and state.buffer is not None:
+            with state.lock:
+                state.buffer.append(record_dict)
+            if span_obj.is_root:
+                self._close_slow_trace(state, span_obj)
+            return
+        self._emit_record(record_dict)
+        if span_obj.is_root:
+            with self._lock:
+                self._live.pop(span_obj.trace_id, None)
+            duration = span_obj.duration_s or 0.0
+            if duration >= self.config.slow_threshold_s:
+                self._emit_slow(span_obj)
+
+    def _close_slow_trace(self, state: _TraceState, root: Span) -> None:
+        with self._lock:
+            self._live.pop(state.trace_id, None)
+        duration = root.duration_s or 0.0
+        with state.lock:
+            buffered, state.buffer = state.buffer, None
+        if duration < self.config.slow_threshold_s:
+            return  # fast request: drop the tree (slow-only capture)
+        for record_dict in buffered or ():
+            self._emit_record(record_dict)
+        self._emit_slow(root)
+
+    def _emit_slow(self, root: Span) -> None:
+        self._session.emit(
+            SLOW_EVENT,
+            level="warning",
+            message=f"request exceeded {self.config.slow_threshold_s * 1000:.0f}ms",
+            trace_id=root.trace_id,
+            request_id=root.request_id,
+            duration_s=root.duration_s,
+            threshold_s=self.config.slow_threshold_s,
+        )
+
+    def _emit_record(self, record_dict: dict) -> None:
+        self._session.emit(SPAN_EVENT, **record_dict)
+        duration = record_dict.get("duration_s")
+        name = record_dict.get("name")
+        if isinstance(duration, (int, float)) and isinstance(name, str):
+            try:
+                self._session.metrics.histogram(f"trace.{name}_s").observe(duration)
+            except ValueError:
+                pass  # span name not a valid metric name: skip the histogram
+
+
+class SegmentTracer(_BaseTracer):
+    """Worker-process tracer: appends span records to a JSONL segment.
+
+    Workers have no telemetry session; the parent merges segment lines
+    into the main event log at gather time (``Tracer.merge``).  Every
+    record is stamped with the worker id and pid.
+    """
+
+    def __init__(self, path: str, worker: Optional[int] = None) -> None:
+        self.path = path
+        self.worker = worker
+        self._fh = None
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def _next_seed(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"w{self.worker}.{os.getpid()}.{self._counter}"
+
+    def _finish(self, span_obj: Span) -> None:
+        record_dict = span_obj.to_record()
+        if self.worker is not None:
+            record_dict.setdefault("worker", self.worker)
+        record_dict.setdefault("pid", os.getpid())
+        line = json.dumps(record_dict, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+# ----------------------------------------------------------------------
+# Module-level tracer: one reference read on the disabled path
+# ----------------------------------------------------------------------
+_TRACER: Optional[_BaseTracer] = None
+
+
+def install(t: _BaseTracer) -> None:
+    global _TRACER
+    _TRACER = t
+
+
+def uninstall() -> None:
+    global _TRACER
+    _TRACER = None
+
+
+def tracer() -> Optional[_BaseTracer]:
+    return _TRACER
+
+
+def span(name: str, parent: Optional[Span] = None, **attrs: Any):
+    """An ambient child span, or ``NULL_SPAN`` when tracing is off or no
+    trace is live on this thread/process."""
+    t = _TRACER
+    if t is None:
+        return NULL_SPAN
+    if parent is None:
+        parent = current_span()
+    if parent is None or parent is NULL_SPAN:
+        return NULL_SPAN
+    return t.child(parent, name, attrs or None)
+
+
+def record(
+    name: str, duration_s: float, parent: Optional[Span] = None, **attrs: Any
+) -> None:
+    """Record an already-measured stage; no-op when tracing is off."""
+    t = _TRACER
+    if t is None:
+        return
+    if parent is None:
+        parent = current_span()
+    if parent is None or parent is NULL_SPAN:
+        return
+    t.record(name, duration_s, parent, **attrs)
+
+
+def wire_context(parent: Optional[Span] = None) -> Optional[Tuple[str, str, Optional[str]]]:
+    """Serializable ``(trace_id, parent_span_id, request_id)`` for IPC."""
+    t = _TRACER
+    if t is None:
+        return None
+    if parent is None:
+        parent = current_span()
+    if parent is None or parent is NULL_SPAN:
+        return None
+    return (parent.trace_id, parent.span_id, parent.request_id)
+
+
+def worker_segment_path(directory: str, worker_id: int) -> str:
+    return os.path.join(directory, f"{WORKER_SEGMENT_PREFIX}{worker_id}.jsonl")
+
+
+# ----------------------------------------------------------------------
+# Analysis: loading, validation, per-stage stats, waterfall, critical path
+# (backs the ``repro trace DIR`` CLI and the report)
+# ----------------------------------------------------------------------
+def load_spans(directory: str) -> List[dict]:
+    """All span records under a telemetry directory.
+
+    Reads ``trace.span`` events from the event log plus any un-merged
+    tails of worker segments (a killed daemon may not have drained
+    them), de-duplicated on ``(trace_id, span_id)``.
+    """
+    from .log import EVENTS_FILE, read_events
+
+    spans: List[dict] = []
+    seen = set()
+
+    def _add(record_dict: dict) -> None:
+        key = (record_dict.get("trace_id"), record_dict.get("span_id"))
+        if key in seen:
+            return
+        seen.add(key)
+        spans.append(record_dict)
+
+    events_path = os.path.join(directory, EVENTS_FILE)
+    if os.path.exists(events_path):
+        for event in read_events(events_path):
+            if event.get("event") == SPAN_EVENT:
+                _add(event)
+    for entry in sorted(os.listdir(directory)):
+        if not (entry.startswith(WORKER_SEGMENT_PREFIX) and entry.endswith(".jsonl")):
+            continue
+        with open(os.path.join(directory, entry), "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    _add(json.loads(line))
+                except ValueError:
+                    continue  # torn tail line from a killed worker
+    return spans
+
+
+def validate_spans(spans: Iterable[dict]) -> List[str]:
+    """Structural violations in span records; empty means valid."""
+    errors: List[str] = []
+    ids = set()
+    records = list(spans)
+    for i, record_dict in enumerate(records):
+        where = f"span {i}"
+        for field, expected in SPAN_FIELDS.items():
+            value = record_dict.get(field)
+            if value is None:
+                errors.append(f"{where}: missing field {field!r}")
+            elif not isinstance(value, expected) or isinstance(value, bool):
+                errors.append(
+                    f"{where}: field {field!r} has type "
+                    f"{type(value).__name__}, expected {expected}"
+                )
+        duration = record_dict.get("duration_s")
+        if isinstance(duration, (int, float)) and duration < 0:
+            errors.append(f"{where}: negative duration {duration!r}")
+        parent = record_dict.get("parent_id")
+        if parent is not None and not isinstance(parent, str):
+            errors.append(f"{where}: field 'parent_id' must be a string")
+        key = (record_dict.get("trace_id"), record_dict.get("span_id"))
+        if None not in key:
+            if key in ids:
+                errors.append(f"{where}: duplicate span id {key[1]!r} in trace {key[0]!r}")
+            ids.add(key)
+    return errors
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def stage_table(spans: Iterable[dict]) -> List[dict]:
+    """Aggregated per-stage latency rows: count, p50/p99 ms, total s."""
+    by_name: Dict[str, List[float]] = {}
+    for record_dict in spans:
+        name = record_dict.get("name")
+        duration = record_dict.get("duration_s")
+        if isinstance(name, str) and isinstance(duration, (int, float)):
+            by_name.setdefault(name, []).append(float(duration))
+    rows = []
+    for name, durations in sorted(by_name.items()):
+        durations.sort()
+        rows.append(
+            {
+                "stage": name,
+                "count": len(durations),
+                "p50_ms": round(_percentile(durations, 0.50) * 1000.0, 3),
+                "p99_ms": round(_percentile(durations, 0.99) * 1000.0, 3),
+                "total_s": round(sum(durations), 6),
+            }
+        )
+    rows.sort(key=lambda r: -r["total_s"])
+    return rows
+
+
+def build_trees(spans: Iterable[dict]) -> List[dict]:
+    """Group spans into per-trace trees.
+
+    Returns one dict per trace: ``{"trace_id", "request_id", "root",
+    "spans", "children"}`` where ``children`` maps span_id -> list of
+    child records.  Traces without a root (e.g. slow-mode discards with
+    a straggling worker span) are skipped.
+    """
+    by_trace: Dict[str, List[dict]] = {}
+    for record_dict in spans:
+        trace_id = record_dict.get("trace_id")
+        if isinstance(trace_id, str):
+            by_trace.setdefault(trace_id, []).append(record_dict)
+    trees = []
+    for trace_id, members in by_trace.items():
+        roots = [m for m in members if m.get("parent_id") is None]
+        if not roots:
+            continue
+        root = roots[0]
+        children: Dict[str, List[dict]] = {}
+        for member in members:
+            parent = member.get("parent_id")
+            if isinstance(parent, str):
+                children.setdefault(parent, []).append(member)
+        for sibling_list in children.values():
+            sibling_list.sort(key=lambda m: m.get("start_ts") or 0.0)
+        request_id = root.get("request_id")
+        trees.append(
+            {
+                "trace_id": trace_id,
+                "request_id": request_id,
+                "root": root,
+                "spans": members,
+                "children": children,
+            }
+        )
+    trees.sort(key=lambda t: -(t["root"].get("duration_s") or 0.0))
+    return trees
+
+
+def render_waterfall(tree: dict, width: int = 40) -> List[str]:
+    """Text waterfall for one trace: offset, duration and a scaled bar."""
+    root = tree["root"]
+    t0 = root.get("start_ts") or 0.0
+    total = max(root.get("duration_s") or 0.0, 1e-9)
+    lines = [
+        f"waterfall: {tree.get('request_id') or tree['trace_id']}  "
+        f"({total * 1000.0:.1f}ms, trace {tree['trace_id']})"
+    ]
+
+    def _bar(offset_s: float, duration_s: float) -> str:
+        start = int(max(0.0, min(1.0, offset_s / total)) * width)
+        length = max(1, int(min(1.0, duration_s / total) * width))
+        length = min(length, width - start) or 1
+        return " " * start + "#" * length
+
+    def _walk(record_dict: dict, depth: int) -> None:
+        offset = max(0.0, (record_dict.get("start_ts") or t0) - t0)
+        duration = record_dict.get("duration_s") or 0.0
+        name = "  " * depth + str(record_dict.get("name"))
+        extra = ""
+        if record_dict.get("worker") is not None:
+            extra = f"  [worker {record_dict['worker']}]"
+        lines.append(
+            f"  {name:<30} {offset * 1000.0:>8.1f}ms {duration * 1000.0:>8.1f}ms "
+            f"|{_bar(offset, duration):<{width}}|{extra}"
+        )
+        for child in tree["children"].get(record_dict.get("span_id"), ()):
+            _walk(child, depth + 1)
+
+    _walk(root, 0)
+    return lines
+
+
+def critical_paths(trees: Iterable[dict]) -> List[dict]:
+    """Dominant stage chain per trace, aggregated across traces.
+
+    For each trace, descend from the root into the longest-duration
+    child at every level; the resulting chain is that request's critical
+    path.  Returns one row per distinct path with its frequency, mean
+    leaf duration, and mean fraction of end-to-end latency.
+    """
+    aggregate: Dict[tuple, List[Tuple[float, float]]] = {}
+    for tree in trees:
+        node = tree["root"]
+        total = max(node.get("duration_s") or 0.0, 1e-9)
+        path = [str(node.get("name"))]
+        while True:
+            kids = tree["children"].get(node.get("span_id"), ())
+            if not kids:
+                break
+            node = max(kids, key=lambda m: m.get("duration_s") or 0.0)
+            path.append(str(node.get("name")))
+        leaf = node.get("duration_s") or 0.0
+        aggregate.setdefault(tuple(path), []).append((leaf, leaf / total))
+    rows = []
+    for path, samples in aggregate.items():
+        rows.append(
+            {
+                "path": " > ".join(path),
+                "count": len(samples),
+                "mean_leaf_ms": round(
+                    sum(s[0] for s in samples) / len(samples) * 1000.0, 3
+                ),
+                "mean_fraction": round(
+                    sum(s[1] for s in samples) / len(samples), 4
+                ),
+            }
+        )
+    rows.sort(key=lambda r: -r["count"])
+    return rows

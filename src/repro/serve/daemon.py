@@ -89,6 +89,7 @@ import numpy as np
 
 from .. import obs
 from ..nn import workspace_total_stats
+from ..obs import trace as obs_trace
 from ..obs.drift import DriftMonitor
 from ..obs.metrics import MetricsRegistry
 from ..registry import GuardConfig, ModelRegistry, RegistryError, RollbackGuard
@@ -148,6 +149,12 @@ class DaemonConfig:
     #: across a :class:`~repro.serve.pool.ScoringPool` of N warm spawned
     #: workers over shared memory, with BLAS threads split N ways.
     scoring_workers: int = 0
+    #: End-to-end latency histogram buckets in milliseconds (``None``
+    #: keeps :data:`~repro.obs.metrics.DEFAULT_LATENCY_BUCKETS_S`).  A
+    #: deployment serving a slower model than the defaults assume can
+    #: widen these without code changes; /metrics exposition format is
+    #: unchanged.
+    latency_buckets_ms: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.batch_max_size < 1:
@@ -170,6 +177,15 @@ class DaemonConfig:
             raise ValueError("shadow_queue_depth must be >= 1")
         if self.scoring_workers < 0:
             raise ValueError("scoring_workers must be >= 0")
+        if self.latency_buckets_ms is not None:
+            buckets = tuple(float(b) for b in self.latency_buckets_ms)
+            if not buckets:
+                raise ValueError("latency_buckets_ms must not be empty")
+            if any(b <= 0 for b in buckets):
+                raise ValueError("latency_buckets_ms must all be positive")
+            if any(b >= c for b, c in zip(buckets, buckets[1:])):
+                raise ValueError("latency_buckets_ms must increase strictly")
+            object.__setattr__(self, "latency_buckets_ms", buckets)
 
 
 def _error_payload(request_id: str | None, kind: str, message: str) -> dict:
@@ -192,7 +208,7 @@ class _Pending:
 
     __slots__ = (
         "index", "request_id", "pairs", "mjd", "strict",
-        "enqueued", "deadline", "event", "status", "payload", "_lock",
+        "enqueued", "deadline", "event", "status", "payload", "trace", "_lock",
     )
 
     def __init__(
@@ -203,12 +219,15 @@ class _Pending:
         mjd: np.ndarray,
         strict: bool,
         deadline_s: float,
+        trace: "obs_trace.Span | None" = None,
     ) -> None:
         self.index = index
         self.request_id = request_id
         self.pairs = pairs
         self.mjd = mjd
         self.strict = strict
+        #: Root span of this request's trace; None when unsampled/off.
+        self.trace = trace
         self.enqueued = time.monotonic()
         self.deadline = self.enqueued + deadline_s
         self.event = threading.Event()
@@ -350,6 +369,27 @@ class _ScoringWorker(threading.Thread):
         owner.metrics.histogram(
             "daemon.batch_size", buckets=_BATCH_SIZE_BUCKETS
         ).observe(len(live))
+        tracer = obs_trace.tracer()
+        if tracer is not None:
+            now = time.monotonic()
+            lead: _Pending | None = None
+            for pending in live:
+                if pending.trace is None:
+                    continue
+                if lead is None:
+                    lead = pending
+                tracer.record(
+                    "admission.queue_wait", now - pending.enqueued,
+                    parent=pending.trace,
+                )
+            if lead is not None:
+                # Batch-level stages attach to the first sampled request:
+                # a micro-batch mixes traces, and duplicating the span
+                # into every member would double-count the stage table.
+                tracer.record(
+                    "batch.form", now - batch[0].enqueued, parent=lead.trace,
+                    batch_size=len(live), queue_depth=owner._batcher.waiting(),
+                )
         groups: dict[tuple, list[_Pending]] = {}
         for pending in live:
             groups.setdefault(pending.group_key, []).append(pending)
@@ -384,9 +424,7 @@ class _ScoringWorker(threading.Thread):
             payload = {"request_id": pending.request_id, "result": result.to_dict()}
             if pending.resolve(200, payload):
                 owner.metrics.counter("daemon.responses").inc()
-                owner.metrics.histogram("daemon.latency_s").observe(
-                    time.monotonic() - pending.enqueued
-                )
+                owner._latency_hist.observe(time.monotonic() - pending.enqueued)
             else:
                 # The handler already answered 504; the score is discarded.
                 owner.metrics.counter("daemon.late_results").inc()
@@ -497,7 +535,7 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     def _send_json(self, status: int, payload: dict,
-                   headers: dict[str, str] | None = None) -> None:
+                   headers: dict[str, str] | None = None) -> int:
         body = json.dumps(payload, separators=(",", ":")).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -509,13 +547,15 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; the response is typed either way
+        return len(body)
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
         owner = self.server.owner
+        started = time.monotonic()
         if self.path == "/healthz":
             status, payload = owner.health()
-            self._send_json(status, payload)
+            n_bytes = self._send_json(status, payload)
         elif self.path == "/metrics":
             text = owner.prometheus().encode()
             self.send_response(200)
@@ -523,16 +563,25 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Content-Length", str(len(text)))
             self.end_headers()
             self.wfile.write(text)
+            status, n_bytes = 200, len(text)
         else:
-            self._send_json(
+            status = 404
+            n_bytes = self._send_json(
                 404, _error_payload(None, "not_found", f"no route {self.path}")
             )
+        owner._note_access(
+            "GET", self.path, status, n_bytes, time.monotonic() - started
+        )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
         owner = self.server.owner
+        started = time.monotonic()
         if self.path != "/classify":
-            self._send_json(
+            n_bytes = self._send_json(
                 404, _error_payload(None, "not_found", f"no route {self.path}")
+            )
+            owner._note_access(
+                "POST", self.path, 404, n_bytes, time.monotonic() - started
             )
             return
         try:
@@ -540,7 +589,7 @@ class _Handler(BaseHTTPRequestHandler):
         except _SlowClientError:
             owner.metrics.counter("daemon.slow_clients").inc()
             self.close_connection = True
-            self._send_json(
+            n_bytes = self._send_json(
                 408,
                 _error_payload(
                     None, "slow_client",
@@ -548,16 +597,34 @@ class _Handler(BaseHTTPRequestHandler):
                     f"{owner.config.client_body_deadline_s}s",
                 ),
             )
+            owner._note_access(
+                "POST", self.path, 408, n_bytes, time.monotonic() - started
+            )
             return
         except _BodyError as exc:
             owner.metrics.counter("daemon.bad_requests").inc()
-            self._send_json(exc.status, _error_payload(None, exc.kind, str(exc)))
+            n_bytes = self._send_json(
+                exc.status, _error_payload(None, exc.kind, str(exc))
+            )
+            owner._note_access(
+                "POST", self.path, exc.status, n_bytes, time.monotonic() - started
+            )
             return
         except (ConnectionError, TimeoutError, OSError):
             self.close_connection = True
             return  # client vanished mid-body; nothing was admitted
-        status, payload, headers = owner.handle_classify(raw)
-        self._send_json(status, payload, headers)
+        read_s = time.monotonic() - started
+        status, payload, headers = owner.handle_classify(raw, read_s=read_s)
+        n_bytes = self._send_json(status, payload, headers)
+        if status >= 400:
+            # Successful classifies already leave a full audit trail
+            # (request id in the payload, spans when traced); the access
+            # log covers what that trail misses — refusals and errors.
+            owner._note_access(
+                "POST", self.path, status, n_bytes,
+                time.monotonic() - started,
+                request_id=payload.get("request_id"),
+            )
 
     def _read_body(self) -> bytes:
         """Read the full body under the daemon's client deadline.
@@ -661,6 +728,15 @@ class ServingDaemon:
             session.metrics if session is not None else MetricsRegistry()
         )
         self.run_id = session.run_id if session is not None else self.config.run_id
+        # End-to-end latency histogram, created once so configured
+        # buckets (ms -> s) never race the lazy default-bucket creation.
+        if self.config.latency_buckets_ms is not None:
+            self._latency_hist = self.metrics.histogram(
+                "daemon.latency_s",
+                buckets=tuple(b / 1000.0 for b in self.config.latency_buckets_ms),
+            )
+        else:
+            self._latency_hist = self.metrics.histogram("daemon.latency_s")
         # Registry / hot-reload state.  _engine_lock makes the
         # (engine, version, monitor) triple a consistent snapshot for the
         # scoring worker; _reload_lock serialises swaps (exactly-once).
@@ -898,8 +974,16 @@ class ServingDaemon:
     # ------------------------------------------------------------------
     # Request handling (called from handler threads)
     # ------------------------------------------------------------------
-    def handle_classify(self, raw: bytes) -> tuple[int, dict, dict[str, str] | None]:
-        """Admit, wait and answer one ``/classify`` request body."""
+    def handle_classify(
+        self, raw: bytes, read_s: float = 0.0
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        """Admit, wait and answer one ``/classify`` request body.
+
+        ``read_s`` is how long the handler spent reading the body off
+        the socket; a sampled trace's root span is backdated by it and
+        gets an ``http.read`` child, so the waterfall starts at the
+        first byte rather than at admission.
+        """
         if self._draining:
             return (
                 503,
@@ -912,16 +996,30 @@ class ServingDaemon:
             self.metrics.counter("daemon.bad_requests").inc()
             return 400, _error_payload(None, "bad_request", str(exc)), None
 
+        tracer = obs_trace.tracer()
+
         def _admit() -> _Pending:
             index = self._admitted
             self._admitted += 1
+            request_id = f"{self.run_id}/r{index}"
+            trace = None
+            if isinstance(tracer, obs_trace.Tracer):
+                trace = tracer.start_trace(
+                    request_id,
+                    t_offset_s=read_s,
+                    n_visits=int(mjd.shape[0]),
+                    deadline_ms=round(deadline_s * 1000.0, 3),
+                )
+                if trace is not None and read_s > 0.0:
+                    tracer.record("http.read", read_s, parent=trace)
             return _Pending(
                 index,
-                f"{self.run_id}/r{index}",
+                request_id,
                 pairs,
                 mjd,
                 strict,
                 deadline_s,
+                trace=trace,
             )
 
         pending = self._batcher.submit(_admit)
@@ -955,6 +1053,8 @@ class ServingDaemon:
             ):
                 self.metrics.counter("daemon.timeouts").inc()
         assert pending.status is not None and pending.payload is not None
+        if pending.trace is not None:
+            pending.trace.end(status=pending.status)
         return pending.status, pending.payload, None
 
     def _parse_sample(
@@ -1012,38 +1112,59 @@ class ServingDaemon:
         pairs = np.stack([pending.pairs for pending in group])
         mjd = np.stack([pending.mjd for pending in group])
         started = time.monotonic()
-        if self._pool is not None:
-            # Pool mode holds _engine_lock across the dispatch: the pool
-            # is shared mutable state (unlike an engine snapshot), so a
-            # hot reload must not land between reading the version label
-            # and the workers scoring — _swap_engine calls pool.reload()
-            # under this same lock, which both serialises the swap
-            # against in-flight batches and keeps the (scores, version)
-            # pair consistent.
-            with self._engine_lock:
-                version = self._engine_version
-                monitor = self._prod_monitor
-                try:
-                    results = self._pool.classify_arrays(
-                        pairs, mjd,
-                        strict=group[0].strict, start_index=group[0].index,
+        # The scoring stage attaches to the first traced member's trace
+        # (a shape group can mix sampled and unsampled requests); the
+        # ambient push makes every nested stage — engine spans in
+        # process, pool scatter/gather and worker.compute across the
+        # pipe — parent under it without threading spans through calls.
+        trace_parent = next(
+            (pending.trace for pending in group if pending.trace is not None),
+            None,
+        )
+        with obs_trace.span(
+            "daemon.score", parent=trace_parent,
+            batch_index=batch_index, n_samples=len(group),
+        ):
+            if self._pool is not None:
+                # Pool mode holds _engine_lock across the dispatch: the pool
+                # is shared mutable state (unlike an engine snapshot), so a
+                # hot reload must not land between reading the version label
+                # and the workers scoring — _swap_engine calls pool.reload()
+                # under this same lock, which both serialises the swap
+                # against in-flight batches and keeps the (scores, version)
+                # pair consistent.
+                lock_from = time.monotonic()
+                with self._engine_lock:
+                    obs_trace.record(
+                        "engine.lock_wait", time.monotonic() - lock_from
                     )
-                except PoolBrokenError:
-                    self._note_pool_broken()
-                    raise
-        else:
-            # One consistent (engine, version, monitor) snapshot per
-            # batch: a hot reload that lands mid-score only affects the
-            # *next* batch, so every request is scored wholly by a
-            # single version and the outgoing engine drains its
-            # in-flight work before it is dropped.
-            with self._engine_lock:
-                engine = self.engine
-                version = self._engine_version
-                monitor = self._prod_monitor
-            results = engine.classify_arrays(
-                pairs, mjd, strict=group[0].strict, start_index=group[0].index
-            )
+                    version = self._engine_version
+                    monitor = self._prod_monitor
+                    try:
+                        results = self._pool.classify_arrays(
+                            pairs, mjd,
+                            strict=group[0].strict, start_index=group[0].index,
+                        )
+                    except PoolBrokenError:
+                        self._note_pool_broken()
+                        raise
+            else:
+                # One consistent (engine, version, monitor) snapshot per
+                # batch: a hot reload that lands mid-score only affects the
+                # *next* batch, so every request is scored wholly by a
+                # single version and the outgoing engine drains its
+                # in-flight work before it is dropped.
+                lock_from = time.monotonic()
+                with self._engine_lock:
+                    obs_trace.record(
+                        "engine.lock_wait", time.monotonic() - lock_from
+                    )
+                    engine = self.engine
+                    version = self._engine_version
+                    monitor = self._prod_monitor
+                results = engine.classify_arrays(
+                    pairs, mjd, strict=group[0].strict, start_index=group[0].index
+                )
         self._note_drained(len(group), time.monotonic() - started)
         if version is not None:
             self.metrics.counter(f"daemon.served.{version}").inc(len(results))
@@ -1579,6 +1700,29 @@ class ServingDaemon:
         session = obs.active()
         if session is not None:
             session.emit(event, level=level, message=message, **fields)
+
+    def _note_access(self, method: str, path: str, status: int,
+                     n_bytes: int, duration_s: float,
+                     request_id: str | None = None) -> None:
+        """Access-log one non-classify (or failed-classify) response.
+
+        Successful ``/classify`` responses are deliberately excluded:
+        they already leave a per-request audit trail.  This covers what
+        that trail misses — probes, scrapes, bad routes and refusals.
+        """
+        session = obs.active()
+        if session is None:
+            return
+        fields: dict[str, object] = {
+            "method": method,
+            "path": path,
+            "status": status,
+            "bytes": n_bytes,
+            "duration_ms": round(duration_s * 1000.0, 3),
+        }
+        if request_id is not None:
+            fields["request_id"] = request_id
+        session.emit("serve.access", **fields)
 
     def _summary(self) -> dict:
         counters = {

@@ -36,6 +36,7 @@ from .. import obs
 from ..core.features import masked_features_from_arrays
 from ..core.pipeline import SupernovaPipeline
 from ..datasets import N_BANDS, SupernovaDataset
+from ..obs import trace as _trace
 from ..obs.drift import DriftBaseline, DriftMonitor
 from ..perf.instrument import count as _count
 from ..perf.instrument import timed as _timed
@@ -415,7 +416,7 @@ class InferenceEngine:
 
         # Validate/repair every visit of the batch in one vectorised pass
         # over the flattened (N*V) visit axis.
-        with _timed("serve.repair"):
+        with _timed("serve.repair"), _trace.span("serve.repair", n_samples=n):
             flat_pairs = np.ascontiguousarray(pairs.reshape(n * used, 2, stamp, stamp))
             visit_ids = np.tile(np.arange(used), n)
             repaired_flat, flat_diags, kept = diagnose_and_repair_batch(
@@ -468,7 +469,7 @@ class InferenceEngine:
                 cnn_input = repaired_flat
             else:
                 cnn_input = repaired_flat[flat_idx]
-            with _timed("serve.cnn"):
+            with _timed("serve.cnn"), _trace.span("serve.cnn", n_visits=int(flat_idx.size)):
                 if self.fused:
                     mags = self.pipeline.cnn.fused_forward(
                         cnn_input, precision=self.precision
@@ -477,7 +478,7 @@ class InferenceEngine:
                     mags = self.pipeline.cnn.predict(cnn_input)
             flux.reshape(-1)[flat_idx] = 10.0 ** (-0.4 * (mags - 27.0))
 
-        with _timed("serve.features"):
+        with _timed("serve.features"), _trace.span("serve.features"):
             features = masked_features_from_arrays(
                 flux,
                 mjd,

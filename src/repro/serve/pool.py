@@ -44,7 +44,9 @@ scatters micro-batches onto them:
 
 from __future__ import annotations
 
+import math
 import os
+import json
 import pickle
 import tempfile
 import threading
@@ -59,6 +61,7 @@ from multiprocessing import connection, shared_memory
 import numpy as np
 
 from ..nn.threads import blas_env_settings, blas_thread_plan, pinned_blas_env
+from ..obs import trace as obs_trace
 from ..perf.instrument import count as _count
 from ..perf.instrument import timed as _timed
 from ..photometry import GRIZY
@@ -316,9 +319,19 @@ def _load_worker_engine(
     return engine
 
 
+def _task_span(wire, task_id: int, n_samples: int):
+    """The worker-side ``worker.compute`` span, resumed from the wire
+    context that rode the task message; ``NULL_SPAN`` when the task's
+    request is unsampled or the worker has no segment tracer."""
+    tracer = obs_trace.tracer()
+    if wire is None or tracer is None:
+        return obs_trace.NULL_SPAN
+    return tracer.resume(wire, "worker.compute", f"t{task_id}", n_samples=n_samples)
+
+
 def _run_task(engine: InferenceEngine, buf, slot_bytes: int, msg: tuple) -> tuple:
     """Score one shm task; views over ``buf`` die at function exit."""
-    _, task_id, slot, shape, strict, start_index = msg
+    _, task_id, slot, shape, strict, start_index, wire = msg
     n, v, s = shape
     base = slot * slot_bytes
     mjd_off, res_off, _ = _slot_layout(n, v, s)
@@ -326,9 +339,10 @@ def _run_task(engine: InferenceEngine, buf, slot_bytes: int, msg: tuple) -> tupl
     mjd = np.ndarray((n, v), dtype=np.float32, buffer=buf, offset=base + mjd_off)
     started = time.perf_counter()
     try:
-        results = engine.classify_arrays(
-            pairs, mjd, strict=strict, start_index=start_index
-        )
+        with _task_span(wire, task_id, n):
+            results = engine.classify_arrays(
+                pairs, mjd, strict=strict, start_index=start_index
+            )
         diags = _store_results(buf, base + res_off, results)
     except Exception as exc:  # noqa: BLE001 - shipped to the parent, typed
         return ("task_error", task_id, _describe_error(exc),
@@ -339,12 +353,13 @@ def _run_task(engine: InferenceEngine, buf, slot_bytes: int, msg: tuple) -> tupl
 
 def _run_task_pickle(engine: InferenceEngine, msg: tuple) -> tuple:
     """Pickle-transport fallback for batches larger than one slot."""
-    _, task_id, pairs, mjd, strict, start_index = msg
+    _, task_id, pairs, mjd, strict, start_index, wire = msg
     started = time.perf_counter()
     try:
-        results = engine.classify_arrays(
-            pairs, mjd, strict=strict, start_index=start_index
-        )
+        with _task_span(wire, task_id, int(np.asarray(pairs).shape[0])):
+            results = engine.classify_arrays(
+                pairs, mjd, strict=strict, start_index=start_index
+            )
     except Exception as exc:  # noqa: BLE001
         return ("task_error", task_id, _describe_error(exc),
                 time.perf_counter() - started)
@@ -359,6 +374,7 @@ def _worker_main(
     model_source: str,
     engine_kwargs: dict,
     worker_init: Callable | None,
+    trace_dir: str | None = None,
 ) -> None:
     """Entry point of one spawned scoring worker.
 
@@ -367,7 +383,20 @@ def _worker_main(
     owns one warm engine, answers ``task`` messages against the shared
     ring and swaps its engine on ``reload`` broadcasts, acking each
     version epoch so the parent can prove an exactly-once swap.
+
+    With ``trace_dir`` set (the parent's telemetry directory when
+    tracing is on) a :class:`~repro.obs.trace.SegmentTracer` is
+    installed: ``worker.compute`` spans — resumed from the wire context
+    in each task message — append to ``trace-worker<id>.jsonl`` and the
+    parent merges them into the main event log at gather time.
     """
+    if trace_dir is not None:
+        obs_trace.install(
+            obs_trace.SegmentTracer(
+                obs_trace.worker_segment_path(trace_dir, worker_id),
+                worker=worker_id,
+            )
+        )
     shm = None
     try:
         # Attaching re-registers the segment with the resource tracker the
@@ -421,6 +450,9 @@ def _worker_main(
         shm.close()
     except BufferError:  # pragma: no cover - a leaked view; exiting anyway
         pass
+    segment = obs_trace.tracer()
+    if isinstance(segment, obs_trace.SegmentTracer):
+        segment.close()
     conn.close()
 
 
@@ -531,6 +563,15 @@ class ScoringPool:
         self._samples = 0
         self._scatter_s = 0.0
         self._gather_s = 0.0
+        # Last-60s exponentially-decayed windows over scatter/gather work
+        # (seconds of work in the recent window; decays to 0 when idle).
+        self._window_t: float | None = None
+        self._scatter_win = 0.0
+        self._gather_win = 0.0
+        # Tracing: telemetry dir for worker span segments (set at start
+        # when a tracer is installed) and per-worker merge offsets.
+        self._trace_dir: str | None = None
+        self._segment_offsets: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -550,6 +591,9 @@ class ScoringPool:
                 create=True, size=self._n_slots * self.config.slot_bytes
             )
             self._free_slots = deque(range(self._n_slots))
+            tracer = obs_trace.tracer()
+            if tracer is not None and tracer.directory is not None:
+                self._trace_dir = tracer.directory
             try:
                 for worker_id in range(self.config.workers):
                     self._workers.append(self._spawn(worker_id))
@@ -663,6 +707,7 @@ class ScoringPool:
                 self._model_source,
                 self._engine_kwargs,
                 self._worker_init,
+                self._trace_dir,
             ),
             name=f"repro-pool-{worker_id}",
             daemon=True,
@@ -793,10 +838,33 @@ class ScoringPool:
         # the ring carries half the bytes with zero numeric difference.
         pairs32 = np.ascontiguousarray(pairs_arr, dtype=np.float32)
         mjd32 = np.ascontiguousarray(mjd_arr, dtype=np.float32)
+        dispatch_parent = obs_trace.current_span()
         with self._lock:
             self._ensure_live()
-            shards = self._run_shards(pairs32, mjd32, strict, start_index)
-            results = self._settle(shards, pairs32, mjd32, strict, start_index)
+            scatter_before, gather_before = self._scatter_s, self._gather_s
+            wire = obs_trace.wire_context(dispatch_parent)
+            with obs_trace.span(
+                "pool.scatter",
+                parent=dispatch_parent,
+                n_samples=n,
+                workers=len(self._workers),
+            ):
+                shards: list[_Shard] = []
+                for offset, count in self._plan_shards(n):
+                    worker = self._pick_worker()
+                    shards.append(
+                        self._submit(worker, pairs32, mjd32, offset, count,
+                                     strict, start_index, wire)
+                    )
+            with obs_trace.span(
+                "pool.gather", parent=dispatch_parent, shards=len(shards)
+            ):
+                self._gather(shards)
+                results = self._settle(shards, pairs32, mjd32, strict,
+                                       start_index)
+            self._drain_trace_segments()
+            self._note_window(self._scatter_s - scatter_before,
+                              self._gather_s - gather_before)
         self._tasks += 1
         self._samples += n
         _count("pool.batches")
@@ -815,23 +883,6 @@ class ScoringPool:
             offset += count
         return plan
 
-    def _run_shards(
-        self,
-        pairs32: np.ndarray,
-        mjd32: np.ndarray,
-        strict: bool | None,
-        start_index: int,
-    ) -> list[_Shard]:
-        shards: list[_Shard] = []
-        for offset, count in self._plan_shards(pairs32.shape[0]):
-            worker = self._pick_worker()
-            shards.append(
-                self._submit(worker, pairs32, mjd32, offset, count,
-                             strict, start_index)
-            )
-        self._gather(shards)
-        return shards
-
     def _pick_worker(self) -> _Worker:
         """Round-robin over workers, respawning one found already dead."""
         worker = self._workers[self._next_worker % len(self._workers)]
@@ -849,6 +900,7 @@ class ScoringPool:
         count: int,
         strict: bool | None,
         start_index: int,
+        wire: tuple | None = None,
     ) -> _Shard:
         shard_pairs = pairs32[offset : offset + count]
         shard_mjd = mjd32[offset : offset + count]
@@ -864,14 +916,14 @@ class ScoringPool:
             with _timed("pool.scatter"):
                 self._write_slot(base, mjd_off, shard_pairs, shard_mjd)
                 message = ("task", task_id, slot, (n, v, s), strict,
-                           start_index + offset)
+                           start_index + offset, wire)
         else:
             self._overflow += 1
             res_off = None
             _count("pool.shm_overflow")
             with _timed("pool.scatter"):
                 message = ("task_pickle", task_id, shard_pairs, shard_mjd,
-                           strict, start_index + offset)
+                           strict, start_index + offset, wire)
         shard = _Shard(task_id, worker, slot, res_off, offset, count,
                        start_index + offset)
         try:
@@ -1074,28 +1126,102 @@ class ScoringPool:
             self._default_strict if strict is None else bool(strict)
         )
         healed: list[PredictionResult] = []
-        for i in range(offset, offset + count):
-            worker = self._pick_worker()
-            shard = self._submit(worker, pairs32, mjd32, i, 1, strict,
-                                 start_index)
-            self._gather([shard])
-            kind = shard.outcome[0] if shard.outcome else "crash"
-            if kind == "ok":
-                healed.extend(shard.outcome[1])
-            elif kind == "error":
-                raise shard.outcome[1]
-            else:
-                # This sample killed a worker twice: flag it, keep going.
-                self._note_crash(shard.worker)
-                crash = WorkerCrashError(
-                    f"sample {start_index + i} crashed the scoring worker; "
-                    "served at the no-information prior"
-                )
-                if effective_strict:
-                    raise crash
-                _count("pool.poison_samples")
-                healed.append(PredictionResult.failed(start_index + i, crash))
+        # Called inside the gather span's scope, so the heal — and the
+        # respawned workers' compute spans resumed from its wire context
+        # — records as a child of ``pool.gather``.
+        with obs_trace.span("pool.heal", n_samples=count, offset=offset):
+            wire = obs_trace.wire_context()
+            for i in range(offset, offset + count):
+                worker = self._pick_worker()
+                shard = self._submit(worker, pairs32, mjd32, i, 1, strict,
+                                     start_index, wire)
+                self._gather([shard])
+                kind = shard.outcome[0] if shard.outcome else "crash"
+                if kind == "ok":
+                    healed.extend(shard.outcome[1])
+                elif kind == "error":
+                    raise shard.outcome[1]
+                else:
+                    # This sample killed a worker twice: flag it, keep going.
+                    self._note_crash(shard.worker)
+                    crash = WorkerCrashError(
+                        f"sample {start_index + i} crashed the scoring worker; "
+                        "served at the no-information prior"
+                    )
+                    if effective_strict:
+                        raise crash
+                    _count("pool.poison_samples")
+                    healed.append(
+                        PredictionResult.failed(start_index + i, crash)
+                    )
         return healed
+
+    # ------------------------------------------------------------------
+    # Tracing + windowed rates
+    # ------------------------------------------------------------------
+    #: Time constant of the scatter/gather work windows in stats().
+    _WINDOW_TAU_S = 60.0
+
+    def _note_window(self, scatter_s: float, gather_s: float) -> None:
+        """Fold one dispatch's scatter/gather work into the 60s windows.
+
+        The windows are exponentially-decayed sums (time constant 60s):
+        recent dispatches dominate, an idle minute decays them to ~zero,
+        so ``/healthz`` reflects current rather than lifetime behavior.
+        """
+        now = time.monotonic()
+        if self._window_t is not None:
+            decay = math.exp(-(now - self._window_t) / self._WINDOW_TAU_S)
+            self._scatter_win *= decay
+            self._gather_win *= decay
+        self._window_t = now
+        self._scatter_win += scatter_s
+        self._gather_win += gather_s
+
+    def _window_now(self) -> tuple[float, float]:
+        if self._window_t is None:
+            return 0.0, 0.0
+        decay = math.exp(
+            -(time.monotonic() - self._window_t) / self._WINDOW_TAU_S
+        )
+        return self._scatter_win * decay, self._gather_win * decay
+
+    def _drain_trace_segments(self) -> None:
+        """Merge new worker-segment span lines into the parent tracer.
+
+        Each worker appends completed ``worker.compute`` (and nested
+        engine-stage) spans to its own JSONL segment; the parent tails
+        every segment from its last offset and routes each record
+        through :meth:`Tracer.merge`, which lands it in the main event
+        log (or the live trace's slow-mode buffer).  Torn tail lines —
+        a worker mid-write or freshly killed — are left for next time.
+        """
+        tracer = obs_trace.tracer()
+        if self._trace_dir is None or not isinstance(tracer, obs_trace.Tracer):
+            return
+        for worker in self._workers:
+            path = obs_trace.worker_segment_path(self._trace_dir, worker.id)
+            offset = self._segment_offsets.get(worker.id, 0)
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(offset)
+                    data = fh.read()
+            except OSError:
+                continue
+            end = data.rfind(b"\n")
+            if end < 0:
+                continue
+            self._segment_offsets[worker.id] = offset + end + 1
+            for line in data[:end].split(b"\n"):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    tracer.merge(record)
 
     def stream(
         self,
@@ -1241,6 +1367,7 @@ class ScoringPool:
             if self._started_at is not None
             else 0.0
         )
+        scatter_win, gather_win = self._window_now()
         per_worker = []
         for worker in self._workers:
             per_worker.append(
@@ -1272,6 +1399,8 @@ class ScoringPool:
             "reload_epoch": self._epoch,
             "scatter_s_total": round(self._scatter_s, 6),
             "gather_s_total": round(self._gather_s, 6),
+            "scatter_s_window60s": round(scatter_win, 6),
+            "gather_s_window60s": round(gather_win, 6),
             "broken": self._broken,
             "per_worker": per_worker,
         }

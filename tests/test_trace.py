@@ -1,0 +1,488 @@
+"""Request tracing: span layer, sampling, cross-process propagation,
+the trace analysis CLI, and the satellites that ride along (access log,
+configurable latency buckets, windowed pool rates)."""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.obs import trace as trace_mod
+from repro.obs.log import EVENTS_FILE
+from repro.obs.trace import (
+    NULL_SPAN,
+    SPAN_EVENT,
+    TraceConfig,
+    build_trees,
+    critical_paths,
+    derive_span_id,
+    derive_trace_id,
+    load_spans,
+    render_waterfall,
+    stage_table,
+    validate_spans,
+)
+from repro.runtime.faults import CrashWorkerOnMarker
+from repro.serve import PoolConfig, ScoringPool
+from repro.serve.daemon import DaemonConfig
+
+from .helpers import (
+    classify_body,
+    http_get,
+    make_serve_engine,
+    make_serve_sample,
+    post_classify,
+    running_daemon,
+)
+
+pytestmark = pytest.mark.obs
+
+#: Magic first-pixel value CrashWorkerOnMarker kills on.
+MARKER = 12345.0
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_session():
+    """Every test starts and ends with telemetry (and tracing) disabled."""
+    assert obs.active() is None
+    assert trace_mod.tracer() is None
+    yield
+    if obs.active() is not None:
+        obs.stop()
+    trace_mod.uninstall()
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return make_serve_engine(seed=0)
+
+
+def _span_events(directory):
+    path = os.path.join(directory, EVENTS_FILE)
+    return [
+        event for event in obs.read_events(path) if event.get("event") == SPAN_EVENT
+    ]
+
+
+# ----------------------------------------------------------------------
+# Config, ids, sampling
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_parse_specs(self):
+        assert TraceConfig.parse("always").mode == "always"
+        rate = TraceConfig.parse("rate:0.25")
+        assert rate.mode == "rate" and rate.rate == 0.25
+        slow = TraceConfig.parse("slow:250")
+        assert slow.mode == "slow" and slow.slow_threshold_s == 0.25
+
+    @pytest.mark.parametrize("spec", ["sometimes", "rate:2", "rate:x", "slow:0"])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            TraceConfig.parse(spec)
+
+    def test_ids_deterministic(self):
+        assert derive_trace_id("run/r7") == derive_trace_id("run/r7")
+        assert derive_trace_id("run/r7") != derive_trace_id("run/r8")
+        tid = derive_trace_id("run/r7")
+        assert derive_span_id(tid, "1") == derive_span_id(tid, "1")
+        assert derive_span_id(tid, "1") != derive_span_id(tid, "2")
+        assert len(tid) == 16
+
+    def test_rate_sampling_deterministic(self, tmp_path):
+        session = obs.start(tmp_path, trace="rate:0.5")
+        try:
+            tracer = session.tracer
+            decisions = [tracer.sample(f"run/r{i}") for i in range(200)]
+            assert decisions == [tracer.sample(f"run/r{i}") for i in range(200)]
+            assert 20 < sum(decisions) < 180  # a real fraction, not 0/100%
+        finally:
+            obs.stop()
+        session = obs.start(tmp_path / "none", trace="rate:0.0")
+        try:
+            assert session.tracer.start_trace("run/r1") is None
+        finally:
+            obs.stop()
+
+
+# ----------------------------------------------------------------------
+# Span layer
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_disabled_path_is_null(self):
+        assert trace_mod.tracer() is None
+        assert trace_mod.span("anything") is NULL_SPAN
+        assert trace_mod.wire_context() is None
+        trace_mod.record("anything", 0.1)  # no-op, no error
+        with trace_mod.span("nested") as s:
+            assert s is NULL_SPAN
+
+    def test_ambient_nesting_and_emission(self, tmp_path):
+        session = obs.start(tmp_path, run_id="t", trace="always")
+        tracer = session.tracer
+        root = tracer.start_trace("t/r0", n_visits=3)
+        with root:
+            with trace_mod.span("stage.outer", k=1):
+                with trace_mod.span("stage.inner"):
+                    time.sleep(0.001)
+            tracer.record("stage.measured", 0.005, parent=root, extra="x")
+        obs.stop()
+
+        spans = {event["name"]: event for event in _span_events(tmp_path)}
+        assert set(spans) == {
+            "request", "stage.outer", "stage.inner", "stage.measured",
+        }
+        root_rec = spans["request"]
+        assert "parent_id" not in root_rec
+        assert spans["stage.outer"]["parent_id"] == root_rec["span_id"]
+        assert spans["stage.inner"]["parent_id"] == spans["stage.outer"]["span_id"]
+        assert spans["stage.measured"]["parent_id"] == root_rec["span_id"]
+        assert spans["stage.measured"]["duration_s"] == 0.005
+        assert all(
+            event["trace_id"] == derive_trace_id("t/r0")
+            for event in spans.values()
+        )
+        assert root_rec["request_id"] == "t/r0"
+        # Per-stage histograms landed in the metrics snapshot.
+        snapshot = json.load(open(tmp_path / "metrics.json"))
+        assert "trace.request_s" in snapshot["histograms"]
+        assert "trace.stage.inner_s" in snapshot["histograms"]
+
+    def test_span_error_attr_on_exception(self, tmp_path):
+        session = obs.start(tmp_path, trace="always")
+        root = session.tracer.start_trace("t/r0")
+        with pytest.raises(RuntimeError):
+            with root:
+                with trace_mod.span("stage.bad"):
+                    raise RuntimeError("boom")
+        obs.stop()
+        spans = {event["name"]: event for event in _span_events(tmp_path)}
+        assert spans["stage.bad"]["error"] == "RuntimeError"
+
+    def test_slow_mode_drops_fast_keeps_slow(self, tmp_path):
+        session = obs.start(tmp_path, trace="slow:50")
+        tracer = session.tracer
+        fast = tracer.start_trace("t/r0")
+        with fast:
+            with trace_mod.span("stage.fast"):
+                pass
+        slow = tracer.start_trace("t/r1")
+        with slow:
+            with trace_mod.span("stage.slow"):
+                time.sleep(0.06)
+        obs.stop()
+        events = list(obs.read_events(os.path.join(tmp_path, EVENTS_FILE)))
+        spans = [e for e in events if e.get("event") == SPAN_EVENT]
+        assert {s["trace_id"] for s in spans} == {derive_trace_id("t/r1")}
+        slow_events = [e for e in events if e.get("event") == "trace.slow_request"]
+        assert len(slow_events) == 1
+        assert slow_events[0]["level"] == "warning"
+        assert slow_events[0]["request_id"] == "t/r1"
+
+    def test_schema_v2_validates_span_records(self, tmp_path):
+        session = obs.start(tmp_path, trace="always")
+        root = session.tracer.start_trace("t/r0")
+        with root:
+            pass
+        obs.stop()
+        n, errors = obs.validate_file(os.path.join(tmp_path, EVENTS_FILE))
+        assert errors == []
+        assert n >= 3
+        # A span record missing its required fields is flagged.
+        bad = dict(_span_events(tmp_path)[0])
+        del bad["span_id"]
+        assert any("span_id" in e for e in obs.validate_event(bad))
+
+    def test_validate_spans_catches_structural_damage(self):
+        good = {
+            "trace_id": "a" * 16, "span_id": "b" * 16,
+            "name": "x", "duration_s": 0.1,
+        }
+        assert validate_spans([good]) == []
+        assert validate_spans([good, dict(good)])  # duplicate ids
+        assert validate_spans([{**good, "duration_s": -1.0}])
+        assert validate_spans([{**good, "name": 3}])
+        missing = dict(good)
+        del missing["trace_id"]
+        assert validate_spans([missing])
+
+
+# ----------------------------------------------------------------------
+# Daemon integration
+# ----------------------------------------------------------------------
+class TestDaemonTracing:
+    def test_request_spans_end_to_end(self, engine, tmp_path):
+        obs.start(tmp_path, run_id="serve", trace="always")
+        try:
+            with running_daemon(engine, DaemonConfig(batch_deadline_ms=2.0)) as daemon:
+                pairs, mjd = make_serve_sample(engine)
+                status, payload = post_classify(
+                    daemon.port, classify_body(pairs, mjd)
+                )
+                assert status == 200
+                daemon.drain()
+        finally:
+            obs.stop()
+        spans = load_spans(os.fspath(tmp_path))
+        assert validate_spans(spans) == []
+        names = {s["name"] for s in spans}
+        assert {
+            "request", "http.read", "admission.queue_wait", "batch.form",
+            "daemon.score", "engine.lock_wait", "serve.repair", "serve.cnn",
+            "serve.features",
+        } <= names
+        trees = build_trees(spans)
+        assert len(trees) == 1
+        tree = trees[0]
+        assert tree["request_id"] == "serve/r0"
+        assert tree["root"]["status"] == 200
+        # Engine stages nest under daemon.score via the ambient stack.
+        by_id = {s["span_id"]: s for s in tree["spans"]}
+        score = next(s for s in tree["spans"] if s["name"] == "daemon.score")
+        cnn = next(s for s in tree["spans"] if s["name"] == "serve.cnn")
+        assert by_id[cnn["parent_id"]]["name"] == "daemon.score"
+        assert score["parent_id"] == tree["root"]["span_id"]
+        # Analysis renders.
+        lines = render_waterfall(tree)
+        assert lines[0].startswith("waterfall: serve/r0")
+        assert any("serve.cnn" in line for line in lines)
+        rows = stage_table(spans)
+        assert {"stage", "count", "p50_ms", "p99_ms", "total_s"} <= set(rows[0])
+        paths = critical_paths(trees)
+        assert paths and paths[0]["path"].startswith("request")
+
+    def test_untraced_daemon_pays_nothing(self, engine, tmp_path):
+        obs.start(tmp_path, run_id="serve")  # telemetry on, tracing off
+        try:
+            with running_daemon(engine) as daemon:
+                pairs, mjd = make_serve_sample(engine)
+                status, _ = post_classify(daemon.port, classify_body(pairs, mjd))
+                assert status == 200
+                daemon.drain()
+        finally:
+            obs.stop()
+        assert _span_events(tmp_path) == []
+
+    def test_access_log_covers_non_classify_traffic(self, engine, tmp_path):
+        obs.start(tmp_path, run_id="serve")
+        try:
+            with running_daemon(engine) as daemon:
+                http_get(daemon.port, "/healthz")
+                http_get(daemon.port, "/metrics")
+                http_get(daemon.port, "/nope")
+                status, _ = post_classify(daemon.port, b"not json")
+                assert status == 400
+                daemon.drain()
+        finally:
+            obs.stop()
+        events = list(obs.read_events(os.path.join(tmp_path, EVENTS_FILE)))
+        access = [e for e in events if e.get("event") == "serve.access"]
+        seen = {(e["method"], e["path"], e["status"]) for e in access}
+        assert ("GET", "/healthz", 200) in seen
+        assert ("GET", "/metrics", 200) in seen
+        assert ("GET", "/nope", 404) in seen
+        assert ("POST", "/classify", 400) in seen
+        for event in access:
+            assert event["bytes"] > 0
+            assert event["duration_ms"] >= 0
+
+    def test_latency_buckets_configurable(self, engine):
+        config = DaemonConfig(latency_buckets_ms=(5.0, 50.0, 500.0))
+        with running_daemon(engine, config) as daemon:
+            pairs, mjd = make_serve_sample(engine)
+            status, _ = post_classify(daemon.port, classify_body(pairs, mjd))
+            assert status == 200
+            _, text = http_get(daemon.port, "/metrics")
+            daemon.drain()
+        exposition = text.decode()
+        assert 'daemon_latency_s_bucket{le="0.005"}' in exposition
+        assert 'daemon_latency_s_bucket{le="0.5"}' in exposition
+        assert daemon._latency_hist.count == 1
+
+    def test_latency_buckets_validation(self):
+        with pytest.raises(ValueError):
+            DaemonConfig(latency_buckets_ms=())
+        with pytest.raises(ValueError):
+            DaemonConfig(latency_buckets_ms=(10.0, 5.0))
+        with pytest.raises(ValueError):
+            DaemonConfig(latency_buckets_ms=(-1.0, 5.0))
+
+    def test_default_buckets_unchanged(self, engine):
+        with running_daemon(engine) as daemon:
+            assert daemon._latency_hist.buckets == tuple(
+                obs.DEFAULT_LATENCY_BUCKETS_S
+            )
+            daemon.drain()
+
+
+# ----------------------------------------------------------------------
+# Cross-process propagation through the scoring pool
+# ----------------------------------------------------------------------
+class TestPoolTracing:
+    def _traced_pool_batch(self, engine, tmp_path, pairs, mjd, **pool_kwargs):
+        session = obs.start(tmp_path, run_id="pool", trace="always")
+        pool = ScoringPool(
+            engine=engine, config=PoolConfig(workers=2), **pool_kwargs
+        )
+        try:
+            pool.start()
+            root = session.tracer.start_trace("pool/r0")
+            with root:
+                results = pool.classify_arrays(pairs, mjd)
+        finally:
+            pool.close()
+            obs.stop()
+        return root, results
+
+    def test_worker_spans_cross_the_pipe(self, engine, tmp_path):
+        rng = np.random.default_rng(3)
+        v, s = engine._n_used_visits, 40
+        pairs = rng.normal(0.0, 30.0, size=(6, v, 2, s, s)).astype(np.float32)
+        mjd = np.tile(
+            (57000.0 + np.arange(v) * 0.01).astype(np.float32), (6, 1)
+        )
+        root, results = self._traced_pool_batch(engine, tmp_path, pairs, mjd)
+        assert len(results) == 6
+        spans = load_spans(os.fspath(tmp_path))
+        assert validate_spans(spans) == []
+        workers = [s for s in spans if s["name"] == "worker.compute"]
+        assert len(workers) == 2  # one shard per worker
+        scatter = next(s for s in spans if s["name"] == "pool.scatter")
+        gather = next(s for s in spans if s["name"] == "pool.gather")
+        for span_rec in workers:
+            assert span_rec["trace_id"] == root.trace_id
+            assert span_rec["parent_id"] == root.span_id
+            assert span_rec["worker"] in (0, 1)
+            assert span_rec["pid"] != os.getpid()
+        assert scatter["parent_id"] == root.span_id
+        assert gather["parent_id"] == root.span_id
+        # Engine stages inside the workers nest under worker.compute.
+        worker_ids = {s["span_id"] for s in workers}
+        cnn_spans = [s for s in spans if s["name"] == "serve.cnn"]
+        assert cnn_spans and all(
+            s["parent_id"] in worker_ids for s in cnn_spans
+        )
+
+    def test_trace_survives_worker_crash_and_respawn(self, engine, tmp_path):
+        """Satellite: spans from a respawned worker still carry the
+        trace, and the heal re-score records as a child of the gather."""
+        rng = np.random.default_rng(4)
+        v, s = engine._n_used_visits, 40
+        pairs = rng.normal(0.0, 30.0, size=(6, v, 2, s, s)).astype(np.float32)
+        mjd = np.tile(
+            (57000.0 + np.arange(v) * 0.01).astype(np.float32), (6, 1)
+        )
+        marked = pairs.copy()
+        marked[5, 0, 0, 0, 0] = MARKER  # kills only grouped batches
+        root, results = self._traced_pool_batch(
+            engine, tmp_path, marked, mjd,
+            worker_init=CrashWorkerOnMarker(MARKER, min_batch=2),
+        )
+        assert len(results) == 6
+        spans = load_spans(os.fspath(tmp_path))
+        assert validate_spans(spans) == []
+        assert all(
+            span_rec["trace_id"] == root.trace_id
+            for span_rec in spans
+            if span_rec["name"] != "request"
+        )
+        gather = next(s for s in spans if s["name"] == "pool.gather")
+        heal = next(s for s in spans if s["name"] == "pool.heal")
+        assert heal["parent_id"] == gather["span_id"]
+        # The respawned worker's per-single re-scores parent under the
+        # heal span and still carry the original trace id.
+        healed = [
+            s for s in spans
+            if s["name"] == "worker.compute"
+            and s["parent_id"] == heal["span_id"]
+        ]
+        assert healed
+        assert all(s["trace_id"] == root.trace_id for s in healed)
+
+    def test_windowed_rates_in_stats(self, engine, tmp_path):
+        rng = np.random.default_rng(5)
+        v, s = engine._n_used_visits, 40
+        pairs = rng.normal(0.0, 30.0, size=(4, v, 2, s, s)).astype(np.float32)
+        mjd = np.tile(
+            (57000.0 + np.arange(v) * 0.01).astype(np.float32), (4, 1)
+        )
+        pool = ScoringPool(engine=engine, config=PoolConfig(workers=2))
+        try:
+            pool.start()
+            pool.classify_arrays(pairs, mjd)
+            stats = pool.stats()
+        finally:
+            pool.close()
+        assert 0.0 < stats["scatter_s_window60s"] <= stats["scatter_s_total"]
+        assert 0.0 < stats["gather_s_window60s"] <= stats["gather_s_total"]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestTraceCli:
+    @pytest.fixture()
+    def traced_dir(self, engine, tmp_path):
+        directory = tmp_path / "telemetry"
+        obs.start(directory, run_id="serve", trace="always")
+        try:
+            with running_daemon(engine, DaemonConfig(batch_deadline_ms=2.0)) as daemon:
+                pairs, mjd = make_serve_sample(engine)
+                body = classify_body(pairs, mjd)
+                for _ in range(3):
+                    status, _ = post_classify(daemon.port, body)
+                    assert status == 200
+                daemon.drain()
+        finally:
+            obs.stop()
+        return os.fspath(directory)
+
+    def test_trace_command_renders_analysis(self, traced_dir, capsys):
+        assert cli_main(["trace", traced_dir, "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "validated" in out
+        assert "per-stage latency" in out
+        assert "waterfall: serve/r0" in out
+        assert "critical paths:" in out
+
+    def test_trace_command_filters_by_request(self, traced_dir, capsys):
+        assert cli_main(["trace", traced_dir, "--request", "serve/r1"]) == 0
+        out = capsys.readouterr().out
+        assert "waterfall: serve/r1" in out
+        assert "waterfall: serve/r0" not in out
+        assert cli_main(["trace", traced_dir, "--request", "nope"]) == 2
+
+    def test_trace_command_on_missing_dir(self, tmp_path, capsys):
+        assert cli_main(["trace", os.fspath(tmp_path / "absent")]) == 2
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert cli_main(["trace", os.fspath(empty)]) == 0
+        assert "no span records" in capsys.readouterr().err
+
+    def test_trace_command_validate_catches_damage(self, traced_dir, capsys):
+        segment = os.path.join(traced_dir, "trace-worker9.jsonl")
+        with open(segment, "w") as handle:
+            handle.write(json.dumps({"trace_id": "x", "name": 3}) + "\n")
+        assert cli_main(["trace", traced_dir, "--validate"]) == 2
+
+    def test_serve_trace_requires_telemetry(self, capsys):
+        assert cli_main(["serve", "--model", "m", "--trace"]) == 2
+        assert "--trace requires --telemetry" in capsys.readouterr().err
+
+    def test_bad_trace_spec_exits_bad_input(self, tmp_path, capsys):
+        code = cli_main([
+            "serve", "--model", "m",
+            "--telemetry", os.fspath(tmp_path), "--trace", "sometimes",
+        ])
+        assert code == 2
+        assert obs.active() is None
+
+    def test_metrics_report_summarizes_spans(self, traced_dir, capsys):
+        assert cli_main(["metrics", traced_dir]) == 0
+        out = capsys.readouterr().out
+        assert "trace spans" in out
+        assert "worker.compute" not in out  # in-process daemon: no pool spans
+        assert "daemon.score" in out
